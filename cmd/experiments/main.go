@@ -1,0 +1,150 @@
+// Command experiments regenerates the paper's evaluation (§6): every
+// figure plus the Theorem 3.1 storage demonstration and the Level 1
+// baseline comparison. Results print as text tables; see EXPERIMENTS.md
+// for the recorded paper-vs-measured comparison.
+//
+// Usage:
+//
+//	experiments -scale 100000            # all experiments at 100k objects
+//	experiments -fig fig14,fig18         # selected figures
+//	experiments -scale paper -fig fig19  # paper-scale timing run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"spatialhist/internal/experiments"
+)
+
+var figures = []struct {
+	id   string
+	desc string
+	run  func(*experiments.Env) fmt.Stringer
+}{
+	{"fig12", "dataset characteristics", func(e *experiments.Env) fmt.Stringer { return experiments.Fig12(e) }},
+	{"fig13", "S-EulerApprox scatter, Q10", func(e *experiments.Env) fmt.Stringer { return experiments.Fig13(e) }},
+	{"fig14", "S-EulerApprox error curves", func(e *experiments.Env) fmt.Stringer { return experiments.Fig14(e) }},
+	{"fig15", "EulerApprox scatter, Q10", func(e *experiments.Env) fmt.Stringer { return experiments.Fig15(e) }},
+	{"fig16", "EulerApprox error curves", func(e *experiments.Env) fmt.Stringer { return experiments.Fig16(e) }},
+	{"fig17", "M-EulerApprox (2 histograms) error curves", func(e *experiments.Env) fmt.Stringer { return experiments.Fig17(e) }},
+	{"fig18", "M-EulerApprox with more histograms", func(e *experiments.Env) fmt.Stringer { return experiments.Fig18(e) }},
+	{"fig19", "query processing time", func(e *experiments.Env) fmt.Stringer { return experiments.Fig19(e) }},
+	{"thm31", "Theorem 3.1 storage demonstration", func(e *experiments.Env) fmt.Stringer { return experiments.Theorem31(e) }},
+	{"baselines", "Level 1 intersect baselines", func(e *experiments.Env) fmt.Stringer { return experiments.IntersectBaselines(e) }},
+	{"ablation", "design-choice ablation", func(e *experiments.Env) fmt.Stringer { return experiments.Ablation(e) }},
+	{"ext", "extensions: loophole by dimension, 1-d exactness", func(e *experiments.Env) fmt.Stringer { return experiments.Extensions(e) }},
+}
+
+func main() {
+	var (
+		figArg   = flag.String("fig", "all", "comma-separated experiment ids, or 'all'")
+		scaleArg = flag.String("scale", "100000", "objects per dataset: a number, or 'paper', or 'quick'")
+		csvDir   = flag.String("csv", "", "also write one CSV per experiment into this directory")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, f := range figures {
+			fmt.Printf("%-10s %s\n", f.id, f.desc)
+		}
+		return
+	}
+
+	cfg, err := parseScale(*scaleArg)
+	if err != nil {
+		fatal(err)
+	}
+	selected, err := parseFigs(*figArg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("running %d experiment(s); objects per dataset: %v\n\n", len(selected), cfg.Sizes)
+	env := experiments.NewEnv(cfg)
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	for _, f := range selected {
+		start := time.Now()
+		result := f.run(env)
+		fmt.Println(strings.Repeat("=", 78))
+		fmt.Print(result.String())
+		fmt.Printf("[%s completed in %v]\n\n", f.id, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := writeCSV(filepath.Join(*csvDir, f.id+".csv"), result); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func parseScale(arg string) (experiments.Config, error) {
+	switch arg {
+	case "paper":
+		return experiments.Paper(), nil
+	case "quick":
+		return experiments.Quick(), nil
+	}
+	n, err := strconv.Atoi(arg)
+	if err != nil || n <= 0 {
+		return experiments.Config{}, fmt.Errorf("scale %q: want a positive object count, 'paper' or 'quick'", arg)
+	}
+	return experiments.Scaled(n), nil
+}
+
+func parseFigs(arg string) ([]struct {
+	id   string
+	desc string
+	run  func(*experiments.Env) fmt.Stringer
+}, error) {
+	if arg == "all" {
+		return figures, nil
+	}
+	var out []struct {
+		id   string
+		desc string
+		run  func(*experiments.Env) fmt.Stringer
+	}
+	for _, id := range strings.Split(arg, ",") {
+		id = strings.TrimSpace(id)
+		found := false
+		for _, f := range figures {
+			if f.id == id {
+				out = append(out, f)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown experiment %q (use -list)", id)
+		}
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}
+
+func writeCSV(path string, result any) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return experiments.WriteCSV(f, result)
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spatialhist/internal/experiments"
+)
+
+func TestParseScale(t *testing.T) {
+	cfg, err := parseScale("paper")
+	if err != nil || cfg.Sizes["adl"] != 2_335_840 {
+		t.Fatalf("paper scale: %v, %v", cfg.Sizes, err)
+	}
+	cfg, err = parseScale("quick")
+	if err != nil || cfg.Sizes["adl"] != 50_000 {
+		t.Fatalf("quick scale: %v, %v", cfg.Sizes, err)
+	}
+	cfg, err = parseScale("1234")
+	if err != nil || cfg.Sizes["sp_skew"] != 1234 {
+		t.Fatalf("numeric scale: %v, %v", cfg.Sizes, err)
+	}
+	for _, bad := range []string{"", "-5", "0", "huge"} {
+		if _, err := parseScale(bad); err == nil {
+			t.Errorf("parseScale(%q) must error", bad)
+		}
+	}
+}
+
+func TestParseFigs(t *testing.T) {
+	all, err := parseFigs("all")
+	if err != nil || len(all) != len(figures) {
+		t.Fatalf("all: %d, %v", len(all), err)
+	}
+	sel, err := parseFigs("fig14, thm31")
+	if err != nil || len(sel) != 2 || sel[0].id != "fig14" || sel[1].id != "thm31" {
+		t.Fatalf("selection broken: %v", err)
+	}
+	if _, err := parseFigs("fig99"); err == nil {
+		t.Fatal("unknown id must error")
+	}
+}
+
+func TestEveryFigureHasARunner(t *testing.T) {
+	env := experiments.NewEnv(experiments.Scaled(300))
+	for _, f := range figures {
+		if f.id == "fig19" {
+			continue // timing harness; exercised in the experiments package
+		}
+		if out := f.run(env).String(); out == "" {
+			t.Errorf("%s: empty output", f.id)
+		}
+	}
+}
+
+func TestWriteCSVFile(t *testing.T) {
+	env := experiments.NewEnv(experiments.Scaled(300))
+	res := experiments.Theorem31(env)
+	path := filepath.Join(t.TempDir(), "out.csv")
+	if err := writeCSV(path, res); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || len(data) == 0 {
+		t.Fatalf("CSV file empty: %v", err)
+	}
+	if err := writeCSV(filepath.Join(t.TempDir(), "missing-dir", "x.csv"), res); err == nil {
+		t.Fatal("unwritable path must error")
+	}
+}

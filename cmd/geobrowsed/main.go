@@ -1,0 +1,116 @@
+// Command geobrowsed serves the GeoBrowsing HTTP service over a spatial
+// dataset: a built-in heat-map client at /, and a JSON API for tiled
+// Level 2 relation counts (see internal/geobrowse for the endpoints).
+//
+// Usage:
+//
+//	geobrowsed -dataset adl -n 500000 -algo meuler -addr :8080
+//	geobrowsed -file ca_road.bin -algo seuler
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"spatialhist"
+	"spatialhist/internal/core"
+	"spatialhist/internal/dataset"
+	"spatialhist/internal/geobrowse"
+	"spatialhist/internal/grid"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:8080", "listen address")
+		name     = flag.String("dataset", "adl", "dataset to generate: "+strings.Join(dataset.Names(), ", "))
+		n        = flag.Int("n", 200_000, "number of objects to generate")
+		seed     = flag.Int64("seed", 2002, "generator seed")
+		file     = flag.String("file", "", "load a dataset file instead of generating")
+		algo     = flag.String("algo", "meuler", "estimator: seuler, euler, meuler")
+		areasArg = flag.String("areas", "1,9,100", "meuler area thresholds in unit cells")
+		gridW    = flag.Int("gw", 360, "grid cells in x")
+		gridH    = flag.Int("gh", 180, "grid cells in y")
+		loadSum  = flag.String("load", "", "serve a saved summary file instead of building one")
+		saveSum  = flag.String("save", "", "after building, save the summary to this file")
+	)
+	flag.Parse()
+
+	if *loadSum != "" {
+		sum, err := spatialhist.LoadFile(*loadSum)
+		if err != nil {
+			log.Fatalf("geobrowsed: %v", err)
+		}
+		log.Printf("loaded summary: %s, %d objects, %d buckets",
+			sum.Algorithm(), sum.Count(), sum.StorageBuckets())
+		serve(*addr, *loadSum, sum.Estimator())
+		return
+	}
+
+	var d *dataset.Dataset
+	var err error
+	if *file != "" {
+		d, err = dataset.Load(*file)
+	} else {
+		d, err = dataset.Generate(*name, *n, *seed)
+	}
+	if err != nil {
+		log.Fatalf("geobrowsed: %v", err)
+	}
+	log.Printf("loaded %v", d)
+
+	g := grid.New(d.Extent, *gridW, *gridH)
+	start := time.Now()
+	est, err := buildEstimator(*algo, *areasArg, g, d)
+	if err != nil {
+		log.Fatalf("geobrowsed: %v", err)
+	}
+	log.Printf("built %s (%d buckets) in %v", est.Name(), est.StorageBuckets(), time.Since(start).Round(time.Millisecond))
+
+	if *saveSum != "" {
+		sum, err := spatialhist.SummaryOf(est)
+		if err != nil {
+			log.Fatalf("geobrowsed: %v", err)
+		}
+		if err := sum.SaveFile(*saveSum); err != nil {
+			log.Fatalf("geobrowsed: %v", err)
+		}
+		log.Printf("saved summary to %s", *saveSum)
+	}
+	serve(*addr, d.Name, est)
+}
+
+func serve(addr, name string, est core.Estimator) {
+	srv := &http.Server{
+		Addr:         addr,
+		Handler:      geobrowse.NewServer(name, est),
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 30 * time.Second,
+	}
+	log.Printf("serving GeoBrowse on http://%s/", addr)
+	log.Fatal(srv.ListenAndServe())
+}
+
+func buildEstimator(algo, areasArg string, g *grid.Grid, d *dataset.Dataset) (core.Estimator, error) {
+	switch algo {
+	case "seuler":
+		return core.SEulerFromRects(g, d.Rects), nil
+	case "euler":
+		return core.EulerFromRects(g, d.Rects), nil
+	case "meuler":
+		var areas []float64
+		for _, p := range strings.Split(areasArg, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return nil, fmt.Errorf("area list %q: %v", areasArg, err)
+			}
+			areas = append(areas, v)
+		}
+		return core.NewMEuler(g, areas, d.Rects)
+	}
+	return nil, fmt.Errorf("unknown algorithm %q (want seuler, euler or meuler)", algo)
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+
+	"spatialhist/internal/dataset"
+	"spatialhist/internal/grid"
+)
+
+func TestBuildEstimator(t *testing.T) {
+	d := dataset.SpSkew(200, 1)
+	g := grid.New(d.Extent, 36, 18)
+	for algo, name := range map[string]string{
+		"seuler": "S-EulerApprox",
+		"euler":  "EulerApprox",
+		"meuler": "M-EulerApprox(2)",
+	} {
+		est, err := buildEstimator(algo, "1,9", g, d)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if est.Name() != name || est.Count() != 200 {
+			t.Errorf("%s: %s/%d", algo, est.Name(), est.Count())
+		}
+	}
+	if _, err := buildEstimator("bogus", "1", g, d); err == nil {
+		t.Error("unknown algorithm must error")
+	}
+	if _, err := buildEstimator("meuler", "1,x", g, d); err == nil {
+		t.Error("bad areas must error")
+	}
+	if _, err := buildEstimator("meuler", "9,1", g, d); err == nil {
+		t.Error("invalid thresholds must error")
+	}
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"spatialhist"
+	"spatialhist/internal/geom"
+)
+
+func TestParseAreas(t *testing.T) {
+	got, err := parseAreas("1, 9,100")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 100 {
+		t.Fatalf("parseAreas = %v, %v", got, err)
+	}
+	if _, err := parseAreas("1,x"); err == nil {
+		t.Fatal("bad area must error")
+	}
+}
+
+func TestParseRect(t *testing.T) {
+	got, err := parseRect("0, 0, 180,90")
+	if err != nil || got != geom.NewRect(0, 0, 180, 90) {
+		t.Fatalf("parseRect = %v, %v", got, err)
+	}
+	if _, err := parseRect("1,2,3"); err == nil {
+		t.Fatal("short rect must error")
+	}
+	if _, err := parseRect("a,2,3,4"); err == nil {
+		t.Fatal("non-numeric rect must error")
+	}
+}
+
+func TestParseRelation(t *testing.T) {
+	cases := map[string]spatialhist.Relation{
+		"contains":  spatialhist.RelationContains,
+		"contained": spatialhist.RelationContained,
+		"overlap":   spatialhist.RelationOverlap,
+		"disjoint":  spatialhist.RelationDisjoint,
+	}
+	for arg, want := range cases {
+		got, err := parseRelation(arg)
+		if err != nil || got != want {
+			t.Errorf("parseRelation(%q) = %v, %v", arg, got, err)
+		}
+	}
+	if _, err := parseRelation("equals"); err == nil {
+		t.Fatal("unsupported relation must error")
+	}
+}
+
+func TestBuildSummary(t *testing.T) {
+	g := spatialhist.NewUnitGrid(10, 10)
+	rects := []spatialhist.Rect{spatialhist.NewRect(1, 1, 2, 2)}
+	for _, algo := range []string{"seuler", "euler", "meuler"} {
+		s, err := buildSummary(algo, "1,4", g, rects)
+		if err != nil || s.Count() != 1 {
+			t.Errorf("buildSummary(%s): %v, %v", algo, s, err)
+		}
+	}
+	if _, err := buildSummary("nope", "1", g, rects); err == nil {
+		t.Fatal("unknown algorithm must error")
+	}
+	if _, err := buildSummary("meuler", "bogus", g, rects); err == nil {
+		t.Fatal("bad areas must error")
+	}
+}
+
+func TestRender(t *testing.T) {
+	ests := []spatialhist.Estimate{
+		{Contains: 0}, {Contains: 5},
+		{Contains: 100}, {Contains: 1},
+	}
+	out := render(ests, 2, 2, spatialhist.RelationContains)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("render produced %d lines", len(lines))
+	}
+	// North-up: the second row of estimates renders first.
+	if lines[0][0] != '@' {
+		t.Errorf("hottest tile should render darkest: %q", lines[0])
+	}
+	if lines[1][0] != ' ' {
+		t.Errorf("zero tile must render blank: %q", lines[1])
+	}
+	if !strings.Contains(out, "scale:") {
+		t.Error("legend missing")
+	}
+}
+
+func TestLoadOrGenerate(t *testing.T) {
+	d, err := loadOrGenerate("", "sp_skew", 100, 1)
+	if err != nil || d.Len() != 100 {
+		t.Fatalf("generate path: %v, %v", d, err)
+	}
+	if _, err := loadOrGenerate("/nonexistent/file.bin", "", 0, 0); err == nil {
+		t.Fatal("missing file must error")
+	}
+	if _, err := loadOrGenerate("", "bogus", 10, 1); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+}

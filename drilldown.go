@@ -1,0 +1,47 @@
+package spatialhist
+
+import "spatialhist/internal/core"
+
+// DrillOptions configures Summary.Drilldown; see the field docs on
+// core.DrillOptions (Relation, HotThreshold, MaxDepth, MaxTiles).
+type DrillOptions = core.DrillOptions
+
+// DrillTile is one leaf of a drill-down: a tile that was either cold or at
+// the refinement floor.
+type DrillTile struct {
+	Rect     Rect
+	Span     Span
+	Depth    int
+	Estimate Estimate
+}
+
+// Drilldown explores a region adaptively: it splits the region into 2×2
+// tiles, estimates each, and recursively refines only the tiles whose
+// count for the chosen relation reaches opts.HotThreshold — the
+// interactive "zoom into where the data is" loop of a browsing client,
+// executed in one call. Because every probe is a constant-time histogram
+// query, drilling into a million-object dataset costs microseconds
+// regardless of how deep it goes.
+//
+// The returned leaves partition the (grid-aligned) region and are ordered
+// depth-first, south-west first.
+func (s *Summary) Drilldown(region Rect, opts DrillOptions) ([]DrillTile, error) {
+	span, err := s.g.AlignedSpan(region, 1e-9)
+	if err != nil {
+		return nil, err
+	}
+	leaves, err := core.Drilldown(s.est, span, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DrillTile, len(leaves))
+	for i, l := range leaves {
+		out[i] = DrillTile{
+			Rect:     s.g.SpanRect(l.Span),
+			Span:     l.Span,
+			Depth:    l.Depth,
+			Estimate: l.Estimate,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package spatialhist
+
+import (
+	"testing"
+)
+
+func drillSummary(t *testing.T) *Summary {
+	t.Helper()
+	g := NewUnitGrid(64, 64)
+	// A hot cluster of small objects in the north-east, one lone object in
+	// the south-west.
+	var rects []Rect
+	for i := 0; i < 40; i++ {
+		x := 48 + float64(i%8)
+		y := 48 + float64(i/8)
+		rects = append(rects, NewRect(x+0.2, y+0.2, x+0.8, y+0.8))
+	}
+	rects = append(rects, NewRect(4.2, 4.2, 4.8, 4.8))
+	return NewSEuler(g, rects)
+}
+
+func TestDrilldownRefinesHotRegions(t *testing.T) {
+	s := drillSummary(t)
+	tiles, err := s.Drilldown(NewRect(0, 0, 64, 64), DrillOptions{
+		Relation:     RelationContains,
+		HotThreshold: 5,
+		MaxDepth:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiles) < 7 {
+		t.Fatalf("expected refinement, got %d tiles", len(tiles))
+	}
+	// Leaves must partition the region exactly.
+	covered := make(map[[2]int]int)
+	var total int64
+	maxDepth := 0
+	for _, tile := range tiles {
+		for i := tile.Span.I1; i <= tile.Span.I2; i++ {
+			for j := tile.Span.J1; j <= tile.Span.J2; j++ {
+				covered[[2]int{i, j}]++
+			}
+		}
+		total += tile.Estimate.Contains
+		if tile.Depth > maxDepth {
+			maxDepth = tile.Depth
+		}
+	}
+	if len(covered) != 64*64 {
+		t.Fatalf("leaves cover %d cells, want %d", len(covered), 64*64)
+	}
+	for cell, times := range covered {
+		if times != 1 {
+			t.Fatalf("cell %v covered %d times", cell, times)
+		}
+	}
+	if maxDepth < 2 {
+		t.Fatalf("hot cluster not refined: max depth %d", maxDepth)
+	}
+	// The cold SW quadrant must stay coarse: its lone object never reaches
+	// the threshold.
+	for _, tile := range tiles {
+		if tile.Span.I2 < 32 && tile.Span.J2 < 32 && tile.Depth > 0 {
+			t.Fatalf("cold SW quadrant was refined: %+v", tile)
+		}
+	}
+}
+
+func TestDrilldownDepthAndCellFloor(t *testing.T) {
+	s := drillSummary(t)
+	// Depth 0: just the initial quartering.
+	tiles, err := s.Drilldown(NewRect(0, 0, 64, 64), DrillOptions{
+		Relation: RelationContains, HotThreshold: 1, MaxDepth: 0,
+	})
+	if err != nil || len(tiles) != 4 {
+		t.Fatalf("depth 0: %d tiles, err %v", len(tiles), err)
+	}
+	// Very deep with threshold 1: refinement bottoms out at single cells
+	// inside the hot cluster, never below.
+	tiles, err = s.Drilldown(NewRect(32, 32, 64, 64), DrillOptions{
+		Relation: RelationContains, HotThreshold: 1, MaxDepth: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	singles := 0
+	for _, tile := range tiles {
+		if tile.Span.Cells() < 1 {
+			t.Fatalf("impossible tile %+v", tile)
+		}
+		if tile.Span.Cells() == 1 {
+			singles++
+		}
+	}
+	if singles < 40 {
+		t.Fatalf("expected per-cell resolution in the cluster, got %d single-cell tiles", singles)
+	}
+}
+
+func TestDrilldownValidation(t *testing.T) {
+	s := drillSummary(t)
+	if _, err := s.Drilldown(NewRect(0.5, 0, 8, 8), DrillOptions{
+		Relation: RelationContains, HotThreshold: 1,
+	}); err == nil {
+		t.Error("misaligned region must error")
+	}
+	if _, err := s.Drilldown(NewRect(0, 0, 8, 8), DrillOptions{
+		Relation: RelationContains, HotThreshold: 0,
+	}); err == nil {
+		t.Error("zero threshold must error")
+	}
+	if _, err := s.Drilldown(NewRect(0, 0, 8, 8), DrillOptions{
+		Relation: RelationContains, HotThreshold: 1, MaxDepth: -1,
+	}); err == nil {
+		t.Error("negative depth must error")
+	}
+	// Tiny MaxTiles triggers the budget guard on a hot region.
+	if _, err := s.Drilldown(NewRect(32, 32, 64, 64), DrillOptions{
+		Relation: RelationContains, HotThreshold: 1, MaxDepth: 10, MaxTiles: 3,
+	}); err == nil {
+		t.Error("tile budget must error")
+	}
+}

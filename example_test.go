@@ -1,0 +1,90 @@
+package spatialhist_test
+
+import (
+	"fmt"
+
+	"spatialhist"
+)
+
+// The dataset for the examples: three archive records in a 20×10 world.
+func exampleData() (*spatialhist.Grid, []spatialhist.Rect) {
+	g := spatialhist.NewUnitGrid(20, 10)
+	return g, []spatialhist.Rect{
+		spatialhist.NewRect(1, 1, 3, 3),   // a small map
+		spatialhist.NewRect(2, 2, 18, 9),  // a continent-scale map
+		spatialhist.NewRect(12, 4, 13, 5), // another small map
+	}
+}
+
+func ExampleSummary_Query() {
+	g, rects := exampleData()
+	s := spatialhist.NewEuler(g, rects)
+	est, err := s.Query(spatialhist.NewRect(10, 3, 16, 8))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("inside=%d covering=%d overlapping=%d elsewhere=%d\n",
+		est.Contains, est.Contained, est.Overlap, est.Disjoint)
+	// Output:
+	// inside=1 covering=1 overlapping=0 elsewhere=1
+}
+
+func ExampleSummary_Browse() {
+	g, rects := exampleData()
+	s := spatialhist.NewSEuler(g, rects)
+	tiles, err := s.Browse(spatialhist.NewRect(0, 0, 20, 10), 2, 1)
+	if err != nil {
+		panic(err)
+	}
+	for i, t := range tiles {
+		fmt.Printf("tile %d: %d objects inside\n", i, t.Clamped().Contains)
+	}
+	// Output:
+	// tile 0: 1 objects inside
+	// tile 1: 1 objects inside
+}
+
+func ExampleExact() {
+	g, rects := exampleData()
+	counts, err := spatialhist.Exact(g, rects, spatialhist.NewRect(0, 0, 5, 5))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("exact: inside=%d covering=%d overlapping=%d\n",
+		counts.Contains, counts.Contained, counts.Overlap)
+	// Output:
+	// exact: inside=1 covering=0 overlapping=1
+}
+
+func ExampleLevel2() {
+	q := spatialhist.NewRect(0, 0, 10, 10)
+	fmt.Println(spatialhist.Level2(q, spatialhist.NewRect(2, 2, 4, 4)))
+	fmt.Println(spatialhist.Level2(q, spatialhist.NewRect(-5, -5, 20, 20)))
+	fmt.Println(spatialhist.Level2(q, spatialhist.NewRect(8, 8, 12, 12)))
+	// Output:
+	// contains
+	// contained
+	// overlap
+}
+
+func ExampleSummary_Drilldown() {
+	g, rects := exampleData()
+	s := spatialhist.NewSEuler(g, rects)
+	leaves, err := s.Drilldown(spatialhist.NewRect(0, 0, 20, 10), spatialhist.DrillOptions{
+		Relation:     spatialhist.RelationContains,
+		HotThreshold: 1,
+		MaxDepth:     1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	hot := 0
+	for _, l := range leaves {
+		if l.Depth > 0 {
+			hot++
+		}
+	}
+	fmt.Printf("%d leaves, %d from refined hot tiles\n", len(leaves), hot)
+	// Output:
+	// 10 leaves, 8 from refined hot tiles
+}

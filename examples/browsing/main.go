@@ -1,0 +1,104 @@
+// Browsing: the GeoBrowsing scenario of §1. A user facing an unknown
+// 200k-object archive wants to know where the data is before writing any
+// real queries. One Browse call answers a whole grid of tiles — the
+// "hundreds of trial queries with a single click" — and the result renders
+// as a heat map. Zooming is just browsing a smaller region with the same
+// summary.
+//
+// Run with: go run ./examples/browsing
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"spatialhist"
+	"spatialhist/internal/dataset"
+)
+
+func main() {
+	// An ADL-like archive: points, local maps, and a tail of huge maps.
+	d := dataset.ADLLike(200_000, 42)
+	g := spatialhist.NewGrid(d.Extent, 360, 180)
+
+	s, err := spatialhist.NewMEuler(g, []float64{1, 25, 400}, d.Rects)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("summarized %d objects into %d buckets (%s)\n\n",
+		s.Count(), s.StorageBuckets(), s.Algorithm())
+
+	// Step 1: browse the whole world at 72x18 tiles.
+	world := d.Extent
+	ests, err := s.Browse(world, 72, 18)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("objects contained per 5°x10° tile, whole space:")
+	fmt.Print(render(ests, 72, 18, spatialhist.RelationContains))
+
+	// Step 2: the user zooms into the hottest tile's neighborhood.
+	hot := hottest(ests, 72, 18, world)
+	zoom := spatialhist.NewRect(
+		clamp(hot.X-30, 0, 300), clamp(hot.Y-20, 0, 140),
+		clamp(hot.X-30, 0, 300)+60, clamp(hot.Y-20, 0, 140)+40,
+	)
+	ests, err = s.Browse(zoom, 60, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nzoom into %v at 1°x2° tiles:\n", zoom)
+	fmt.Print(render(ests, 60, 20, spatialhist.RelationContains))
+
+	// Step 3: same region, but asking a different question — how many huge
+	// maps cover each tile (the contained relation), which Level 1 systems
+	// cannot answer at all.
+	fmt.Printf("\nobjects *containing* each tile in %v:\n", zoom)
+	fmt.Print(render(ests, 60, 20, spatialhist.RelationContained))
+}
+
+// hottest returns the center of the tile with the most contained objects.
+func hottest(ests []spatialhist.Estimate, cols, rows int, region spatialhist.Rect) spatialhist.Point {
+	best, bestV := 0, int64(-1)
+	for i, e := range ests {
+		if v := e.Clamped().Contains; v > bestV {
+			best, bestV = i, v
+		}
+	}
+	tw := region.Width() / float64(cols)
+	th := region.Height() / float64(rows)
+	return spatialhist.Point{
+		X: region.XMin + (float64(best%cols)+0.5)*tw,
+		Y: region.YMin + (float64(best/cols)+0.5)*th,
+	}
+}
+
+func clamp(v, lo, hi float64) float64 { return math.Max(lo, math.Min(hi, v)) }
+
+func render(ests []spatialhist.Estimate, cols, rows int, rel spatialhist.Relation) string {
+	shades := []byte(" .:-=+*#%@")
+	var maxV int64 = 1
+	for _, e := range ests {
+		if v := e.Clamped().Get(rel); v > maxV {
+			maxV = v
+		}
+	}
+	var b strings.Builder
+	for r := rows - 1; r >= 0; r-- {
+		for c := 0; c < cols; c++ {
+			v := ests[r*cols+c].Clamped().Get(rel)
+			k := 0
+			if v > 0 {
+				k = 1 + int(float64(len(shades)-2)*math.Log1p(float64(v))/math.Log1p(float64(maxV)))
+				if k > len(shades)-1 {
+					k = len(shades) - 1
+				}
+			}
+			b.WriteByte(shades[k])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+// Multiresolution: the pragmatic M-EulerApprox tuning loop of §6.4. Given
+// a size-skewed dataset and the query sizes a deployment must support, the
+// library searches for the smallest set of area thresholds that keeps the
+// worst-case contains error under a target — and this example shows the
+// accuracy/storage trade-off it navigates.
+//
+// Run with: go run ./examples/multiresolution
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spatialhist"
+	"spatialhist/internal/core"
+	"spatialhist/internal/dataset"
+	"spatialhist/internal/exact"
+	"spatialhist/internal/geom"
+	"spatialhist/internal/metrics"
+	"spatialhist/internal/query"
+)
+
+func main() {
+	d := dataset.SzSkew(150_000, 11)
+	g := spatialhist.NewGrid(d.Extent, 360, 180)
+	tileSizes := []int{20, 10, 5, 4, 2} // the browsing tile sizes to support
+
+	// Manual configurations from coarse to fine, then the tuned one.
+	configs := [][]float64{
+		{1},
+		{1, 100},
+		{1, 9, 100},
+	}
+	tuned, err := spatialhist.Tune(g, d.Rects, tileSizes, spatialhist.TuneOptions{
+		MaxQueryCells: 400, // 20x20 tiles
+		TargetError:   0.05,
+		MaxHistograms: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	configs = append(configs, tuned)
+
+	// Precompute ground truth per tile size.
+	spans := exact.Spans(g, d.Rects)
+	sets := make([]*query.Set, 0, len(tileSizes))
+	truths := make([][]int64, 0, len(tileSizes))
+	for _, n := range tileSizes {
+		qs, err := query.QN(g, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sets = append(sets, qs)
+		t := exact.EvaluateSet(spans, qs)
+		col := make([]int64, len(t))
+		for i := range t {
+			col[i] = t[i].Contains
+		}
+		truths = append(truths, col)
+	}
+
+	fmt.Printf("%-28s %9s", "area thresholds", "buckets")
+	for _, n := range tileSizes {
+		fmt.Printf(" %8s", fmt.Sprintf("Q%d err", n))
+	}
+	fmt.Println()
+	for _, areas := range configs {
+		m, err := core.NewMEuler(g, areas, d.Rects)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %9d", fmt.Sprint(areas), m.StorageBuckets())
+		for k, qs := range sets {
+			est := make([]int64, len(qs.Tiles))
+			for i, q := range qs.Tiles {
+				est[i] = m.Estimate(q).Get(geom.Rel2Contains)
+			}
+			fmt.Printf(" %7.2f%%", 100*metrics.AvgRelativeError(truths[k], est))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\ntuned thresholds: %v (found by the §6.4 procedure)\n", tuned)
+	fmt.Println("each extra histogram costs one more (2·360−1)(2·180−1)-bucket table")
+	fmt.Println("but removes the error peak at the query size it covers.")
+}

@@ -1,0 +1,91 @@
+// Selectivity: the query-optimization use the paper's conclusion points
+// at. A spatial query planner must decide between an index scan and a full
+// scan based on how many objects a predicate touches — and for Level 2
+// predicates ("objects WITHIN this window" vs "objects COVERING this
+// point's neighborhood") it needs per-relation selectivities, not just
+// intersect counts. This example uses a Summary as the planner's
+// statistics object and reports estimate-vs-exact across 200 random
+// window queries on road-network data.
+//
+// Run with: go run ./examples/selectivity
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"spatialhist"
+	"spatialhist/internal/dataset"
+	"spatialhist/internal/exact"
+	"spatialhist/internal/grid"
+)
+
+func main() {
+	d := dataset.CARoadLike(300_000, 7)
+	g := spatialhist.NewGrid(d.Extent, 360, 180)
+	s := spatialhist.NewSEuler(g, d.Rects) // small segments: S-Euler is the right tool
+	fmt.Printf("planner statistics: %s over %d road segments, %d buckets (%.1f KB)\n\n",
+		s.Algorithm(), s.Count(), s.StorageBuckets(), float64(8*s.StorageBuckets())/1024)
+
+	// Snapped spans once, for the exact side of the comparison.
+	spans := exact.Spans(g, d.Rects)
+
+	r := rand.New(rand.NewSource(1))
+	type bucket struct {
+		name     string
+		absErr   float64
+		sumExact float64
+	}
+	within := bucket{name: "WITHIN window (contains)"}
+	touches := bucket{name: "INTERSECTS window"}
+
+	const queries = 200
+	for k := 0; k < queries; k++ {
+		// Random 4-40 cell windows, grid-aligned like real tile predicates.
+		w := 4 + r.Intn(37)
+		h := 4 + r.Intn(37)
+		i1 := r.Intn(360 - w)
+		j1 := r.Intn(180 - h)
+		span := grid.Span{I1: i1, J1: j1, I2: i1 + w - 1, J2: j1 + h - 1}
+
+		est := s.QuerySpan(span)
+		truth := exact.EvaluateQuery(spans, span)
+
+		within.absErr += abs(float64(est.Contains - truth.Contains))
+		within.sumExact += float64(truth.Contains)
+		estTouch := est.Contains + est.Contained + est.Overlap
+		touches.absErr += abs(float64(estTouch - truth.Intersecting()))
+		touches.sumExact += float64(truth.Intersecting())
+	}
+
+	for _, b := range []bucket{within, touches} {
+		rel := 0.0
+		if b.sumExact > 0 {
+			rel = b.absErr / b.sumExact
+		}
+		fmt.Printf("%-26s avg relative error over %d queries: %.3f%%\n", b.name, queries, 100*rel)
+	}
+
+	// A planner decision: pick the access path for one predicate.
+	window := spatialhist.NewRect(120, 60, 160, 90)
+	est, err := s.Query(window)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sel := float64(est.Contains+est.Overlap+est.Contained) / float64(s.Count())
+	fmt.Printf("\npredicate: geometry && %v\n", window)
+	fmt.Printf("estimated selectivity: %.2f%% of %d rows\n", 100*sel, s.Count())
+	if sel < 0.05 {
+		fmt.Println("plan: index scan (low selectivity)")
+	} else {
+		fmt.Println("plan: sequential scan (predicate touches too much of the table)")
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

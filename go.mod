@@ -1,0 +1,3 @@
+module spatialhist
+
+go 1.22

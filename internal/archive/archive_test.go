@@ -1,0 +1,254 @@
+package archive
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatialhist/internal/exact"
+	"spatialhist/internal/geom"
+	"spatialhist/internal/grid"
+)
+
+func testSchema() Schema {
+	return Schema{
+		Grid:      grid.NewUnit(40, 20),
+		Subjects:  []string{"map", "photo", "gazetteer"},
+		DateLo:    1900,
+		DateHi:    2000,
+		DateBands: 10,
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	ok := testSchema()
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Schema{
+		{Subjects: []string{"x"}, DateLo: 0, DateHi: 1, DateBands: 1},                // no grid
+		{Grid: ok.Grid, DateLo: 0, DateHi: 1, DateBands: 1},                          // no subjects
+		{Grid: ok.Grid, Subjects: []string{"x"}, DateLo: 0, DateHi: 1, DateBands: 0}, // no bands
+		{Grid: ok.Grid, Subjects: []string{"x"}, DateLo: 5, DateHi: 5, DateBands: 2}, // empty range
+	}
+	for i, s := range bad {
+		if _, err := NewBuilder(s); err == nil {
+			t.Errorf("schema %d: must error", i)
+		}
+	}
+}
+
+func TestBandOf(t *testing.T) {
+	s := testSchema()
+	cases := []struct {
+		date float64
+		want int
+	}{
+		{1900, 0}, {1909.99, 0}, {1910, 1}, {1955, 5}, {1999.9, 9},
+		{2000, 9}, // inclusive upper bound joins the last band
+		{1899.9, -1}, {2000.1, -1},
+	}
+	for _, c := range cases {
+		if got := s.bandOf(c.date); got != c.want {
+			t.Errorf("bandOf(%g) = %d, want %d", c.date, got, c.want)
+		}
+	}
+}
+
+// genRecords produces a deterministic mixed archive.
+func genRecords(r *rand.Rand, n int) []Record {
+	out := make([]Record, 0, n)
+	for len(out) < n {
+		x, y := r.Float64()*38, r.Float64()*18
+		var w, h float64
+		if r.Intn(10) == 0 {
+			w, h = 3+r.Float64()*12, 2+r.Float64()*8 // occasional big map
+		} else {
+			w, h = r.Float64(), r.Float64()
+		}
+		out = append(out, Record{
+			MBR:     geom.NewRect(x, y, x+w, y+h),
+			Date:    1900 + r.Float64()*100,
+			Subject: r.Intn(3),
+		})
+	}
+	return out
+}
+
+func buildArchive(t *testing.T, recs []Record) *Archive {
+	t.Helper()
+	b, err := NewBuilder(testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		b.Add(rec)
+	}
+	return b.Build()
+}
+
+func TestAddSkipsBadRecords(t *testing.T) {
+	b, err := NewBuilder(testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Record{MBR: geom.NewRect(1, 1, 2, 2), Date: 1950, Subject: 0}
+	if !b.Add(good) {
+		t.Fatal("good record rejected")
+	}
+	bad := []Record{
+		{MBR: geom.NewRect(1, 1, 2, 2), Date: 1850, Subject: 0},         // date out of range
+		{MBR: geom.NewRect(1, 1, 2, 2), Date: 1950, Subject: 9},         // unknown subject
+		{MBR: geom.NewRect(1, 1, 2, 2), Date: 1950, Subject: -1},        // negative subject
+		{MBR: geom.NewRect(100, 100, 110, 110), Date: 1950, Subject: 0}, // outside space
+	}
+	for i, rec := range bad {
+		if b.Add(rec) {
+			t.Errorf("bad record %d accepted", i)
+		}
+	}
+	a := b.Build()
+	if a.Count() != 1 || a.Skipped() != int64(len(bad)) {
+		t.Fatalf("Count/Skipped = %d/%d", a.Count(), a.Skipped())
+	}
+}
+
+func TestFilteredBrowseMatchesBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(111))
+	recs := genRecords(r, 5000)
+	a := buildArchive(t, recs)
+	if a.Count() != 5000 {
+		t.Fatalf("Count = %d (skipped %d)", a.Count(), a.Skipped())
+	}
+	g := a.Schema().Grid
+
+	filters := []Filter{
+		{},                             // everything
+		{Subjects: []int{1}},           // photos only
+		{DateFrom: 1950, DateTo: 1980}, // three bands
+		{Subjects: []int{0, 2}, DateFrom: 1900, DateTo: 1910},
+	}
+	region := grid.Span{I1: 0, J1: 0, I2: 39, J2: 19}
+	for fi, f := range filters {
+		got, err := a.Browse(f, region, 8, 4)
+		if err != nil {
+			t.Fatalf("filter %d: %v", fi, err)
+		}
+		// Brute force: snap the matching records, classify per tile.
+		matching := make([]grid.Span, 0)
+		for _, rec := range recs {
+			if !matchBrute(a.Schema(), f, rec) {
+				continue
+			}
+			if s, ok := g.Snap(rec.MBR); ok {
+				matching = append(matching, s)
+			}
+		}
+		n, err := a.MatchCount(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(len(matching)) {
+			t.Fatalf("filter %d: MatchCount = %d, want %d", fi, n, len(matching))
+		}
+		tiles := tilesOf(region, 8, 4)
+		for k, tile := range tiles {
+			want := exact.EvaluateQuery(matching, tile)
+			e := got[k]
+			// EulerApprox per partition: disjoint exact, totals exact, the
+			// split approximate. The mostly-small records keep it tight;
+			// assert exactness of the invariant parts and closeness of the
+			// rest.
+			if e.Disjoint != want.Disjoint {
+				t.Fatalf("filter %d tile %d: N_d = %d, want %d", fi, k, e.Disjoint, want.Disjoint)
+			}
+			if e.Total() != want.Total() {
+				t.Fatalf("filter %d tile %d: total %d, want %d", fi, k, e.Total(), want.Total())
+			}
+			if d := e.Contains - want.Contains; d < -40 || d > 40 {
+				t.Fatalf("filter %d tile %d: N_cs %d vs exact %d", fi, k, e.Contains, want.Contains)
+			}
+		}
+	}
+}
+
+func matchBrute(s Schema, f Filter, rec Record) bool {
+	if len(f.Subjects) > 0 {
+		found := false
+		for _, sub := range f.Subjects {
+			if rec.Subject == sub {
+				found = true
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	if f.DateFrom == 0 && f.DateTo == 0 {
+		return true
+	}
+	band := s.bandOf(rec.Date)
+	w := (s.DateHi - s.DateLo) / float64(s.DateBands)
+	lo := int((f.DateFrom - s.DateLo) / w)
+	hi := int((f.DateTo-s.DateLo)/w) - 1
+	return band >= lo && band <= hi
+}
+
+func tilesOf(region grid.Span, cols, rows int) []grid.Span {
+	tw := region.Width() / cols
+	th := region.Height() / rows
+	out := make([]grid.Span, 0, cols*rows)
+	for row := 0; row < rows; row++ {
+		for col := 0; col < cols; col++ {
+			i1 := region.I1 + col*tw
+			j1 := region.J1 + row*th
+			out = append(out, grid.Span{I1: i1, J1: j1, I2: i1 + tw - 1, J2: j1 + th - 1})
+		}
+	}
+	return out
+}
+
+func TestFilterValidation(t *testing.T) {
+	a := buildArchive(t, genRecords(rand.New(rand.NewSource(3)), 100))
+	region := grid.Span{I1: 0, J1: 0, I2: 39, J2: 19}
+	bad := []Filter{
+		{Subjects: []int{7}},           // unknown subject
+		{DateFrom: 1955, DateTo: 1965}, // misaligned bands
+		{DateFrom: 1960, DateTo: 1950}, // inverted
+		{DateFrom: 1850, DateTo: 1900}, // outside range
+	}
+	for i, f := range bad {
+		if _, err := a.Browse(f, region, 4, 2); err == nil {
+			t.Errorf("filter %d must error", i)
+		}
+		if _, err := a.MatchCount(f); err == nil {
+			t.Errorf("filter %d MatchCount must error", i)
+		}
+		if _, err := a.Estimate(f, region); err == nil {
+			t.Errorf("filter %d Estimate must error", i)
+		}
+	}
+	if _, err := a.Browse(Filter{}, region, 7, 2); err == nil {
+		t.Error("non-dividing tiling must error")
+	}
+}
+
+func TestPartitionCount(t *testing.T) {
+	recs := []Record{
+		{MBR: geom.NewRect(1, 1, 2, 2), Date: 1905, Subject: 0},
+		{MBR: geom.NewRect(1, 1, 2, 2), Date: 1906, Subject: 0},
+		{MBR: geom.NewRect(1, 1, 2, 2), Date: 1995, Subject: 2},
+	}
+	a := buildArchive(t, recs)
+	if a.PartitionCount(0, 0) != 2 || a.PartitionCount(2, 9) != 1 || a.PartitionCount(1, 5) != 0 {
+		t.Fatalf("partition counts wrong")
+	}
+	if a.StorageBuckets() == 0 {
+		t.Fatal("storage accounting missing")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range partition must panic")
+		}
+	}()
+	a.PartitionCount(5, 0)
+}

@@ -1,0 +1,183 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spatialhist/internal/dataset"
+	"spatialhist/internal/exact"
+	"spatialhist/internal/geom"
+	"spatialhist/internal/grid"
+)
+
+func TestCDExactIntersect(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 30; trial++ {
+		nx, ny := 5+r.Intn(20), 5+r.Intn(20)
+		g := grid.NewUnit(nx, ny)
+		var rects []geom.Rect
+		for k := 0; k < 150; k++ {
+			x, y := r.Float64()*float64(nx), r.Float64()*float64(ny)
+			rects = append(rects, geom.NewRect(x, y,
+				math.Min(x+r.Float64()*float64(nx)/2, float64(nx)),
+				math.Min(y+r.Float64()*float64(ny)/2, float64(ny))))
+		}
+		cd := NewCD(g, rects)
+		if cd.Count() != 150 {
+			t.Fatalf("Count = %d", cd.Count())
+		}
+		spans := exact.Spans(g, rects)
+		for qt := 0; qt < 40; qt++ {
+			i1, j1 := r.Intn(nx), r.Intn(ny)
+			q := grid.Span{I1: i1, J1: j1, I2: i1 + r.Intn(nx-i1), J2: j1 + r.Intn(ny-j1)}
+			want := exact.EvaluateQuery(spans, q).Intersecting()
+			if got := cd.Intersecting(q); got != want {
+				t.Fatalf("CD.Intersecting(%v) = %d, want %d", q, got, want)
+			}
+			if got := cd.Disjoint(q); got != int64(len(spans))-want {
+				t.Fatalf("CD.Disjoint wrong")
+			}
+		}
+	}
+}
+
+func TestCDSkipsOutsideAndStorage(t *testing.T) {
+	g := grid.NewUnit(10, 10)
+	cd := NewCD(g, []geom.Rect{
+		geom.NewRect(1, 1, 2, 2),
+		geom.NewRect(100, 100, 101, 101),
+	})
+	if cd.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", cd.Count())
+	}
+	if cd.StorageBuckets() != 400 {
+		t.Fatalf("StorageBuckets = %d, want 400", cd.StorageBuckets())
+	}
+	if cd.Name() != "CD" || cd.Grid() != g {
+		t.Fatal("accessors broken")
+	}
+}
+
+func TestMinSkewValidation(t *testing.T) {
+	g := grid.NewUnit(4, 4)
+	if _, err := NewMinSkew(g, nil, 0); err == nil {
+		t.Fatal("zero buckets must error")
+	}
+}
+
+func TestMinSkewPartition(t *testing.T) {
+	g := grid.NewUnit(16, 16)
+	d := dataset.SpSkew(3000, 71)
+	// sp_skew lives in 360x180; build a matching grid instead.
+	g = grid.New(d.Extent, 36, 18)
+	ms, err := NewMinSkew(g, d.Rects, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buckets := ms.Buckets()
+	if len(buckets) < 2 || len(buckets) > 24 {
+		t.Fatalf("got %d buckets", len(buckets))
+	}
+	// Buckets must partition the grid exactly.
+	covered := make(map[[2]int]int)
+	for _, b := range buckets {
+		for i := b.Region.I1; i <= b.Region.I2; i++ {
+			for j := b.Region.J1; j <= b.Region.J2; j++ {
+				covered[[2]int{i, j}]++
+			}
+		}
+	}
+	if len(covered) != 36*18 {
+		t.Fatalf("buckets cover %d cells, want %d", len(covered), 36*18)
+	}
+	for cell, times := range covered {
+		if times != 1 {
+			t.Fatalf("cell %v in %d buckets", cell, times)
+		}
+	}
+	if ms.StorageBuckets() != 4*len(buckets) {
+		t.Fatal("storage accounting wrong")
+	}
+	if ms.Count() != 3000 {
+		t.Fatalf("Count = %d", ms.Count())
+	}
+}
+
+func TestMinSkewEstimateQuality(t *testing.T) {
+	// On uniform small-object data the uniformity model should land within
+	// ~25% of the truth for mid-size queries; and more buckets should not
+	// make the total-space estimate worse.
+	r := rand.New(rand.NewSource(62))
+	g := grid.NewUnit(40, 40)
+	var rects []geom.Rect
+	for k := 0; k < 4000; k++ {
+		x, y := r.Float64()*38, r.Float64()*38
+		rects = append(rects, geom.NewRect(x, y, x+0.5+r.Float64(), y+0.5+r.Float64()))
+	}
+	ms, err := NewMinSkew(g, rects, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := exact.Spans(g, rects)
+	q := grid.Span{I1: 10, J1: 10, I2: 24, J2: 24}
+	want := float64(exact.EvaluateQuery(spans, q).Intersecting())
+	got := ms.Intersecting(q)
+	if math.Abs(got-want)/want > 0.25 {
+		t.Fatalf("MinSkew intersect estimate %.1f vs exact %.0f (off by >25%%)", got, want)
+	}
+	// Contains estimate exists and is in a sane range on this clean data.
+	wantCs := float64(exact.EvaluateQuery(spans, q).Contains)
+	gotCs := ms.Contains(q)
+	if gotCs < 0 || gotCs > float64(len(rects)) {
+		t.Fatalf("MinSkew contains estimate %.1f out of range", gotCs)
+	}
+	if wantCs > 100 && math.Abs(gotCs-wantCs)/wantCs > 0.5 {
+		t.Fatalf("MinSkew contains estimate %.1f vs exact %.0f (off by >50%% on easy data)", gotCs, wantCs)
+	}
+}
+
+func TestMinSkewSplitsFollowSkew(t *testing.T) {
+	// All mass in one quadrant: with two buckets, one should isolate the
+	// hot region reasonably well (its density far above the other's).
+	g := grid.NewUnit(16, 16)
+	var rects []geom.Rect
+	r := rand.New(rand.NewSource(63))
+	for k := 0; k < 1000; k++ {
+		x, y := r.Float64()*4, r.Float64()*4
+		rects = append(rects, geom.NewRect(x, y, x+0.3, y+0.3))
+	}
+	ms, err := NewMinSkew(g, rects, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := ms.Buckets()
+	if len(b) != 2 {
+		t.Fatalf("got %d buckets", len(b))
+	}
+	d0 := float64(b[0].N) / float64(b[0].Region.Cells())
+	d1 := float64(b[1].N) / float64(b[1].Region.Cells())
+	hi, lo := math.Max(d0, d1), math.Min(d0, d1)
+	if hi < 10*(lo+1e-9) {
+		t.Fatalf("split did not isolate the hot quadrant: densities %.2f vs %.2f", d0, d1)
+	}
+}
+
+func TestMinSkewUniformNoSplitNeeded(t *testing.T) {
+	// A perfectly uniform surface has zero skew; the builder may stop below
+	// the bucket budget rather than split arbitrarily.
+	g := grid.NewUnit(8, 8)
+	var rects []geom.Rect
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			rects = append(rects, geom.NewRect(float64(i)+0.2, float64(j)+0.2, float64(i)+0.8, float64(j)+0.8))
+		}
+	}
+	ms, err := NewMinSkew(g, rects, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ms.Intersecting(grid.Span{I1: 0, J1: 0, I2: 7, J2: 7}); math.Abs(got-64) > 1 {
+		t.Fatalf("whole-space intersect = %.1f, want ~64", got)
+	}
+}

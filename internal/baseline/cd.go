@@ -1,0 +1,91 @@
+// Package baseline implements the prior-art selectivity estimators the
+// paper positions itself against (§2, §3): the Cumulative Density algorithm
+// of Jin, An and Sivasubramaniam [JAS00] and the Min-Skew histogram of
+// Acharya, Poosala and Ramaswamy [APR99].
+//
+// Both support only the Level 1 intersect relation. CD, like the Euler
+// histogram, is exact for grid-aligned queries in O(N) storage; Min-Skew is
+// a lossy bucketized summary whose per-bucket uniformity model also yields
+// (crude) contains estimates — included to demonstrate why Level 2
+// relations need the paper's machinery.
+package baseline
+
+import (
+	"spatialhist/internal/geom"
+	"spatialhist/internal/grid"
+	"spatialhist/internal/prefixsum"
+)
+
+// CD is the Cumulative Density structure: four cumulative corner-count
+// grids. For an object snapped to cells [i1..i2]×[j1..j2] the four grids
+// count respectively the corners (i1,j1), (i2,j1), (i1,j2), (i2,j2); a
+// grid-aligned intersect query is then answered exactly by
+// inclusion–exclusion over four dominance counts:
+//
+//	N∩(q) = Pss(a2,b2) − Pes(a1−1,b2) − Pse(a2,b1−1) + Pee(a1−1,b1−1)
+//
+// where [a1..a2]×[b1..b2] is the query span. Storage is 4·N cells, the
+// same O(N) class as the Euler histogram.
+type CD struct {
+	g  *grid.Grid
+	ss *prefixsum.Sum2D // (i1, j1)
+	es *prefixsum.Sum2D // (i2, j1)
+	se *prefixsum.Sum2D // (i1, j2)
+	ee *prefixsum.Sum2D // (i2, j2)
+	n  int64
+}
+
+// NewCD builds the CD structure for the given objects at g's resolution.
+// Objects outside the space are skipped.
+func NewCD(g *grid.Grid, rects []geom.Rect) *CD {
+	nx, ny := g.NX(), g.NY()
+	ss := make([]int64, nx*ny)
+	es := make([]int64, nx*ny)
+	se := make([]int64, nx*ny)
+	ee := make([]int64, nx*ny)
+	var n int64
+	for _, r := range rects {
+		s, ok := g.Snap(r)
+		if !ok {
+			continue
+		}
+		n++
+		ss[s.I1*ny+s.J1]++
+		es[s.I2*ny+s.J1]++
+		se[s.I1*ny+s.J2]++
+		ee[s.I2*ny+s.J2]++
+	}
+	return &CD{
+		g:  g,
+		ss: prefixsum.NewSum2D(ss, nx, ny),
+		es: prefixsum.NewSum2D(es, nx, ny),
+		se: prefixsum.NewSum2D(se, nx, ny),
+		ee: prefixsum.NewSum2D(ee, nx, ny),
+		n:  n,
+	}
+}
+
+// Name identifies the algorithm.
+func (c *CD) Name() string { return "CD" }
+
+// Grid returns the resolution the structure answers queries at.
+func (c *CD) Grid() *grid.Grid { return c.g }
+
+// Count returns the number of summarized objects.
+func (c *CD) Count() int64 { return c.n }
+
+// StorageBuckets returns the number of stored values: four corner grids.
+func (c *CD) StorageBuckets() int { return 4 * c.g.Cells() }
+
+// Intersecting returns the exact number of objects intersecting the query
+// span. Constant time.
+func (c *CD) Intersecting(q grid.Span) int64 {
+	return c.ss.RangeSum(0, 0, q.I2, q.J2) -
+		c.es.RangeSum(0, 0, q.I1-1, q.J2) -
+		c.se.RangeSum(0, 0, q.I2, q.J1-1) +
+		c.ee.RangeSum(0, 0, q.I1-1, q.J1-1)
+}
+
+// Disjoint returns the exact number of objects disjoint from the query
+// span.
+func (c *CD) Disjoint(q grid.Span) int64 { return c.n - c.Intersecting(q) }

@@ -1,0 +1,246 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"spatialhist/internal/euler"
+	"spatialhist/internal/geom"
+	"spatialhist/internal/grid"
+	"spatialhist/internal/prefixsum"
+)
+
+// MinSkew is the Min-Skew spatial histogram of [APR99]: the grid's density
+// surface is partitioned into a fixed number of rectangular buckets by
+// greedy binary splits, each split chosen to maximally reduce the total
+// spatial skew (the sum over buckets of the variance of cell densities
+// within the bucket, weighted by cell count). Each bucket keeps the number
+// of objects intersecting it and the average object extents, and queries
+// are estimated from a per-bucket uniformity model.
+//
+// As our paper notes (§3), an object spanning several buckets is counted
+// once per bucket, so Min-Skew can over-count and — more fundamentally —
+// cannot distinguish contains from overlap. It is included as the Level 1
+// prior art.
+type MinSkew struct {
+	g       *grid.Grid
+	buckets []Bucket
+	n       int64
+}
+
+// Bucket is one rectangular region of the Min-Skew partition.
+type Bucket struct {
+	Region grid.Span
+	// N is the number of objects intersecting the region (each object is
+	// counted in every bucket it touches, per [APR99]).
+	N int64
+	// AvgW and AvgH are the average object extents (in cells) of the
+	// objects whose centers fall in the bucket, used by the uniformity
+	// model; they fall back to the dataset-wide averages for empty buckets.
+	AvgW, AvgH float64
+}
+
+// NewMinSkew builds a Min-Skew histogram with at most numBuckets buckets
+// over g. Per-bucket intersect counts are computed exactly with an internal
+// Euler histogram (a luxury [APR99] did not have, and strictly a gift to
+// the baseline: its bucket statistics are as good as they can be).
+func NewMinSkew(g *grid.Grid, rects []geom.Rect, numBuckets int) (*MinSkew, error) {
+	if numBuckets < 1 {
+		return nil, fmt.Errorf("baseline: numBuckets must be positive, got %d", numBuckets)
+	}
+	nx, ny := g.NX(), g.NY()
+
+	// Density surface: objects intersecting each cell, via difference array.
+	w := ny + 1
+	diff := make([]int64, (nx+1)*w)
+	var n int64
+	var sumW, sumH float64
+	spans := make([]grid.Span, 0, len(rects))
+	for _, r := range rects {
+		s, ok := g.Snap(r)
+		if !ok {
+			continue
+		}
+		spans = append(spans, s)
+		n++
+		sumW += float64(s.Width())
+		sumH += float64(s.Height())
+		diff[s.I1*w+s.J1]++
+		diff[s.I1*w+s.J2+1]--
+		diff[(s.I2+1)*w+s.J1]--
+		diff[(s.I2+1)*w+s.J2+1]++
+	}
+	dens := make([]int64, nx*ny)
+	densSq := make([]int64, nx*ny)
+	colAcc := make([]int64, ny)
+	for i := 0; i < nx; i++ {
+		var rowAcc int64
+		for j := 0; j < ny; j++ {
+			rowAcc += diff[i*w+j]
+			colAcc[j] += rowAcc
+			d := colAcc[j]
+			dens[i*ny+j] = d
+			densSq[i*ny+j] = d * d
+		}
+	}
+	sumP := prefixsum.NewSum2D(dens, nx, ny)
+	sqP := prefixsum.NewSum2D(densSq, nx, ny)
+
+	// Greedy skew-minimizing binary splits.
+	regions := []grid.Span{{I1: 0, J1: 0, I2: nx - 1, J2: ny - 1}}
+	skewOf := func(s grid.Span) float64 {
+		cells := float64(s.Cells())
+		sum := float64(sumP.RangeSum(s.I1, s.J1, s.I2, s.J2))
+		sq := float64(sqP.RangeSum(s.I1, s.J1, s.I2, s.J2))
+		return sq - sum*sum/cells // Σ(d−mean)² = Σd² − (Σd)²/n
+	}
+	for len(regions) < numBuckets {
+		bestRegion, bestGain := -1, 0.0
+		var bestLeft, bestRight grid.Span
+		for ri, s := range regions {
+			base := skewOf(s)
+			for i := s.I1; i < s.I2; i++ { // vertical split after column i
+				l := grid.Span{I1: s.I1, J1: s.J1, I2: i, J2: s.J2}
+				r := grid.Span{I1: i + 1, J1: s.J1, I2: s.I2, J2: s.J2}
+				if gain := base - skewOf(l) - skewOf(r); gain > bestGain {
+					bestRegion, bestGain, bestLeft, bestRight = ri, gain, l, r
+				}
+			}
+			for j := s.J1; j < s.J2; j++ { // horizontal split after row j
+				l := grid.Span{I1: s.I1, J1: s.J1, I2: s.I2, J2: j}
+				r := grid.Span{I1: s.I1, J1: j + 1, I2: s.I2, J2: s.J2}
+				if gain := base - skewOf(l) - skewOf(r); gain > bestGain {
+					bestRegion, bestGain, bestLeft, bestRight = ri, gain, l, r
+				}
+			}
+		}
+		if bestRegion < 0 {
+			break // perfectly uniform everywhere: no split helps
+		}
+		regions[bestRegion] = bestLeft
+		regions = append(regions, bestRight)
+	}
+
+	// Exact per-bucket intersect counts via an Euler histogram.
+	eb := euler.NewBuilder(g)
+	for _, s := range spans {
+		eb.AddSpan(s)
+	}
+	eh := eb.Build()
+
+	globalW, globalH := 1.0, 1.0
+	if n > 0 {
+		globalW = sumW / float64(n)
+		globalH = sumH / float64(n)
+	}
+	// Average extents of center-resident objects per bucket.
+	cellBucket := make([]int32, nx*ny)
+	for bi, s := range regions {
+		for i := s.I1; i <= s.I2; i++ {
+			for j := s.J1; j <= s.J2; j++ {
+				cellBucket[i*ny+j] = int32(bi)
+			}
+		}
+	}
+	type acc struct {
+		cnt  int64
+		w, h float64
+	}
+	accs := make([]acc, len(regions))
+	for _, s := range spans {
+		ci := (s.I1 + s.I2) / 2
+		cj := (s.J1 + s.J2) / 2
+		bi := cellBucket[ci*ny+cj]
+		accs[bi].cnt++
+		accs[bi].w += float64(s.Width())
+		accs[bi].h += float64(s.Height())
+	}
+
+	ms := &MinSkew{g: g, n: n}
+	for bi, s := range regions {
+		b := Bucket{Region: s, N: eh.InsideSum(s), AvgW: globalW, AvgH: globalH}
+		if accs[bi].cnt > 0 {
+			b.AvgW = accs[bi].w / float64(accs[bi].cnt)
+			b.AvgH = accs[bi].h / float64(accs[bi].cnt)
+		}
+		ms.buckets = append(ms.buckets, b)
+	}
+	return ms, nil
+}
+
+// Name identifies the algorithm.
+func (m *MinSkew) Name() string { return fmt.Sprintf("MinSkew(%d)", len(m.buckets)) }
+
+// Grid returns the resolution the histogram was built at.
+func (m *MinSkew) Grid() *grid.Grid { return m.g }
+
+// Count returns the number of summarized objects.
+func (m *MinSkew) Count() int64 { return m.n }
+
+// Buckets returns the bucket partition.
+func (m *MinSkew) Buckets() []Bucket { return append([]Bucket(nil), m.buckets...) }
+
+// StorageBuckets returns the number of stored values: four per bucket
+// (region is two corners; count and extents).
+func (m *MinSkew) StorageBuckets() int { return 4 * len(m.buckets) }
+
+// Intersecting estimates the number of objects intersecting the query span
+// with the per-bucket uniformity model: objects in bucket b are uniformly
+// placed rectangles of the bucket's average extents, so the fraction whose
+// (expanded) center box meets the query is the area ratio of the expanded
+// query clipped to the bucket.
+func (m *MinSkew) Intersecting(q grid.Span) float64 {
+	var est float64
+	for _, b := range m.buckets {
+		if b.N == 0 {
+			continue
+		}
+		// Expand the query by half the average extent on every side; the
+		// centers falling inside the expansion intersect the query under
+		// the uniformity model.
+		ex1 := float64(q.I1) - b.AvgW/2
+		ex2 := float64(q.I2+1) + b.AvgW/2
+		ey1 := float64(q.J1) - b.AvgH/2
+		ey2 := float64(q.J2+1) + b.AvgH/2
+		frac := overlapFrac(b.Region, ex1, ey1, ex2, ey2)
+		est += float64(b.N) * frac
+	}
+	return est
+}
+
+// Contains estimates the number of objects contained in the query span
+// under the same uniformity model: an object of the bucket's average
+// extents fits in the query iff its center lies in the query shrunk by half
+// the extents. This naive Level 2 extension is exactly what §3 argues
+// cannot work in general — kept as the strawman for the comparison bench.
+func (m *MinSkew) Contains(q grid.Span) float64 {
+	var est float64
+	for _, b := range m.buckets {
+		if b.N == 0 {
+			continue
+		}
+		sx1 := float64(q.I1) + b.AvgW/2
+		sx2 := float64(q.I2+1) - b.AvgW/2
+		sy1 := float64(q.J1) + b.AvgH/2
+		sy2 := float64(q.J2+1) - b.AvgH/2
+		if sx2 <= sx1 || sy2 <= sy1 {
+			continue // average object does not fit at all
+		}
+		frac := overlapFrac(b.Region, sx1, sy1, sx2, sy2)
+		est += float64(b.N) * frac
+	}
+	return est
+}
+
+// overlapFrac returns the fraction of bucket region r (in cell coordinates)
+// covered by the box [x1,x2]×[y1,y2].
+func overlapFrac(r grid.Span, x1, y1, x2, y2 float64) float64 {
+	bx1, bx2 := float64(r.I1), float64(r.I2+1)
+	by1, by2 := float64(r.J1), float64(r.J2+1)
+	ox := math.Min(bx2, x2) - math.Max(bx1, x1)
+	oy := math.Min(by2, y2) - math.Max(by1, y1)
+	if ox <= 0 || oy <= 0 {
+		return 0
+	}
+	return (ox * oy) / ((bx2 - bx1) * (by2 - by1))
+}

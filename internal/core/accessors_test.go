@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"spatialhist/internal/euler"
+	"spatialhist/internal/geom"
+	"spatialhist/internal/grid"
+)
+
+func TestEstimatorAccessors(t *testing.T) {
+	g := grid.NewUnit(8, 8)
+	h := euler.FromRects(g, []geom.Rect{geom.NewRect(1, 1, 3, 3)})
+
+	se := NewSEuler(h)
+	if se.Name() != "S-EulerApprox" || se.Grid() != g || se.Count() != 1 ||
+		se.StorageBuckets() != 15*15 || se.Histogram() != h {
+		t.Fatalf("SEuler accessors broken: %s %d %d", se.Name(), se.Count(), se.StorageBuckets())
+	}
+	ea := NewEuler(h)
+	if ea.Name() != "EulerApprox" || ea.Grid() != g || ea.Count() != 1 ||
+		ea.StorageBuckets() != 15*15 || ea.Histogram() != h {
+		t.Fatalf("Euler accessors broken: %s %d %d", ea.Name(), ea.Count(), ea.StorageBuckets())
+	}
+	m, err := NewMEuler(g, []float64{1, 4}, []geom.Rect{geom.NewRect(1, 1, 3, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Grid() != g {
+		t.Fatal("MEuler.Grid broken")
+	}
+}
+
+func TestClampedAllNegative(t *testing.T) {
+	e := Estimate{Disjoint: -1, Contains: -2, Contained: -3, Overlap: -4}
+	if c := e.Clamped(); c != (Estimate{}) {
+		t.Fatalf("Clamped = %v, want all zeros", c)
+	}
+}
+
+func TestInsertThreshold(t *testing.T) {
+	// New peak area inserted in order.
+	got := insertThreshold([]float64{1, 100}, 25)
+	if len(got) != 3 || got[0] != 1 || got[1] != 25 || got[2] != 100 {
+		t.Fatalf("insertThreshold = %v", got)
+	}
+	// Existing threshold: quarter the next one up.
+	got = insertThreshold([]float64{1, 100}, 1)
+	if len(got) != 3 || got[1] != 25 {
+		t.Fatalf("insertThreshold fallback = %v", got)
+	}
+	// Existing top threshold: extend the range upward.
+	got = insertThreshold([]float64{1, 100}, 100)
+	if len(got) != 3 || got[2] != 200 {
+		t.Fatalf("insertThreshold extend = %v", got)
+	}
+	// Quartering that lands on an existing threshold yields nil.
+	if got = insertThreshold([]float64{1, 4, 16}, 4); got != nil {
+		t.Fatalf("insertThreshold dead end = %v, want nil", got)
+	}
+	// A candidate at or below 1 yields nil.
+	if got = insertThreshold([]float64{1, 4}, 1); got != nil {
+		t.Fatalf("insertThreshold sub-unit = %v, want nil", got)
+	}
+}

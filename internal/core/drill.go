@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+
+	"spatialhist/internal/geom"
+	"spatialhist/internal/grid"
+)
+
+// DrillOptions configures Drilldown.
+type DrillOptions struct {
+	// Relation whose count drives refinement.
+	Relation geom.Rel2
+	// HotThreshold: a tile is refined when its (clamped) count for
+	// Relation is at least this value. Must be at least 1.
+	HotThreshold int64
+	// MaxDepth bounds refinement; depth 0 is the initial split of the
+	// region, each further level splits hot tiles again. Refinement also
+	// stops at single-cell tiles, the estimator's resolution floor.
+	MaxDepth int
+	// MaxTiles caps the number of leaf tiles returned; 0 means 4096.
+	MaxTiles int
+}
+
+// DrillTile is one leaf of a drill-down: a tile that was either cold or at
+// the refinement floor.
+type DrillTile struct {
+	Span     grid.Span
+	Depth    int
+	Estimate Estimate
+}
+
+// Drilldown explores a region adaptively: it splits the region into up to
+// four tiles, estimates each, and recursively refines only the tiles whose
+// count for the chosen relation is hot — the interactive "zoom into where
+// the data is" loop of a browsing client, executed in one call. Because
+// every probe is a constant-time histogram query, drilling into a
+// million-object dataset costs microseconds regardless of depth.
+//
+// The returned leaves partition the region and are ordered depth-first,
+// south-west first.
+func Drilldown(est Estimator, region grid.Span, opts DrillOptions) ([]DrillTile, error) {
+	if !region.Valid() {
+		return nil, fmt.Errorf("core: invalid drill region %v", region)
+	}
+	if opts.HotThreshold < 1 {
+		return nil, fmt.Errorf("core: HotThreshold must be at least 1, got %d", opts.HotThreshold)
+	}
+	if opts.MaxDepth < 0 {
+		return nil, fmt.Errorf("core: negative MaxDepth %d", opts.MaxDepth)
+	}
+	maxTiles := opts.MaxTiles
+	if maxTiles == 0 {
+		maxTiles = 4096
+	}
+	var out []DrillTile
+	if err := drill(est, region, 0, opts, maxTiles, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func drill(est Estimator, span grid.Span, depth int, opts DrillOptions, maxTiles int, out *[]DrillTile) error {
+	for _, child := range Quarter(span) {
+		e := est.Estimate(child)
+		hot := e.Clamped().Get(opts.Relation) >= opts.HotThreshold
+		refinable := depth < opts.MaxDepth && child.Cells() > 1
+		if hot && refinable {
+			if err := drill(est, child, depth+1, opts, maxTiles, out); err != nil {
+				return err
+			}
+			continue
+		}
+		if len(*out) >= maxTiles {
+			return fmt.Errorf("core: drill-down exceeded %d tiles; raise HotThreshold or MaxTiles", maxTiles)
+		}
+		*out = append(*out, DrillTile{Span: child, Depth: depth, Estimate: e})
+	}
+	return nil
+}
+
+// Quarter splits a span into up to four sub-spans at its cell midpoints
+// (fewer when a dimension is a single cell wide).
+func Quarter(s grid.Span) []grid.Span {
+	xs := halves(s.I1, s.I2)
+	ys := halves(s.J1, s.J2)
+	out := make([]grid.Span, 0, 4)
+	for _, y := range ys {
+		for _, x := range xs {
+			out = append(out, grid.Span{I1: x[0], J1: y[0], I2: x[1], J2: y[1]})
+		}
+	}
+	return out
+}
+
+func halves(lo, hi int) [][2]int {
+	if lo == hi {
+		return [][2]int{{lo, hi}}
+	}
+	mid := lo + (hi-lo)/2
+	return [][2]int{{lo, mid}, {mid + 1, hi}}
+}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"spatialhist/internal/euler"
+	"spatialhist/internal/geom"
+	"spatialhist/internal/grid"
+)
+
+// MEuler is the Multi-resolution Euler Approximation algorithm
+// (M-EulerApprox, §5.4). Objects are partitioned by area into m groups,
+// one Euler histogram per group, with group i holding the objects whose
+// area (in unit cells) lies in [area_i, area_{i+1}) — except group 0,
+// which also takes everything smaller than area_0 = 1, and group m−1,
+// which takes everything at or above area_{m−1}.
+//
+// A query of area a(q) is answered per group with whichever algorithm is
+// sound for that (query size, object size) combination:
+//
+//   - a(q) ≤ area_i: no group-i object fits inside the query, so N_cs^i = 0
+//     and S-EulerApprox supplies N_o^i.
+//   - a(q) ≥ area_{i+1}: no group-i object can contain the query, so
+//     S-EulerApprox supplies both N_o^i and N_cs^i.
+//   - otherwise (including i = m−1): group-i objects may contain the
+//     query; EulerApprox supplies N_o^i and N_cs^i.
+//
+// The partials are summed; N_d comes from the exact per-group intersect
+// counts, and N_cd closes the system: N_cd = |S| − N_d − N_o − N_cs.
+// (§5.4 writes N_cd = |S| − N_o − N_cs, an apparent typo that would leave
+// the four counts summing to |S| + N_d; we keep the books balanced.)
+type MEuler struct {
+	g      *grid.Grid
+	areas  []float64 // ascending thresholds in unit cells, areas[0] == 1
+	hists  []*euler.Histogram
+	seuler []*SEuler
+	eapx   []*Euler
+	n      int64
+}
+
+// NewMEuler builds the m histograms of M-EulerApprox over g. areas lists
+// the area attributes area(H_i) in unit cells, ascending, and must start
+// at 1 (the unit cell, §5.4). Objects are assigned by their geometric area
+// clipped to the data space.
+func NewMEuler(g *grid.Grid, areas []float64, rects []geom.Rect) (*MEuler, error) {
+	if len(areas) == 0 {
+		return nil, fmt.Errorf("core: M-EulerApprox needs at least one area threshold")
+	}
+	if areas[0] != 1 {
+		return nil, fmt.Errorf("core: area(H_0) must be the unit cell (1), got %g", areas[0])
+	}
+	if !sort.Float64sAreSorted(areas) {
+		return nil, fmt.Errorf("core: area thresholds %v not ascending", areas)
+	}
+	for i := 1; i < len(areas); i++ {
+		if areas[i] == areas[i-1] {
+			return nil, fmt.Errorf("core: duplicate area threshold %g", areas[i])
+		}
+	}
+	m := &MEuler{g: g, areas: append([]float64(nil), areas...)}
+	builders := make([]*euler.Builder, len(areas))
+	for i := range builders {
+		builders[i] = euler.NewBuilder(g)
+	}
+	cellArea := g.CellArea()
+	for _, r := range rects {
+		clipped, ok := r.Clip(g.Extent())
+		if !ok {
+			continue
+		}
+		a := clipped.Area() / cellArea
+		builders[m.groupOf(a)].Add(r)
+	}
+	m.hists = make([]*euler.Histogram, len(builders))
+	m.seuler = make([]*SEuler, len(builders))
+	m.eapx = make([]*Euler, len(builders))
+	for i, b := range builders {
+		h := b.Build()
+		m.hists[i] = h
+		m.seuler[i] = NewSEuler(h)
+		m.eapx[i] = NewEuler(h)
+		m.n += h.Count()
+	}
+	return m, nil
+}
+
+// MEulerFromHistograms reassembles an M-EulerApprox estimator from
+// prebuilt per-group histograms (e.g. loaded from disk). The thresholds
+// follow the NewMEuler rules and must pair one-to-one with the histograms,
+// which must all share one grid. Group membership is taken as-is: the
+// histograms are trusted to have been built with the same thresholds.
+func MEulerFromHistograms(areas []float64, hists []*euler.Histogram) (*MEuler, error) {
+	if len(hists) == 0 || len(hists) != len(areas) {
+		return nil, fmt.Errorf("core: %d histograms for %d thresholds", len(hists), len(areas))
+	}
+	if areas[0] != 1 {
+		return nil, fmt.Errorf("core: area(H_0) must be the unit cell (1), got %g", areas[0])
+	}
+	if !sort.Float64sAreSorted(areas) {
+		return nil, fmt.Errorf("core: area thresholds %v not ascending", areas)
+	}
+	for i := 1; i < len(areas); i++ {
+		if areas[i] == areas[i-1] {
+			return nil, fmt.Errorf("core: duplicate area threshold %g", areas[i])
+		}
+	}
+	g := hists[0].Grid()
+	m := &MEuler{g: g, areas: append([]float64(nil), areas...)}
+	for _, h := range hists {
+		hg := h.Grid()
+		if hg.Extent() != g.Extent() || hg.NX() != g.NX() || hg.NY() != g.NY() {
+			return nil, fmt.Errorf("core: histogram grids differ (%v vs %v)", hg, g)
+		}
+		m.hists = append(m.hists, h)
+		m.seuler = append(m.seuler, NewSEuler(h))
+		m.eapx = append(m.eapx, NewEuler(h))
+		m.n += h.Count()
+	}
+	return m, nil
+}
+
+// groupOf returns the histogram index for an object of the given area (in
+// unit cells): the largest i with areas[i] <= a, and 0 for sub-cell
+// objects.
+func (m *MEuler) groupOf(a float64) int {
+	// sort.SearchFloat64s returns the first index with areas[i] >= a.
+	i := sort.SearchFloat64s(m.areas, a)
+	if i < len(m.areas) && m.areas[i] == a {
+		return i
+	}
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
+// Name implements Estimator.
+func (m *MEuler) Name() string { return fmt.Sprintf("M-EulerApprox(%d)", len(m.hists)) }
+
+// Grid implements Estimator.
+func (m *MEuler) Grid() *grid.Grid { return m.g }
+
+// Count implements Estimator.
+func (m *MEuler) Count() int64 { return m.n }
+
+// StorageBuckets implements Estimator: m histograms' worth of buckets.
+func (m *MEuler) StorageBuckets() int {
+	total := 0
+	for _, h := range m.hists {
+		total += h.StorageBuckets()
+	}
+	return total
+}
+
+// Areas returns a copy of the area thresholds.
+func (m *MEuler) Areas() []float64 { return append([]float64(nil), m.areas...) }
+
+// Histograms returns the per-group histograms, smallest area group first.
+func (m *MEuler) Histograms() []*euler.Histogram {
+	return append([]*euler.Histogram(nil), m.hists...)
+}
+
+// Estimate implements Estimator. Constant time: a constant number of
+// lookups per histogram.
+func (m *MEuler) Estimate(q grid.Span) Estimate {
+	e, _ := m.estimate(q, false)
+	return e
+}
+
+// GroupRole records which algorithm answered for one area group.
+type GroupRole uint8
+
+// The three per-group cases of §5.4.
+const (
+	// GroupNoContains: the query is no larger than the group's objects, so
+	// N_cs^i = 0 by construction and only N_o^i is estimated.
+	GroupNoContains GroupRole = iota
+	// GroupSEuler: the group's objects cannot contain the query, so the
+	// sound S-EulerApprox identities were used (exact up to crossovers).
+	GroupSEuler
+	// GroupEulerApprox: the group straddles the query size and the
+	// EulerApprox heuristic was needed — the only source of estimation
+	// error beyond crossover objects.
+	GroupEulerApprox
+)
+
+// String implements fmt.Stringer.
+func (r GroupRole) String() string {
+	switch r {
+	case GroupNoContains:
+		return "no-contains"
+	case GroupSEuler:
+		return "s-euler"
+	case GroupEulerApprox:
+		return "euler-approx"
+	}
+	return "role(invalid)"
+}
+
+// GroupDetail is the per-group breakdown of one M-EulerApprox estimate.
+type GroupDetail struct {
+	Area     float64 // area(H_i)
+	Count    int64   // objects in the group
+	Role     GroupRole
+	Estimate Estimate // the group's partial counts
+}
+
+// EstimateDetail returns the estimate together with the per-group
+// breakdown — which groups were answered by a sound algorithm and which
+// needed the EulerApprox heuristic. A query whose every group avoided
+// GroupEulerApprox is exact up to crossover objects; clients can surface
+// that as a confidence signal.
+func (m *MEuler) EstimateDetail(q grid.Span) (Estimate, []GroupDetail) {
+	return m.estimate(q, true)
+}
+
+func (m *MEuler) estimate(q grid.Span, detail bool) (Estimate, []GroupDetail) {
+	aq := m.g.SpanArea(q) / m.g.CellArea()
+	var no, ncs, nii int64
+	var details []GroupDetail
+	if detail {
+		details = make([]GroupDetail, 0, len(m.hists))
+	}
+	last := len(m.hists) - 1
+	for i := range m.hists {
+		gi := m.hists[i].InsideSum(q)
+		nii += gi
+		var p Estimate
+		var role GroupRole
+		switch {
+		case aq <= m.areas[i]:
+			// No group-i object fits inside q.
+			p = m.seuler[i].Estimate(q)
+			p.Contains = 0
+			role = GroupNoContains
+		case i < last && aq >= m.areas[i+1]:
+			// No group-i object can contain q.
+			p = m.seuler[i].Estimate(q)
+			role = GroupSEuler
+		default:
+			p = m.eapx[i].Estimate(q)
+			role = GroupEulerApprox
+		}
+		no += p.Overlap
+		ncs += p.Contains
+		if detail {
+			gn := m.hists[i].Count()
+			gd := gn - gi
+			details = append(details, GroupDetail{
+				Area:  m.areas[i],
+				Count: gn,
+				Role:  role,
+				Estimate: Estimate{
+					Disjoint:  gd,
+					Contains:  p.Contains,
+					Overlap:   p.Overlap,
+					Contained: gn - gd - p.Contains - p.Overlap,
+				},
+			})
+		}
+	}
+	nd := m.n - nii
+	return Estimate{
+		Disjoint:  nd,
+		Contains:  ncs,
+		Contained: m.n - nd - no - ncs,
+		Overlap:   no,
+	}, details
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"spatialhist/internal/exact"
+	"spatialhist/internal/geom"
+	"spatialhist/internal/grid"
+	"spatialhist/internal/metrics"
+	"spatialhist/internal/query"
+)
+
+// TuneOptions configures the pragmatic area-threshold search of §6.4.
+type TuneOptions struct {
+	// MaxQueryCells is k×l, the area (in unit cells) of the largest query
+	// the deployment must support; the search starts with thresholds
+	// {1, MaxQueryCells/4} (the paper's k/2 × l/2).
+	MaxQueryCells float64
+	// TargetError is the acceptable worst-case average relative error of
+	// the contains estimates across the test query sets.
+	TargetError float64
+	// MaxHistograms bounds m; the paper observes 2–5 suffice in practice.
+	MaxHistograms int
+}
+
+// TuneResult reports the outcome of TuneAreas.
+type TuneResult struct {
+	Areas      []float64
+	WorstErr   float64   // worst per-query-set contains error of the result
+	Errors     []float64 // per test query set, same order as the input sets
+	Iterations int
+}
+
+// TuneAreas runs the paper's pragmatic procedure for choosing the number of
+// histograms m and the area attributes area(H_i) (§6.4): start with
+// {1×1, k/2×l/2}, measure the contains-estimate error on the test query
+// sets, and repeatedly add a threshold at the query area with peak error
+// (or at a quarter of the enclosing threshold) until every set is under
+// the target error, adding more histograms stops helping, or the histogram
+// budget is exhausted.
+//
+// Ground truth for the test sets is computed exactly (internal/exact),
+// which mirrors how a deployment would tune offline against a sample.
+func TuneAreas(g *grid.Grid, rects []geom.Rect, sets []*query.Set, opts TuneOptions) (TuneResult, error) {
+	if opts.MaxQueryCells < 4 {
+		return TuneResult{}, fmt.Errorf("core: MaxQueryCells %g too small; need at least a 2x2 query", opts.MaxQueryCells)
+	}
+	if opts.TargetError <= 0 {
+		return TuneResult{}, fmt.Errorf("core: TargetError must be positive, got %g", opts.TargetError)
+	}
+	if opts.MaxHistograms < 2 {
+		return TuneResult{}, fmt.Errorf("core: MaxHistograms must be at least 2, got %d", opts.MaxHistograms)
+	}
+	if len(sets) == 0 {
+		return TuneResult{}, fmt.Errorf("core: no test query sets")
+	}
+
+	spans := exact.Spans(g, rects)
+	truth := make([][]int64, len(sets))
+	for k, qs := range sets {
+		res := exact.EvaluateSet(spans, qs)
+		col := make([]int64, len(res))
+		for i, c := range res {
+			col[i] = c.Contains
+		}
+		truth[k] = col
+	}
+
+	evaluate := func(areas []float64) ([]float64, float64, error) {
+		m, err := NewMEuler(g, areas, rects)
+		if err != nil {
+			return nil, 0, err
+		}
+		errs := make([]float64, len(sets))
+		worst := 0.0
+		for k, qs := range sets {
+			est := make([]int64, len(qs.Tiles))
+			for i, q := range qs.Tiles {
+				est[i] = m.Estimate(q).Contains
+			}
+			e := metrics.AvgRelativeError(truth[k], est)
+			if math.IsNaN(e) {
+				e = 0 // no containable objects in this set: nothing to tune
+			}
+			errs[k] = e
+			if e > worst {
+				worst = e
+			}
+		}
+		return errs, worst, nil
+	}
+
+	areas := []float64{1, opts.MaxQueryCells / 4}
+	errs, worst, err := evaluate(areas)
+	if err != nil {
+		return TuneResult{}, err
+	}
+	res := TuneResult{Areas: areas, WorstErr: worst, Errors: errs, Iterations: 1}
+
+	for len(res.Areas) < opts.MaxHistograms && res.WorstErr > opts.TargetError {
+		// Peak-error query set determines where the next threshold goes.
+		peak := 0
+		for k := range res.Errors {
+			if res.Errors[k] > res.Errors[peak] {
+				peak = k
+			}
+		}
+		peakArea := float64(sets[peak].TileW * sets[peak].TileH)
+		next := insertThreshold(res.Areas, peakArea)
+		if next == nil {
+			break // nowhere left to refine
+		}
+		errs, worst, err := evaluate(next)
+		if err != nil {
+			return TuneResult{}, err
+		}
+		res.Iterations++
+		if worst >= res.WorstErr {
+			break // adding histograms no longer reduces the error
+		}
+		res.Areas, res.WorstErr, res.Errors = next, worst, errs
+	}
+	return res, nil
+}
+
+// insertThreshold returns areas plus one new threshold: the peak-error
+// query area if it is not already a threshold, otherwise a quarter of the
+// smallest threshold above it (the paper's area(H)/4 fallback). It returns
+// nil when no distinct positive threshold can be added.
+func insertThreshold(areas []float64, peakArea float64) []float64 {
+	candidate := peakArea
+	if containsFloat(areas, candidate) {
+		// Quarter the enclosing upper threshold.
+		idx := sort.SearchFloat64s(areas, candidate)
+		if idx+1 < len(areas) {
+			candidate = areas[idx+1] / 4
+		} else {
+			candidate = candidate * 2 // extend the range upward instead
+		}
+	}
+	if candidate <= 1 || containsFloat(areas, candidate) {
+		return nil
+	}
+	out := append(append([]float64(nil), areas...), candidate)
+	sort.Float64s(out)
+	return out
+}
+
+func containsFloat(xs []float64, v float64) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

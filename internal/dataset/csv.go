@@ -1,0 +1,89 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"spatialhist/internal/geom"
+)
+
+// CSV interop: the lowest-friction way to get real MBR data in and out of
+// the library. The format is one object per record, four numeric fields
+// x1,y1,x2,y2 (any coordinate order within a pair), with an optional
+// header record containing those names.
+
+// ReadCSV parses a dataset from CSV. The extent is the MBR of the objects
+// unless every object fits DefaultExtent, which is then used (so paper
+// datasets round-trip onto the paper grid).
+func ReadCSV(r io.Reader, name string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	cr.TrimLeadingSpace = true
+	var rects []geom.Rect
+	first := true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV: %w", err)
+		}
+		if first {
+			first = false
+			if isHeader(rec) {
+				continue
+			}
+		}
+		var vals [4]float64
+		for i, f := range rec {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				line, _ := cr.FieldPos(i)
+				return nil, fmt.Errorf("dataset: CSV line %d field %d: %w", line, i+1, err)
+			}
+			vals[i] = v
+		}
+		rc := geom.NewRect(vals[0], vals[1], vals[2], vals[3])
+		if !rc.Valid() {
+			line, _ := cr.FieldPos(0)
+			return nil, fmt.Errorf("dataset: CSV line %d: invalid rectangle %v", line, rc)
+		}
+		rects = append(rects, rc)
+	}
+	if len(rects) == 0 {
+		return nil, fmt.Errorf("dataset: CSV contained no objects")
+	}
+	extent := geom.MBROf(rects)
+	if DefaultExtent.Contains(extent) {
+		extent = DefaultExtent
+	}
+	return &Dataset{Name: name, Extent: extent, Rects: rects}, nil
+}
+
+func isHeader(rec []string) bool {
+	for _, f := range rec {
+		if _, err := strconv.ParseFloat(f, 64); err != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteCSV serializes the dataset as x1,y1,x2,y2 records with a header.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"x1", "y1", "x2", "y2"}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, rc := range d.Rects {
+		if err := cw.Write([]string{f(rc.XMin), f(rc.YMin), f(rc.XMax), f(rc.YMax)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,68 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := SzSkew(500, 13)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "sz_csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "sz_csv" || got.Len() != 500 {
+		t.Fatalf("round trip = %v", got)
+	}
+	// Objects inside the paper space keep the paper extent.
+	if got.Extent != DefaultExtent {
+		t.Fatalf("extent = %v, want DefaultExtent", got.Extent)
+	}
+	for i := range d.Rects {
+		if got.Rects[i] != d.Rects[i] {
+			t.Fatalf("rect %d mismatch: %v vs %v", i, got.Rects[i], d.Rects[i])
+		}
+	}
+}
+
+func TestReadCSVVariants(t *testing.T) {
+	// No header, reordered bounds, whitespace.
+	in := "3,4,1,2\n 5, 6, 7, 8\n"
+	d, err := ReadCSV(strings.NewReader(in), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 || d.Rects[0].XMin != 1 || d.Rects[0].YMax != 4 {
+		t.Fatalf("parsed = %+v", d.Rects)
+	}
+	// Header accepted.
+	d, err = ReadCSV(strings.NewReader("x1,y1,x2,y2\n0,0,1,1\n"), "h")
+	if err != nil || d.Len() != 1 {
+		t.Fatalf("header variant: %v, %v", d, err)
+	}
+	// Objects outside the paper space get their own MBR extent.
+	d, err = ReadCSV(strings.NewReader("0,0,1000,1000\n"), "big")
+	if err != nil || d.Extent.XMax != 1000 {
+		t.Fatalf("big extent: %v, %v", d, err)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"header only":  "x1,y1,x2,y2\n",
+		"wrong fields": "1,2,3\n",
+		"non-numeric":  "1,2,3,z\n",
+		"NaN":          "1,2,3,NaN\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in), "x"); err == nil {
+			t.Errorf("%s: must error", name)
+		}
+	}
+}

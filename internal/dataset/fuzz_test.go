@@ -1,0 +1,50 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead drives the dataset parser with arbitrary bytes: it must never
+// panic and must either fail cleanly or produce a dataset that round-trips.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid payload and a few near-misses.
+	valid := SzSkew(50, 1)
+	var buf bytes.Buffer
+	if err := valid.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("SPHIST01"))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	truncated := append([]byte(nil), buf.Bytes()[:buf.Len()/2]...)
+	f.Add(truncated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must be internally consistent and re-writable.
+		if !d.Extent.Valid() {
+			t.Fatalf("accepted dataset with invalid extent %v", d.Extent)
+		}
+		for i, r := range d.Rects {
+			if !r.Valid() {
+				t.Fatalf("accepted invalid rect %d: %v", i, r)
+			}
+		}
+		var out bytes.Buffer
+		if err := d.Write(&out); err != nil {
+			t.Fatalf("re-writing accepted dataset: %v", err)
+		}
+		d2, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-reading accepted dataset: %v", err)
+		}
+		if d2.Name != d.Name || len(d2.Rects) != len(d.Rects) {
+			t.Fatalf("round trip changed the dataset")
+		}
+	})
+}

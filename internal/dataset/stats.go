@@ -1,0 +1,177 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary captures the distributional characteristics plotted in Figure 12
+// of the paper: how large the objects are and how skewed their placement is.
+type Summary struct {
+	Name        string
+	Count       int
+	Points      int     // degenerate objects (zero area)
+	MeanArea    float64 // over all objects
+	MaxArea     float64
+	AreaP50     float64
+	AreaP90     float64
+	AreaP99     float64
+	MeanWidth   float64
+	MeanHeight  float64
+	LargeShare  float64 // fraction with area >= 100 (10x10 units)
+	WidthCounts []WidthBucket
+}
+
+// WidthBucket is one bar of the width histogram (Figure 12(b)).
+type WidthBucket struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// Summarize computes a Summary of the dataset. Width buckets are
+// logarithmic from 1 to the extent width, mirroring the paper's Zipf plot.
+func Summarize(d *Dataset) Summary {
+	s := Summary{Name: d.Name, Count: len(d.Rects)}
+	if s.Count == 0 {
+		return s
+	}
+	areas := make([]float64, 0, len(d.Rects))
+	var sumArea, sumW, sumH float64
+	large := 0
+	for _, r := range d.Rects {
+		a := r.Area()
+		areas = append(areas, a)
+		sumArea += a
+		sumW += r.Width()
+		sumH += r.Height()
+		if a == 0 {
+			s.Points++
+		}
+		if a >= 100 {
+			large++
+		}
+		if a > s.MaxArea {
+			s.MaxArea = a
+		}
+	}
+	sort.Float64s(areas)
+	q := func(p float64) float64 {
+		idx := int(p * float64(len(areas)-1))
+		return areas[idx]
+	}
+	s.MeanArea = sumArea / float64(s.Count)
+	s.MeanWidth = sumW / float64(s.Count)
+	s.MeanHeight = sumH / float64(s.Count)
+	s.AreaP50, s.AreaP90, s.AreaP99 = q(0.50), q(0.90), q(0.99)
+	s.LargeShare = float64(large) / float64(s.Count)
+
+	// Log-spaced width buckets: [0,1), [1,2), [2,4), ... up to extent width.
+	maxW := d.Extent.Width()
+	bounds := []float64{0, 1}
+	for bounds[len(bounds)-1] < maxW {
+		bounds = append(bounds, bounds[len(bounds)-1]*2)
+	}
+	counts := make([]int, len(bounds)-1)
+	for _, r := range d.Rects {
+		w := r.Width()
+		k := 0
+		for k < len(counts)-1 && w >= bounds[k+1] {
+			k++
+		}
+		counts[k]++
+	}
+	for k, c := range counts {
+		s.WidthCounts = append(s.WidthCounts, WidthBucket{Lo: bounds[k], Hi: bounds[k+1], Count: c})
+	}
+	return s
+}
+
+// String renders the summary as a small report.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d objects (%d points, %.2f%% with area>=100)\n",
+		s.Name, s.Count, s.Points, 100*s.LargeShare)
+	fmt.Fprintf(&b, "  area mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.1f\n",
+		s.MeanArea, s.AreaP50, s.AreaP90, s.AreaP99, s.MaxArea)
+	fmt.Fprintf(&b, "  mean width=%.3f mean height=%.3f\n", s.MeanWidth, s.MeanHeight)
+	fmt.Fprintf(&b, "  width histogram:\n")
+	maxCount := 0
+	for _, wb := range s.WidthCounts {
+		if wb.Count > maxCount {
+			maxCount = wb.Count
+		}
+	}
+	for _, wb := range s.WidthCounts {
+		bar := ""
+		if maxCount > 0 {
+			bar = strings.Repeat("#", int(math.Ceil(40*float64(wb.Count)/float64(maxCount))))
+		}
+		fmt.Fprintf(&b, "    [%6.1f,%6.1f) %9d %s\n", wb.Lo, wb.Hi, wb.Count, bar)
+	}
+	return b.String()
+}
+
+// CenterGrid returns a coarse rows×cols occupancy grid of object centers,
+// the data behind Figure 12(a)'s center-distribution plot. Cell (0,0) is
+// the south-west corner.
+func CenterGrid(d *Dataset, cols, rows int) [][]int {
+	out := make([][]int, rows)
+	for j := range out {
+		out[j] = make([]int, cols)
+	}
+	if len(d.Rects) == 0 {
+		return out
+	}
+	w := d.Extent.Width() / float64(cols)
+	h := d.Extent.Height() / float64(rows)
+	for _, r := range d.Rects {
+		c := r.Center()
+		i := int((c.X - d.Extent.XMin) / w)
+		j := int((c.Y - d.Extent.YMin) / h)
+		if i < 0 {
+			i = 0
+		}
+		if i >= cols {
+			i = cols - 1
+		}
+		if j < 0 {
+			j = 0
+		}
+		if j >= rows {
+			j = rows - 1
+		}
+		out[j][i]++
+	}
+	return out
+}
+
+// RenderCenterGrid draws an occupancy grid as ASCII art, darkest character
+// for the densest cell. Rows are rendered north-up.
+func RenderCenterGrid(g [][]int) string {
+	shades := []byte(" .:-=+*#%@")
+	maxV := 0
+	for _, row := range g {
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	var b strings.Builder
+	for j := len(g) - 1; j >= 0; j-- {
+		for _, v := range g[j] {
+			k := 0
+			if maxV > 0 && v > 0 {
+				k = 1 + int(float64(len(shades)-2)*float64(v)/float64(maxV))
+				if k > len(shades)-1 {
+					k = len(shades) - 1
+				}
+			}
+			b.WriteByte(shades[k])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

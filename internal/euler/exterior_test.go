@@ -1,0 +1,126 @@
+package euler
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatialhist/internal/grid"
+)
+
+func TestExteriorSingleObjectCases(t *testing.T) {
+	g := grid.NewUnit(12, 12)
+	q := spanOf(3, 3, 7, 7)
+	cases := []struct {
+		name string
+		obj  grid.Span
+		want int64
+	}{
+		// Object exterior covers the whole query interior.
+		{"disjoint", spanOf(0, 0, 1, 1), 1},
+		// Exterior ∩ query interior is an L-shape: one component.
+		{"overlap", spanOf(6, 6, 10, 10), 1},
+		// Object contains q: exterior misses the query interior entirely.
+		{"containing", spanOf(1, 1, 10, 10), 0},
+		// Object strictly inside q: remainder is an annulus, sums to 0.
+		{"strictly contained (hole)", spanOf(5, 5, 5, 5), 0},
+		// Contained touching one edge: one L-shaped component.
+		{"contained touching edge", spanOf(3, 4, 4, 5), 1},
+		// Contained spanning the query's full width, strict in y: the
+		// remainder splits into two bands.
+		{"contained full-width band", spanOf(3, 5, 7, 5), 2},
+		// Contained covering the query exactly: empty remainder.
+		{"contained exact cover", spanOf(3, 3, 7, 7), 0},
+		// Crossover: exterior ∩ interior splits into two bands.
+		{"crossover", spanOf(0, 5, 11, 6), 2},
+	}
+	for _, c := range cases {
+		b := NewExteriorBuilder(g)
+		b.AddSpan(c.obj)
+		he := b.Build()
+		if got := he.InsideSum(q); got != c.want {
+			t.Errorf("%s: He.InsideSum = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// eulerRemainder returns the Euler count (connected components, with any
+// component containing a hole counting 0) of outer-interior ∖
+// closure(inner ∩ outer), for spans under the shrinking convention. It is
+// the per-object model of both histogram sums: H_e's inside sum adds
+// eulerRemainder(q, obj) per object, H's outside sum eulerRemainder(obj, q).
+func eulerRemainder(outer, inner grid.Span) int64 {
+	if !outer.Intersects(inner) {
+		return 1 // the whole outer interior remains
+	}
+	b := grid.Span{
+		I1: max(outer.I1, inner.I1), J1: max(outer.J1, inner.J1),
+		I2: min(outer.I2, inner.I2), J2: min(outer.J2, inner.J2),
+	}
+	coverX := b.I1 == outer.I1 && b.I2 == outer.I2
+	coverY := b.J1 == outer.J1 && b.J2 == outer.J2
+	strictX := b.I1 > outer.I1 && b.I2 < outer.I2
+	strictY := b.J1 > outer.J1 && b.J2 < outer.J2
+	switch {
+	case coverX && coverY:
+		return 0 // nothing remains
+	case coverX && strictY, coverY && strictX:
+		return 2 // remainder splits into two bands
+	case strictX && strictY:
+		return 0 // annulus: one component with a hole
+	default:
+		return 1
+	}
+}
+
+// TestExteriorModel validates both histograms against the per-object model
+// and thereby the precise content of §5.3's dismissal of H_e: the two
+// sums differ only on objects whose closure touches the query boundary
+// (contained or covering objects), a topology-weighted signal that cannot
+// isolate N_cd.
+func TestExteriorModel(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 150; trial++ {
+		nx, ny := 3+r.Intn(14), 3+r.Intn(14)
+		g := grid.NewUnit(nx, ny)
+		hb := NewBuilder(g)
+		eb := NewExteriorBuilder(g)
+		var spans []grid.Span
+		for k := 0; k < r.Intn(60); k++ {
+			i1, j1 := r.Intn(nx), r.Intn(ny)
+			s := spanOf(i1, j1, i1+r.Intn(nx-i1), j1+r.Intn(ny-j1))
+			hb.AddSpan(s)
+			eb.AddSpan(s)
+			spans = append(spans, s)
+		}
+		h := hb.Build()
+		he := eb.Build()
+		if he.Count() != h.Count() || he.StorageBuckets() != h.StorageBuckets() {
+			t.Fatal("metadata mismatch")
+		}
+		for qt := 0; qt < 40; qt++ {
+			i1, j1 := r.Intn(nx), r.Intn(ny)
+			q := spanOf(i1, j1, i1+r.Intn(nx-i1), j1+r.Intn(ny-j1))
+			var wantHe, wantHout int64
+			for _, s := range spans {
+				wantHe += eulerRemainder(q, s)
+				wantHout += eulerRemainder(s, q)
+			}
+			if got := he.InsideSum(q); got != wantHe {
+				t.Fatalf("He.InsideSum(%v) = %d, want %d", q, got, wantHe)
+			}
+			if got := h.OutsideSum(q); got != wantHout {
+				t.Fatalf("H.OutsideSum(%v) = %d, want %d", q, got, wantHout)
+			}
+		}
+	}
+}
+
+func TestExteriorBuilderPanics(t *testing.T) {
+	g := grid.NewUnit(4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range span must panic")
+		}
+	}()
+	NewExteriorBuilder(g).AddSpan(spanOf(0, 0, 4, 0))
+}

@@ -1,0 +1,55 @@
+package euler
+
+import (
+	"bytes"
+	"testing"
+
+	"spatialhist/internal/grid"
+)
+
+// FuzzHistogramRead drives the histogram parser with arbitrary bytes: no
+// panics, and anything accepted must satisfy the structural invariant and
+// answer queries consistently with a round trip.
+func FuzzHistogramRead(f *testing.F) {
+	g := grid.NewUnit(7, 5)
+	b := NewBuilder(g)
+	b.AddSpan(grid.Span{I1: 1, J1: 1, I2: 4, J2: 3})
+	b.AddSpan(grid.Span{I1: 0, J1: 0, I2: 6, J2: 4})
+	var buf bytes.Buffer
+	if err := b.Build().Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("SPHEUL01"))
+	f.Add(bytes.Repeat([]byte{0x01}, 100))
+	corrupt := append([]byte(nil), buf.Bytes()...)
+	corrupt[len(corrupt)-1] ^= 0x80
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if h.Total() != h.Count() {
+			t.Fatalf("accepted histogram violating Σ buckets == count: %d vs %d", h.Total(), h.Count())
+		}
+		gg := h.Grid()
+		q := grid.Span{I1: 0, J1: 0, I2: gg.NX() - 1, J2: gg.NY() - 1}
+		if got := h.InsideSum(q); got != h.Count() {
+			t.Fatalf("whole-space inside sum %d != count %d", got, h.Count())
+		}
+		var out bytes.Buffer
+		if err := h.Write(&out); err != nil {
+			t.Fatalf("re-writing accepted histogram: %v", err)
+		}
+		h2, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-reading: %v", err)
+		}
+		if h2.Count() != h.Count() || h2.Total() != h.Total() {
+			t.Fatalf("round trip changed the histogram")
+		}
+	})
+}

@@ -1,0 +1,206 @@
+package euler
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"spatialhist/internal/geom"
+	"spatialhist/internal/grid"
+)
+
+func TestHistogramRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	g := grid.New(geom.NewRect(-10, 5, 50, 35), 24, 12)
+	b := NewBuilder(g)
+	for k := 0; k < 300; k++ {
+		i1, j1 := r.Intn(24), r.Intn(12)
+		b.AddSpan(grid.Span{I1: i1, J1: j1, I2: i1 + r.Intn(24-i1), J2: j1 + r.Intn(12-j1)})
+	}
+	h := b.Build()
+
+	var buf bytes.Buffer
+	if err := h.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != h.Count() || got.Total() != h.Total() {
+		t.Fatalf("counts diverge: %d/%d vs %d/%d", got.Count(), got.Total(), h.Count(), h.Total())
+	}
+	gg := got.Grid()
+	if gg.Extent() != g.Extent() || gg.NX() != 24 || gg.NY() != 12 {
+		t.Fatalf("grid diverges: %v", gg)
+	}
+	// Every bucket and every regional sum must match.
+	lx, ly := h.Buckets()
+	for u := 0; u < lx; u++ {
+		for v := 0; v < ly; v++ {
+			if got.Bucket(u, v) != h.Bucket(u, v) {
+				t.Fatalf("bucket (%d,%d) diverges", u, v)
+			}
+		}
+	}
+	for trial := 0; trial < 200; trial++ {
+		i1, j1 := r.Intn(24), r.Intn(12)
+		q := grid.Span{I1: i1, J1: j1, I2: i1 + r.Intn(24-i1), J2: j1 + r.Intn(12-j1)}
+		if got.InsideSum(q) != h.InsideSum(q) || got.OutsideSum(q) != h.OutsideSum(q) {
+			t.Fatalf("sums diverge at %v", q)
+		}
+	}
+}
+
+func TestReadRejectsCorruption(t *testing.T) {
+	g := grid.NewUnit(6, 4)
+	b := NewBuilder(g)
+	b.AddSpan(grid.Span{I1: 1, J1: 1, I2: 3, J2: 2})
+	h := b.Build()
+	var buf bytes.Buffer
+	if err := h.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	cases := map[string]func([]byte) []byte{
+		"empty":          func(b []byte) []byte { return nil },
+		"bad magic":      func(b []byte) []byte { c := clone(b); c[0] = 'X'; return c },
+		"truncated head": func(b []byte) []byte { return b[:20] },
+		"truncated body": func(b []byte) []byte { return b[:len(b)-8] },
+		"corrupt bucket": func(b []byte) []byte { c := clone(b); c[len(c)-4] ^= 0xff; return c },
+		"zero grid": func(b []byte) []byte {
+			c := clone(b)
+			binary.LittleEndian.PutUint32(c[40:], 0)
+			return c
+		},
+		"huge grid": func(b []byte) []byte {
+			c := clone(b)
+			binary.LittleEndian.PutUint32(c[40:], 1<<20)
+			return c
+		},
+		"degenerate extent": func(b []byte) []byte {
+			c := clone(b)
+			// XMax := XMin
+			copy(c[24:32], c[8:16])
+			return c
+		},
+	}
+	for name, mutate := range cases {
+		if _, err := Read(bytes.NewReader(mutate(raw))); err == nil {
+			t.Errorf("%s: Read must error", name)
+		}
+	}
+}
+
+func clone(b []byte) []byte { return append([]byte(nil), b...) }
+
+func TestRemove(t *testing.T) {
+	g := grid.NewUnit(10, 10)
+	b := NewBuilder(g)
+	s1 := grid.Span{I1: 1, J1: 1, I2: 4, J2: 4}
+	s2 := grid.Span{I1: 3, J1: 3, I2: 8, J2: 8}
+	b.AddSpan(s1)
+	b.AddSpan(s2)
+	b.RemoveSpan(s2)
+	h := b.Build()
+	if h.Count() != 1 || h.Total() != 1 {
+		t.Fatalf("after remove: count %d total %d", h.Count(), h.Total())
+	}
+	// Only s1 remains: histogram must equal a fresh build of s1 alone.
+	fresh := NewBuilder(g)
+	fresh.AddSpan(s1)
+	want := fresh.Build()
+	lx, ly := h.Buckets()
+	for u := 0; u < lx; u++ {
+		for v := 0; v < ly; v++ {
+			if h.Bucket(u, v) != want.Bucket(u, v) {
+				t.Fatalf("bucket (%d,%d) = %d, want %d", u, v, h.Bucket(u, v), want.Bucket(u, v))
+			}
+		}
+	}
+}
+
+func TestRemoveRect(t *testing.T) {
+	g := grid.NewUnit(10, 10)
+	b := NewBuilder(g)
+	r := geom.NewRect(1.5, 1.5, 4.5, 4.5)
+	b.Add(r)
+	if !b.Remove(r) {
+		t.Fatal("Remove of in-space rect must succeed")
+	}
+	if b.Remove(geom.NewRect(50, 50, 60, 60)) {
+		t.Fatal("Remove of outside rect must report false")
+	}
+	if b.Count() != 0 {
+		t.Fatalf("count = %d", b.Count())
+	}
+	h := b.Build()
+	if h.Total() != 0 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestRemovePanics(t *testing.T) {
+	g := grid.NewUnit(4, 4)
+	for name, f := range map[string]func(){
+		"empty builder": func() {
+			NewBuilder(g).RemoveSpan(grid.Span{I1: 0, J1: 0, I2: 0, J2: 0})
+		},
+		"span outside": func() {
+			b := NewBuilder(g)
+			b.AddSpan(grid.Span{})
+			b.RemoveSpan(grid.Span{I1: 0, J1: 0, I2: 9, J2: 0})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: must panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestChurnMatchesRebuild simulates an updating archive: random adds and
+// removes must leave the histogram identical to one built from the
+// surviving objects alone.
+func TestChurnMatchesRebuild(t *testing.T) {
+	r := rand.New(rand.NewSource(72))
+	g := grid.NewUnit(12, 12)
+	b := NewBuilder(g)
+	var live []grid.Span
+	for step := 0; step < 500; step++ {
+		if len(live) > 0 && r.Intn(3) == 0 {
+			k := r.Intn(len(live))
+			b.RemoveSpan(live[k])
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		i1, j1 := r.Intn(12), r.Intn(12)
+		s := grid.Span{I1: i1, J1: j1, I2: i1 + r.Intn(12-i1), J2: j1 + r.Intn(12-j1)}
+		b.AddSpan(s)
+		live = append(live, s)
+	}
+	h := b.Build()
+	fresh := NewBuilder(g)
+	for _, s := range live {
+		fresh.AddSpan(s)
+	}
+	want := fresh.Build()
+	if h.Count() != want.Count() {
+		t.Fatalf("counts diverge: %d vs %d", h.Count(), want.Count())
+	}
+	lx, ly := h.Buckets()
+	for u := 0; u < lx; u++ {
+		for v := 0; v < ly; v++ {
+			if h.Bucket(u, v) != want.Bucket(u, v) {
+				t.Fatalf("bucket (%d,%d) diverges after churn", u, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package euler
+
+import (
+	"testing"
+
+	"spatialhist/internal/dataset"
+	"spatialhist/internal/grid"
+)
+
+func TestFromRectsParallelMatchesSerial(t *testing.T) {
+	d := dataset.ADLLike(30_000, 23)
+	g := grid.New(d.Extent, 90, 45)
+	serial := FromRects(g, d.Rects)
+	for _, workers := range []int{0, 1, 2, 3, 8} {
+		par := FromRectsParallel(g, d.Rects, workers)
+		if par.Count() != serial.Count() || par.Total() != serial.Total() {
+			t.Fatalf("workers=%d: counts diverge", workers)
+		}
+		lx, ly := serial.Buckets()
+		for u := 0; u < lx; u++ {
+			for v := 0; v < ly; v++ {
+				if par.Bucket(u, v) != serial.Bucket(u, v) {
+					t.Fatalf("workers=%d: bucket (%d,%d) diverges", workers, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestFromRectsParallelSmallInput(t *testing.T) {
+	d := dataset.SpSkew(50, 1)
+	gg := grid.New(d.Extent, 8, 8)
+	h := FromRectsParallel(gg, d.Rects, 16) // more workers than sensible: still correct
+	if h.Count() != 50 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h0 := FromRectsParallel(gg, d.Rects, 0); h0.Count() != 50 {
+		t.Fatalf("auto workers Count = %d", h0.Count())
+	}
+	if h2 := FromRectsParallel(gg, nil, 4); h2.Count() != 0 {
+		t.Fatalf("empty input Count = %d", h2.Count())
+	}
+}

@@ -1,0 +1,232 @@
+package eulernd
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatialhist/internal/euler"
+	"spatialhist/internal/grid"
+)
+
+func randSpan(r *rand.Rand, dims []int) Span {
+	d := len(dims)
+	s := Span{Lo: make([]int, d), Hi: make([]int, d)}
+	for k, n := range dims {
+		s.Lo[k] = r.Intn(n)
+		s.Hi[k] = s.Lo[k] + r.Intn(n-s.Lo[k])
+	}
+	return s
+}
+
+func TestBuilderPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty dims": func() { NewBuilder(nil) },
+		"zero dim":   func() { NewBuilder([]int{4, 0}) },
+		"bad span":   func() { NewBuilder([]int{4, 4}).Add(Span{Lo: []int{0, 0}, Hi: []int{4, 0}}) },
+		"wrong rank": func() { NewBuilder([]int{4, 4}).Add(Span{Lo: []int{0}, Hi: []int{1}}) },
+		"use after build": func() {
+			b := NewBuilder([]int{4})
+			b.Add(Span{Lo: []int{0}, Hi: []int{1}})
+			b.Build()
+			b.Add(Span{Lo: []int{0}, Hi: []int{1}})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: must panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTotalEqualsCount(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 100; trial++ {
+		d := 1 + r.Intn(4)
+		dims := make([]int, d)
+		for k := range dims {
+			dims[k] = 2 + r.Intn(6)
+		}
+		b := NewBuilder(dims)
+		n := r.Intn(40)
+		for i := 0; i < n; i++ {
+			b.Add(randSpan(r, dims))
+		}
+		if b.Count() != int64(n) {
+			t.Fatalf("builder Count = %d", b.Count())
+		}
+		h := b.Build()
+		if h.Total() != int64(n) || h.Count() != int64(n) {
+			t.Fatalf("dims %v: Total=%d Count=%d want %d", dims, h.Total(), h.Count(), n)
+		}
+	}
+}
+
+func TestInsideSumExact3D(t *testing.T) {
+	r := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 60; trial++ {
+		dims := []int{2 + r.Intn(7), 2 + r.Intn(7), 2 + r.Intn(7)}
+		b := NewBuilder(dims)
+		var spans []Span
+		for i := 0; i < 50; i++ {
+			s := randSpan(r, dims)
+			spans = append(spans, s)
+			b.Add(s)
+		}
+		h := b.Build()
+		for qt := 0; qt < 30; qt++ {
+			q := randSpan(r, dims)
+			var want int64
+			for _, s := range spans {
+				if q.Intersects(s) {
+					want++
+				}
+			}
+			if got := h.InsideSum(q); got != want {
+				t.Fatalf("dims %v InsideSum(%v) = %d, want %d", dims, q, got, want)
+			}
+		}
+	}
+}
+
+func TestMatches2DEuler(t *testing.T) {
+	// The d=2 instance must agree with package euler on every regional sum.
+	r := rand.New(rand.NewSource(103))
+	nx, ny := 9, 7
+	g := grid.NewUnit(nx, ny)
+	eb := euler.NewBuilder(g)
+	nb := NewBuilder([]int{nx, ny})
+	for i := 0; i < 80; i++ {
+		i1, j1 := r.Intn(nx), r.Intn(ny)
+		i2, j2 := i1+r.Intn(nx-i1), j1+r.Intn(ny-j1)
+		eb.AddSpan(grid.Span{I1: i1, J1: j1, I2: i2, J2: j2})
+		nb.Add(Span{Lo: []int{i1, j1}, Hi: []int{i2, j2}})
+	}
+	h2 := eb.Build()
+	hn := nb.Build()
+	if h2.StorageBuckets() != hn.StorageBuckets() {
+		t.Fatalf("storage differs: %d vs %d", h2.StorageBuckets(), hn.StorageBuckets())
+	}
+	for i1 := 0; i1 < nx; i1++ {
+		for j1 := 0; j1 < ny; j1++ {
+			for qt := 0; qt < 4; qt++ {
+				i2, j2 := i1+r.Intn(nx-i1), j1+r.Intn(ny-j1)
+				q2 := grid.Span{I1: i1, J1: j1, I2: i2, J2: j2}
+				qn := Span{Lo: []int{i1, j1}, Hi: []int{i2, j2}}
+				if h2.InsideSum(q2) != hn.InsideSum(qn) {
+					t.Fatalf("InsideSum differs at %v", q2)
+				}
+				if h2.OutsideSum(q2) != hn.OutsideSum(qn) {
+					t.Fatalf("OutsideSum differs at %v", q2)
+				}
+			}
+		}
+	}
+}
+
+func TestEstimateExactOnCleanData3D(t *testing.T) {
+	// Small objects, large queries: S-Euler is exact in 3-d just as in 2-d.
+	r := rand.New(rand.NewSource(104))
+	dims := []int{10, 10, 10}
+	b := NewBuilder(dims)
+	var spans []Span
+	for i := 0; i < 100; i++ {
+		s := Span{Lo: make([]int, 3), Hi: make([]int, 3)}
+		for k := 0; k < 3; k++ {
+			s.Lo[k] = r.Intn(9)
+			s.Hi[k] = s.Lo[k] + r.Intn(2) // at most 2 cells per axis
+		}
+		spans = append(spans, s)
+		b.Add(s)
+	}
+	h := b.Build()
+	for qt := 0; qt < 100; qt++ {
+		q := Span{Lo: make([]int, 3), Hi: make([]int, 3)}
+		for k := 0; k < 3; k++ {
+			q.Lo[k] = r.Intn(7)
+			q.Hi[k] = q.Lo[k] + 2 + r.Intn(10-q.Lo[k]-2) // at least 3 cells per axis
+		}
+		var wantD, wantCs, wantO int64
+		for _, s := range spans {
+			switch {
+			case !q.Intersects(s):
+				wantD++
+			case q.Contains(s):
+				wantCs++
+			default:
+				wantO++
+			}
+		}
+		d, cs, o := h.Estimate(q)
+		if d != wantD || cs != wantCs || o != wantO {
+			t.Fatalf("Estimate(%v) = %d/%d/%d, want %d/%d/%d", q, d, cs, o, wantD, wantCs, wantO)
+		}
+	}
+}
+
+func TestLoopholeByDimension(t *testing.T) {
+	// A containing object contributes 1 − (−1)^d to the outside sum: the
+	// paper's loophole effect (a contribution of 0) is special to d = 2;
+	// in odd dimensions containing objects are counted twice.
+	for _, c := range []struct {
+		dims []int
+		want int64
+	}{
+		{[]int{8}, 2},
+		{[]int{8, 8}, 0},
+		{[]int{8, 8, 8}, 2},
+		{[]int{6, 6, 6, 6}, 0},
+	} {
+		d := len(c.dims)
+		b := NewBuilder(c.dims)
+		obj := Span{Lo: make([]int, d), Hi: make([]int, d)}
+		q := Span{Lo: make([]int, d), Hi: make([]int, d)}
+		for k := 0; k < d; k++ {
+			obj.Lo[k], obj.Hi[k] = 1, c.dims[k]-2
+			q.Lo[k], q.Hi[k] = 3, c.dims[k]-4+1
+		}
+		h := b.buildWith(obj)
+		if got := h.OutsideSum(q); got != c.want {
+			t.Errorf("d=%d: containing object OutsideSum = %d, want %d", d, got, c.want)
+		}
+	}
+
+	// A 3-d column through the query ("crossover") also counts twice: its
+	// exterior intersection is two solid pieces.
+	b := NewBuilder([]int{8, 8, 8})
+	b.Add(Span{Lo: []int{3, 3, 0}, Hi: []int{4, 4, 7}})
+	h := b.Build()
+	q := Span{Lo: []int{3, 3, 3}, Hi: []int{4, 4, 4}}
+	if got := h.OutsideSum(q); got != 2 {
+		t.Fatalf("3-d crossover: OutsideSum = %d, want 2", got)
+	}
+}
+
+// buildWith inserts one span and builds, a test shorthand.
+func (b *Builder) buildWith(s Span) *Histogram {
+	b.Add(s)
+	return b.Build()
+}
+
+func TestSpanHelpers(t *testing.T) {
+	dims := []int{5, 5}
+	s := Span{Lo: []int{1, 1}, Hi: []int{3, 2}}
+	if !s.Valid(dims) || s.Cells() != 6 {
+		t.Fatal("Span basics broken")
+	}
+	if (Span{Lo: []int{1}, Hi: []int{1}}).Valid(dims) {
+		t.Fatal("rank mismatch must be invalid")
+	}
+	if !s.Contains(Span{Lo: []int{2, 1}, Hi: []int{3, 2}}) {
+		t.Fatal("Contains broken")
+	}
+	if !(Span{Lo: []int{2, 2}, Hi: []int{2, 2}}).ContainsStrict(Span{Lo: []int{1, 1}, Hi: []int{3, 3}}) {
+		t.Fatal("ContainsStrict broken")
+	}
+	if (Span{Lo: []int{1, 1}, Hi: []int{2, 2}}).ContainsStrict(Span{Lo: []int{1, 0}, Hi: []int{3, 3}}) {
+		t.Fatal("ContainsStrict must require slack on every side")
+	}
+}

@@ -1,0 +1,201 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatialhist/internal/dataset"
+	"spatialhist/internal/geom"
+	"spatialhist/internal/grid"
+	"spatialhist/internal/query"
+)
+
+func randSpans(r *rand.Rand, nx, ny, n int) []grid.Span {
+	out := make([]grid.Span, n)
+	for k := range out {
+		i1, j1 := r.Intn(nx), r.Intn(ny)
+		out[k] = grid.Span{I1: i1, J1: j1, I2: i1 + r.Intn(nx-i1), J2: j1 + r.Intn(ny-j1)}
+	}
+	return out
+}
+
+func TestEvaluateQueryManual(t *testing.T) {
+	q := grid.Span{I1: 4, J1: 4, I2: 7, J2: 7}
+	spans := []grid.Span{
+		{I1: 0, J1: 0, I2: 1, J2: 1},   // disjoint
+		{I1: 5, J1: 5, I2: 6, J2: 6},   // contained in q
+		{I1: 4, J1: 4, I2: 7, J2: 7},   // same span: contains (object shrunk)
+		{I1: 2, J1: 2, I2: 9, J2: 9},   // contains q strictly
+		{I1: 6, J1: 6, I2: 10, J2: 10}, // overlap
+		{I1: 0, J1: 5, I2: 11, J2: 6},  // crossover: overlap
+	}
+	c := EvaluateQuery(spans, q)
+	want := geom.Rel2Counts{Disjoint: 1, Contains: 2, Contained: 1, Overlap: 2}
+	if c != want {
+		t.Fatalf("EvaluateQuery = %+v, want %+v", c, want)
+	}
+	if c.Total() != 6 || c.Intersecting() != 5 {
+		t.Fatalf("Total/Intersecting = %d/%d", c.Total(), c.Intersecting())
+	}
+}
+
+func TestEvaluateSetMatchesBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		nx := []int{12, 24, 36}[r.Intn(3)]
+		ny := []int{12, 24}[r.Intn(2)]
+		g := grid.NewUnit(nx, ny)
+		spans := randSpans(r, nx, ny, 200)
+		tile := []int{2, 3, 4, 6}[r.Intn(4)]
+		qs, err := query.QN(g, tile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast := EvaluateSet(spans, qs)
+		for k, q := range qs.Tiles {
+			if want := EvaluateQuery(spans, q); fast[k] != want {
+				t.Fatalf("trial %d tile %d (%v): fast=%+v brute=%+v", trial, k, q, fast[k], want)
+			}
+		}
+	}
+}
+
+func TestEvaluateSetSubRegion(t *testing.T) {
+	// Objects outside the browsed region must count as disjoint everywhere.
+	r := rand.New(rand.NewSource(32))
+	spans := randSpans(r, 30, 30, 300)
+	region := grid.Span{I1: 6, J1: 9, I2: 17, J2: 20} // 12x12 region
+	qs, err := query.Browsing(region, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := EvaluateSet(spans, qs)
+	for k, q := range qs.Tiles {
+		if want := EvaluateQuery(spans, q); fast[k] != want {
+			t.Fatalf("tile %d (%v): fast=%+v brute=%+v", k, q, fast[k], want)
+		}
+	}
+}
+
+func TestEvaluateSetPanicsWithoutTiling(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EvaluateSet without tiling metadata must panic")
+		}
+	}()
+	EvaluateSet(nil, &query.Set{Name: "broken", Tiles: make([]grid.Span, 3)})
+}
+
+func TestSpansDropsOutside(t *testing.T) {
+	g := grid.NewUnit(10, 10)
+	spans := Spans(g, []geom.Rect{
+		geom.NewRect(1, 1, 2, 2),
+		geom.NewRect(50, 50, 60, 60), // outside
+		geom.NewRect(0.1, 0.1, 0.2, 0.2),
+	})
+	if len(spans) != 2 {
+		t.Fatalf("Spans kept %d, want 2", len(spans))
+	}
+}
+
+func TestOracleMatchesBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	g := grid.NewUnit(14, 10)
+	spans := randSpans(r, 14, 10, 150)
+	o, err := NewOracle(g, spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Count() != 150 {
+		t.Fatalf("Count = %d", o.Count())
+	}
+	if o.StorageCells() != 14*10*14*10 {
+		t.Fatalf("StorageCells = %d", o.StorageCells())
+	}
+	for trial := 0; trial < 500; trial++ {
+		i1, j1 := r.Intn(14), r.Intn(10)
+		q := grid.Span{I1: i1, J1: j1, I2: i1 + r.Intn(14-i1), J2: j1 + r.Intn(10-j1)}
+		want := EvaluateQuery(spans, q)
+		if got := o.Evaluate(q); got != want {
+			t.Fatalf("Oracle.Evaluate(%v) = %+v, want %+v", q, got, want)
+		}
+	}
+}
+
+func TestOracleStorageWall(t *testing.T) {
+	g := grid.NewUnit(360, 180)
+	if _, err := NewOracle(g, nil); err == nil {
+		t.Fatal("full-resolution oracle must hit the Theorem 3.1 storage wall")
+	}
+}
+
+func TestTheoremLowerBound(t *testing.T) {
+	// The paper's example: 360x180 at 1x1 needs (360*361)/2 * (180*181)/2
+	// values ≈ 1G (4 GB as 4-byte values).
+	got := TheoremLowerBound(360, 180)
+	want := int64(360*361/2) * int64(180*181/2)
+	if got != want {
+		t.Fatalf("TheoremLowerBound = %d, want %d", got, want)
+	}
+	if got < 1_000_000_000 {
+		t.Fatalf("lower bound %d should exceed 1e9 (the paper's ~4GB point)", got)
+	}
+	if TheoremLowerBound(1, 1) != 1 {
+		t.Fatal("1x1 bound must be 1")
+	}
+}
+
+func TestEndToEndOnGeneratedData(t *testing.T) {
+	// Exercise the full pipeline the experiments use: generate, snap,
+	// evaluate a paper query set, and sanity-check the totals.
+	d := dataset.SzSkew(3000, 77)
+	g := grid.NewUnit(360, 180)
+	spans := Spans(g, d.Rects)
+	if len(spans) != 3000 {
+		t.Fatalf("snapped %d/3000", len(spans))
+	}
+	qs, err := query.QN(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := EvaluateSet(spans, qs)
+	if len(res) != 648 {
+		t.Fatalf("got %d results", len(res))
+	}
+	var cs, cd int64
+	for _, c := range res {
+		if c.Total() != 3000 {
+			t.Fatalf("tile total %d != 3000", c.Total())
+		}
+		if c.Overlap < 0 || c.Contains < 0 || c.Contained < 0 || c.Disjoint < 0 {
+			t.Fatalf("negative count: %+v", c)
+		}
+		cs += c.Contains
+		cd += c.Contained
+	}
+	// sz_skew has both small objects (contained in 10x10 tiles) and large
+	// ones (containing tiles); both must show up.
+	if cs == 0 || cd == 0 {
+		t.Fatalf("sz_skew ground truth degenerate: sum N_cs=%d, sum N_cd=%d", cs, cd)
+	}
+}
+
+func TestFloorCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, fd, cd int }{
+		{7, 2, 3, 4},
+		{-7, 2, -4, -3},
+		{6, 3, 2, 2},
+		{-6, 3, -2, -2},
+		{0, 5, 0, 0},
+		{1, 5, 0, 1},
+		{-1, 5, -1, 0},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.fd {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.fd)
+		}
+		if got := ceilDiv(c.a, c.b); got != c.cd {
+			t.Errorf("ceilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.cd)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package exact
+
+import (
+	"fmt"
+
+	"spatialhist/internal/geom"
+	"spatialhist/internal/grid"
+	"spatialhist/internal/prefixsum"
+)
+
+// Oracle answers exact Level 2 relation counts for arbitrary grid-aligned
+// queries in constant time by treating each 2-d object span as the 4-d
+// point (i1, j1, i2, j2) and building a 4-d prefix-sum cube over those
+// points (§2's "rectangles as 4-d points" construction).
+//
+// Every Level 2 count is then a 4-d dominance box:
+//
+//	contains(q):   i1 ≥ q.I1 ∧ i2 ≤ q.I2 ∧ j1 ≥ q.J1 ∧ j2 ≤ q.J2
+//	contained(q):  i1 < q.I1 ∧ i2 > q.I2 ∧ j1 < q.J1 ∧ j2 > q.J2
+//	intersect(q):  i1 ≤ q.I2 ∧ i2 ≥ q.I1 ∧ j1 ≤ q.J2 ∧ j2 ≥ q.J1
+//
+// The price is Θ((nx·ny)²) storage — exactly the blowup Theorem 3.1 proves
+// necessary for any exact contains structure, which is why this oracle is
+// only practical at coarse resolutions (the paper's example: 1°×1° over the
+// world needs ~4G values). NewOracle enforces a cell budget to keep callers
+// honest.
+type Oracle struct {
+	g    *grid.Grid
+	cube *prefixsum.Cube
+	n    int64
+}
+
+// MaxOracleCells bounds the cube size NewOracle will allocate (64 M cells
+// = 512 MB of int64), a guard against accidentally requesting the paper's
+// infeasible full-resolution configuration.
+const MaxOracleCells = 64 << 20
+
+// NewOracle builds the exact oracle for the given object spans at g's
+// resolution. It returns an error when the cube would exceed
+// MaxOracleCells — the storage wall of Theorem 3.1.
+func NewOracle(g *grid.Grid, spans []grid.Span) (*Oracle, error) {
+	nx, ny := g.NX(), g.NY()
+	cells := nx * ny * nx * ny
+	if nx > 0 && ny > 0 && (cells/nx/ny != nx*ny || cells > MaxOracleCells) {
+		return nil, fmt.Errorf("exact: oracle at %dx%d needs %d cells, over the %d budget (Theorem 3.1 storage wall)",
+			nx, ny, cells, MaxOracleCells)
+	}
+	src := make([]int64, cells)
+	// Dimension order: (i1, j1, i2, j2).
+	for _, s := range spans {
+		idx := ((s.I1*ny+s.J1)*nx+s.I2)*ny + s.J2
+		src[idx]++
+	}
+	return &Oracle{
+		g:    g,
+		cube: prefixsum.NewCube(src, []int{nx, ny, nx, ny}),
+		n:    int64(len(spans)),
+	}, nil
+}
+
+// Count returns the number of objects in the oracle.
+func (o *Oracle) Count() int64 { return o.n }
+
+// StorageCells returns the number of cube cells, the oracle's storage cost.
+func (o *Oracle) StorageCells() int { return o.cube.Size() }
+
+// Contains returns the exact N_cs for query span q.
+func (o *Oracle) Contains(q grid.Span) int64 {
+	nx, ny := o.g.NX(), o.g.NY()
+	return o.cube.RangeSum(
+		[]int{q.I1, q.J1, 0, 0},
+		[]int{nx - 1, ny - 1, q.I2, q.J2},
+	)
+}
+
+// Contained returns the exact N_cd for query span q.
+func (o *Oracle) Contained(q grid.Span) int64 {
+	nx, ny := o.g.NX(), o.g.NY()
+	return o.cube.RangeSum(
+		[]int{0, 0, q.I2 + 1, q.J2 + 1},
+		[]int{q.I1 - 1, q.J1 - 1, nx - 1, ny - 1},
+	)
+}
+
+// Intersecting returns the exact n_ii for query span q.
+func (o *Oracle) Intersecting(q grid.Span) int64 {
+	nx, ny := o.g.NX(), o.g.NY()
+	return o.cube.RangeSum(
+		[]int{0, 0, q.I1, q.J1},
+		[]int{q.I2, q.J2, nx - 1, ny - 1},
+	)
+}
+
+// Evaluate returns the full exact Level 2 tally for query span q.
+func (o *Oracle) Evaluate(q grid.Span) geom.Rel2Counts {
+	in := o.Intersecting(q)
+	cs := o.Contains(q)
+	cd := o.Contained(q)
+	return geom.Rel2Counts{
+		Disjoint:  o.n - in,
+		Contains:  cs,
+		Contained: cd,
+		Overlap:   in - cs - cd,
+	}
+}
+
+// TheoremLowerBound returns the storage lower bound of Theorem 3.1 for an
+// nx×ny grid: Π nᵢ(nᵢ+1)/2 values — the number of independent histogram
+// buckets any exact contains algorithm must be able to reconstruct.
+func TheoremLowerBound(nx, ny int) int64 {
+	return int64(nx) * int64(nx+1) / 2 * int64(ny) * int64(ny+1) / 2
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSVAllResults(t *testing.T) {
+	e := NewEnv(Scaled(1500))
+	results := map[string]any{
+		"fig12":     Fig12(e),
+		"fig13":     Fig13(e),
+		"fig14":     Fig14(e),
+		"fig15":     Fig15(e),
+		"fig16":     Fig16(e),
+		"fig17":     Fig17(e),
+		"fig18":     Fig18(e),
+		"thm31":     Theorem31(e),
+		"baselines": IntersectBaselines(e),
+		"ablation":  Ablation(e),
+		"ext":       Extensions(e),
+	}
+	for name, res := range results {
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, res); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		records, err := csv.NewReader(&buf).ReadAll()
+		if err != nil {
+			t.Fatalf("%s: output is not valid CSV: %v", name, err)
+		}
+		if len(records) < 2 {
+			t.Fatalf("%s: only %d CSV rows", name, len(records))
+		}
+		width := len(records[0])
+		for i, rec := range records {
+			if len(rec) != width {
+				t.Fatalf("%s: row %d has %d fields, header has %d", name, i, len(rec), width)
+			}
+		}
+	}
+}
+
+func TestWriteCSVFig19(t *testing.T) {
+	e := NewEnv(Scaled(1000))
+	res := Fig19(e)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"S-EulerApprox", "R-tree (exact)", "M-EulerApprox m=5", "totalNanoseconds"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig19 CSV missing %q", want)
+		}
+	}
+}
+
+func TestWriteCSVUnknownType(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, 42); err == nil {
+		t.Fatal("unknown type must error")
+	}
+}

@@ -1,0 +1,220 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6). Each figure has a runner returning a structured result
+// with a textual rendering; cmd/experiments drives them from the command
+// line and bench_test.go exposes one benchmark per figure.
+//
+// Results are produced at a configurable scale: Paper() uses the paper's
+// object counts (millions of objects), Quick() a reduced scale suitable
+// for tests and benchmarks. The shapes of the results — who wins, where
+// the error curves bend, which assumptions break on which dataset — are
+// scale-stable; EXPERIMENTS.md records both.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"spatialhist/internal/core"
+	"spatialhist/internal/dataset"
+	"spatialhist/internal/euler"
+	"spatialhist/internal/exact"
+	"spatialhist/internal/geom"
+	"spatialhist/internal/grid"
+	"spatialhist/internal/query"
+)
+
+// Config sets the scale of an experiment run.
+type Config struct {
+	// Sizes maps dataset name to object count.
+	Sizes map[string]int
+	// Seed drives all dataset generation.
+	Seed int64
+	// GridW and GridH are the grid dimensions (the paper: 360×180 at 1×1).
+	GridW, GridH int
+}
+
+// Paper returns the configuration of the paper's evaluation: the full
+// 360×180 grid and the published dataset sizes (1M–2.7M objects).
+func Paper() Config {
+	sizes := make(map[string]int)
+	for _, name := range dataset.Names() {
+		sizes[name] = dataset.PaperSize(name)
+	}
+	return Config{Sizes: sizes, Seed: 2002, GridW: 360, GridH: 180}
+}
+
+// Quick returns a reduced-scale configuration (50k objects per dataset,
+// same grid) for tests and iterative work.
+func Quick() Config {
+	sizes := make(map[string]int)
+	for _, name := range dataset.Names() {
+		sizes[name] = 50_000
+	}
+	return Config{Sizes: sizes, Seed: 2002, GridW: 360, GridH: 180}
+}
+
+// Scaled returns Quick scaled to n objects per dataset.
+func Scaled(n int) Config {
+	cfg := Quick()
+	for name := range cfg.Sizes {
+		cfg.Sizes[name] = n
+	}
+	return cfg
+}
+
+// Env lazily builds and caches the expensive shared artifacts of a run:
+// datasets, snapped spans, query sets, ground truth, and histograms. All
+// accessors are safe for concurrent use.
+type Env struct {
+	cfg Config
+	g   *grid.Grid
+
+	mu     sync.Mutex
+	data   map[string]*dataset.Dataset
+	spans  map[string][]grid.Span
+	hists  map[string]*euler.Histogram
+	sets   map[int]*query.Set
+	truths map[truthKey][]geom.Rel2Counts
+}
+
+type truthKey struct {
+	dataset string
+	n       int
+}
+
+// NewEnv creates an experiment environment.
+func NewEnv(cfg Config) *Env {
+	return &Env{
+		cfg:    cfg,
+		g:      grid.New(dataset.DefaultExtent, cfg.GridW, cfg.GridH),
+		data:   make(map[string]*dataset.Dataset),
+		spans:  make(map[string][]grid.Span),
+		hists:  make(map[string]*euler.Histogram),
+		sets:   make(map[int]*query.Set),
+		truths: make(map[truthKey][]geom.Rel2Counts),
+	}
+}
+
+// Config returns the run configuration.
+func (e *Env) Config() Config { return e.cfg }
+
+// Grid returns the shared grid.
+func (e *Env) Grid() *grid.Grid { return e.g }
+
+// Dataset returns (generating on first use) the named dataset.
+func (e *Env) Dataset(name string) *dataset.Dataset {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if d, ok := e.data[name]; ok {
+		return d
+	}
+	n, ok := e.cfg.Sizes[name]
+	if !ok {
+		panic(fmt.Sprintf("experiments: no size configured for dataset %q", name))
+	}
+	d, err := dataset.Generate(name, n, e.cfg.Seed)
+	if err != nil {
+		panic(err) // names come from dataset.Names(); a failure is a bug
+	}
+	e.data[name] = d
+	return d
+}
+
+// Spans returns the snapped object spans of the named dataset.
+func (e *Env) Spans(name string) []grid.Span {
+	d := e.Dataset(name)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s, ok := e.spans[name]; ok {
+		return s
+	}
+	s := exact.Spans(e.g, d.Rects)
+	e.spans[name] = s
+	return s
+}
+
+// Histogram returns the (single) Euler histogram of the named dataset.
+func (e *Env) Histogram(name string) *euler.Histogram {
+	spans := e.Spans(name)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if h, ok := e.hists[name]; ok {
+		return h
+	}
+	b := euler.NewBuilder(e.g)
+	for _, s := range spans {
+		b.AddSpan(s)
+	}
+	h := b.Build()
+	e.hists[name] = h
+	return h
+}
+
+// SEuler returns an S-EulerApprox estimator over the named dataset.
+func (e *Env) SEuler(name string) *core.SEuler { return core.NewSEuler(e.Histogram(name)) }
+
+// Euler returns an EulerApprox estimator over the named dataset.
+func (e *Env) Euler(name string) *core.Euler { return core.NewEuler(e.Histogram(name)) }
+
+// MEuler builds an M-EulerApprox estimator over the named dataset with the
+// given area thresholds (unit cells).
+func (e *Env) MEuler(name string, areas []float64) *core.MEuler {
+	m, err := core.NewMEuler(e.g, areas, e.Dataset(name).Rects)
+	if err != nil {
+		panic(err) // thresholds come from the harness; a failure is a bug
+	}
+	return m
+}
+
+// QuerySet returns the Q_n query set.
+func (e *Env) QuerySet(n int) *query.Set {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s, ok := e.sets[n]; ok {
+		return s
+	}
+	s, err := query.QN(e.g, n)
+	if err != nil {
+		panic(err) // paper tile sizes divide the paper grid
+	}
+	e.sets[n] = s
+	return s
+}
+
+// Truth returns the exact Level 2 counts of the named dataset for Q_n,
+// computed once and cached.
+func (e *Env) Truth(name string, n int) []geom.Rel2Counts {
+	spans := e.Spans(name)
+	qs := e.QuerySet(n)
+	key := truthKey{dataset: name, n: n}
+	e.mu.Lock()
+	if t, ok := e.truths[key]; ok {
+		e.mu.Unlock()
+		return t
+	}
+	e.mu.Unlock()
+	t := exact.EvaluateSet(spans, qs)
+	e.mu.Lock()
+	e.truths[key] = t
+	e.mu.Unlock()
+	return t
+}
+
+// column extracts one relation's exact counts.
+func column(counts []geom.Rel2Counts, rel geom.Rel2) []int64 {
+	out := make([]int64, len(counts))
+	for i, c := range counts {
+		out[i] = c.Get(rel)
+	}
+	return out
+}
+
+// estimateColumn runs the estimator over a query set and extracts one
+// relation's estimates.
+func estimateColumn(est core.Estimator, qs *query.Set, rel geom.Rel2) []int64 {
+	out := make([]int64, len(qs.Tiles))
+	for i, q := range qs.Tiles {
+		out[i] = est.Estimate(q).Get(rel)
+	}
+	return out
+}

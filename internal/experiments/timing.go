@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"spatialhist/internal/core"
+	"spatialhist/internal/geom"
+	"spatialhist/internal/metrics"
+	"spatialhist/internal/query"
+	"spatialhist/internal/rtree"
+)
+
+// Fig19Result holds the query-processing-time data of Figure 19:
+// (a) per-query-set wall-clock time of the three algorithms, with the
+// R-tree exact baseline for context; (b) M-EulerApprox time as the number
+// of histograms grows.
+type Fig19Result struct {
+	Dataset string
+	Ns      []int
+	// AlgoTimes maps algorithm name → one Timing per query set.
+	AlgoTimes map[string][]metrics.Timing
+	AlgoOrder []string
+	// MEulerTimes maps histogram count (2..5) → one Timing per query set.
+	MEulerTimes map[int][]metrics.Timing
+}
+
+// Fig19 measures the time to process each Q_n query set with
+// S-EulerApprox, EulerApprox, M-EulerApprox(2) and the R-tree baseline on
+// the adl dataset (the paper's large mixed dataset), then M-EulerApprox
+// with 2–5 histograms for part (b).
+func Fig19(e *Env) Fig19Result {
+	const name = "adl"
+	res := Fig19Result{
+		Dataset:     name,
+		Ns:          query.PaperNs(),
+		AlgoTimes:   make(map[string][]metrics.Timing),
+		AlgoOrder:   []string{"S-EulerApprox", "EulerApprox", "M-EulerApprox(2)", "R-tree (exact)"},
+		MEulerTimes: make(map[int][]metrics.Timing),
+	}
+
+	se := e.SEuler(name)
+	ea := e.Euler(name)
+	m2 := e.MEuler(name, Fig17Areas)
+	tree := rtree.BulkDefault(e.Dataset(name).Rects)
+	g := e.Grid()
+
+	estimators := map[string]core.Estimator{
+		"S-EulerApprox":    se,
+		"EulerApprox":      ea,
+		"M-EulerApprox(2)": m2,
+	}
+	const minDur = 2 * time.Millisecond
+	for _, n := range res.Ns {
+		qs := e.QuerySet(n)
+		for algo, est := range estimators {
+			est := est
+			t := metrics.Measure(qs.Len(), minDur, func() {
+				var sink core.Estimate
+				for _, q := range qs.Tiles {
+					sink = est.Estimate(q)
+				}
+				_ = sink
+			})
+			res.AlgoTimes[algo] = append(res.AlgoTimes[algo], t)
+		}
+		// R-tree baseline answers the same tiles exactly from the data. One
+		// run only: it is orders of magnitude slower and needs no repetition
+		// for a stable reading.
+		start := time.Now()
+		var sink geom.Rel2Counts
+		for _, q := range qs.Tiles {
+			sink = tree.CountRel2(g.SpanRect(q))
+		}
+		_ = sink
+		res.AlgoTimes["R-tree (exact)"] = append(res.AlgoTimes["R-tree (exact)"],
+			metrics.Timing{Queries: qs.Len(), Total: time.Since(start)})
+	}
+
+	// Part (b): M-EulerApprox with 2..5 histograms.
+	configs := map[int][]float64{
+		2: {1, 100},
+		3: {1, 9, 100},
+		4: {1, 9, 25, 100},
+		5: {1, 9, 25, 100, 225},
+	}
+	for m, areas := range configs {
+		est := e.MEuler(name, areas)
+		for _, n := range res.Ns {
+			qs := e.QuerySet(n)
+			t := metrics.Measure(qs.Len(), minDur, func() {
+				var sink core.Estimate
+				for _, q := range qs.Tiles {
+					sink = est.Estimate(q)
+				}
+				_ = sink
+			})
+			res.MEulerTimes[m] = append(res.MEulerTimes[m], t)
+		}
+	}
+	return res
+}
+
+// String implements fmt.Stringer.
+func (r Fig19Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 19 — query processing time (%s dataset)\n\n", r.Dataset)
+	b.WriteString("(a) per query set, total wall-clock:\n")
+	fmt.Fprintf(&b, "%-18s", "algorithm")
+	for _, n := range r.Ns {
+		fmt.Fprintf(&b, " %10s", fmt.Sprintf("Q%d", n))
+	}
+	b.WriteByte('\n')
+	for _, algo := range r.AlgoOrder {
+		times, ok := r.AlgoTimes[algo]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%-18s", algo)
+		for _, t := range times {
+			fmt.Fprintf(&b, " %10s", fmtDur(t.Total))
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("\n(b) M-EulerApprox by histogram count, total wall-clock:\n")
+	fmt.Fprintf(&b, "%-18s", "histograms")
+	for _, n := range r.Ns {
+		fmt.Fprintf(&b, " %10s", fmt.Sprintf("Q%d", n))
+	}
+	b.WriteByte('\n')
+	for m := 2; m <= 5; m++ {
+		times, ok := r.MEulerTimes[m]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%-18d", m)
+		for _, t := range times {
+			fmt.Fprintf(&b, " %10s", fmtDur(t.Total))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}

@@ -1,0 +1,153 @@
+package geobrowse
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+
+	"spatialhist/internal/archive"
+	"spatialhist/internal/query"
+)
+
+// ArchiveServer serves faceted browsing over a multi-attribute archive —
+// the full GeoBrowsing interaction of the paper's Figure 1, where queries
+// combine region, date range and subject types.
+//
+// Endpoints:
+//
+//	GET /api/info     archive metadata (subjects, date range, counts)
+//	GET /api/browse   x1,y1,x2,y2,cols,rows[,subjects][,from,to]
+//
+// subjects is a comma-separated list of subject indices; from/to must
+// align with the archive's date bands.
+type ArchiveServer struct {
+	name string
+	a    *archive.Archive
+	mux  *http.ServeMux
+}
+
+// NewArchiveServer creates an ArchiveServer for a named archive.
+func NewArchiveServer(name string, a *archive.Archive) *ArchiveServer {
+	s := &ArchiveServer{name: name, a: a, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /api/info", s.handleInfo)
+	s.mux.HandleFunc("GET /api/browse", s.handleBrowse)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *ArchiveServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ArchiveInfo is the archive /api/info response.
+type ArchiveInfo struct {
+	Archive        string     `json:"archive"`
+	Records        int64      `json:"records"`
+	StorageBuckets int        `json:"storageBuckets"`
+	Subjects       []string   `json:"subjects"`
+	DateLo         float64    `json:"dateLo"`
+	DateHi         float64    `json:"dateHi"`
+	DateBands      int        `json:"dateBands"`
+	Extent         [4]float64 `json:"extent"`
+	GridNX         int        `json:"gridNX"`
+	GridNY         int        `json:"gridNY"`
+}
+
+func (s *ArchiveServer) handleInfo(w http.ResponseWriter, r *http.Request) {
+	sc := s.a.Schema()
+	ext := sc.Grid.Extent()
+	writeJSON(w, ArchiveInfo{
+		Archive:        s.name,
+		Records:        s.a.Count(),
+		StorageBuckets: s.a.StorageBuckets(),
+		Subjects:       sc.Subjects,
+		DateLo:         sc.DateLo,
+		DateHi:         sc.DateHi,
+		DateBands:      sc.DateBands,
+		Extent:         [4]float64{ext.XMin, ext.YMin, ext.XMax, ext.YMax},
+		GridNX:         sc.Grid.NX(),
+		GridNY:         sc.Grid.NY(),
+	})
+}
+
+// FacetedBrowseResponse is the archive /api/browse response.
+type FacetedBrowseResponse struct {
+	Cols     int            `json:"cols"`
+	Rows     int            `json:"rows"`
+	Matching int64          `json:"matching"` // records matching the facets
+	Tiles    []TileEstimate `json:"tiles"`
+}
+
+func (s *ArchiveServer) handleBrowse(w http.ResponseWriter, r *http.Request) {
+	sc := s.a.Schema()
+	span, err := parseRegion(sc.Grid, r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cols, err := posIntParam(r, "cols")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rows, err := posIntParam(r, "rows")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	f := archive.Filter{}
+	if raw := r.URL.Query().Get("subjects"); raw != "" {
+		for _, part := range strings.Split(raw, ",") {
+			idx, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				http.Error(w, "parameter \"subjects\" must be a comma-separated list of indices",
+					http.StatusBadRequest)
+				return
+			}
+			f.Subjects = append(f.Subjects, idx)
+		}
+	}
+	fromRaw, toRaw := r.URL.Query().Get("from"), r.URL.Query().Get("to")
+	if (fromRaw == "") != (toRaw == "") {
+		http.Error(w, "parameters \"from\" and \"to\" must be given together", http.StatusBadRequest)
+		return
+	}
+	if fromRaw != "" {
+		from, err1 := strconv.ParseFloat(fromRaw, 64)
+		to, err2 := strconv.ParseFloat(toRaw, 64)
+		if err1 != nil || err2 != nil {
+			http.Error(w, "parameters \"from\"/\"to\" must be numbers", http.StatusBadRequest)
+			return
+		}
+		f.DateFrom, f.DateTo = from, to
+	}
+
+	matching, err := s.a.MatchCount(f)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ests, err := s.a.Browse(f, span, cols, rows)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	qs, err := query.Browsing(span, cols, rows)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := FacetedBrowseResponse{Cols: cols, Rows: rows, Matching: matching,
+		Tiles: make([]TileEstimate, 0, len(ests))}
+	for i, est := range ests {
+		rect := sc.Grid.SpanRect(qs.Tiles[i])
+		c := est.Clamped()
+		resp.Tiles = append(resp.Tiles, TileEstimate{
+			Rect:      [4]float64{rect.XMin, rect.YMin, rect.XMax, rect.YMax},
+			Disjoint:  c.Disjoint,
+			Contains:  c.Contains,
+			Contained: c.Contained,
+			Overlap:   c.Overlap,
+		})
+	}
+	writeJSON(w, resp)
+}

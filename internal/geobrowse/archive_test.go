@@ -1,0 +1,103 @@
+package geobrowse
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"spatialhist/internal/archive"
+	"spatialhist/internal/geom"
+	"spatialhist/internal/grid"
+)
+
+func testArchiveServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	b, err := archive.NewBuilder(archive.Schema{
+		Grid:      grid.NewUnit(36, 18),
+		Subjects:  []string{"map", "photo"},
+		DateLo:    1900,
+		DateHi:    2000,
+		DateBands: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []archive.Record{
+		{MBR: geom.NewRect(2, 2, 4, 4), Date: 1905, Subject: 0},
+		{MBR: geom.NewRect(3, 3, 5, 5), Date: 1955, Subject: 0},
+		{MBR: geom.NewRect(20, 10, 21, 11), Date: 1955, Subject: 1},
+		{MBR: geom.NewRect(20, 10, 22, 12), Date: 1995, Subject: 1},
+	}
+	for _, rec := range recs {
+		if !b.Add(rec) {
+			t.Fatalf("record rejected: %+v", rec)
+		}
+	}
+	srv := httptest.NewServer(NewArchiveServer("testarchive", b.Build()))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestArchiveInfo(t *testing.T) {
+	srv := testArchiveServer(t)
+	var info ArchiveInfo
+	getJSON(t, srv.URL+"/api/info", &info)
+	if info.Archive != "testarchive" || info.Records != 4 ||
+		len(info.Subjects) != 2 || info.DateBands != 10 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestArchiveFacetedBrowse(t *testing.T) {
+	srv := testArchiveServer(t)
+	base := srv.URL + "/api/browse?x1=0&y1=0&x2=36&y2=18&cols=2&rows=1"
+
+	var resp FacetedBrowseResponse
+	getJSON(t, base, &resp)
+	if resp.Matching != 4 || len(resp.Tiles) != 2 {
+		t.Fatalf("unfiltered browse = %+v", resp)
+	}
+	// West tile holds the two maps; east tile the two photos.
+	if resp.Tiles[0].Contains != 2 || resp.Tiles[1].Contains != 2 {
+		t.Fatalf("tiles = %+v", resp.Tiles)
+	}
+
+	getJSON(t, base+"&subjects=1", &resp)
+	if resp.Matching != 2 || resp.Tiles[0].Contains != 0 || resp.Tiles[1].Contains != 2 {
+		t.Fatalf("photos-only browse = %+v", resp)
+	}
+
+	getJSON(t, base+"&from=1950&to=1960", &resp)
+	if resp.Matching != 2 {
+		t.Fatalf("1950s browse matching = %d", resp.Matching)
+	}
+
+	getJSON(t, base+"&subjects=0&from=1900&to=1910", &resp)
+	if resp.Matching != 1 || resp.Tiles[0].Contains != 1 {
+		t.Fatalf("combined facets = %+v", resp)
+	}
+}
+
+func TestArchiveBadRequests(t *testing.T) {
+	srv := testArchiveServer(t)
+	cases := []string{
+		"/api/browse?x1=0&y1=0&x2=36&y2=18&cols=2",                          // missing rows
+		"/api/browse?x1=0&y1=0&x2=36&y2=18&cols=2&rows=1&subjects=x",        // bad subjects
+		"/api/browse?x1=0&y1=0&x2=36&y2=18&cols=2&rows=1&subjects=9",        // unknown subject
+		"/api/browse?x1=0&y1=0&x2=36&y2=18&cols=2&rows=1&from=1955&to=1965", // misaligned dates
+		"/api/browse?x1=0&y1=0&x2=36&y2=18&cols=2&rows=1&from=1950",         // from without to
+		"/api/browse?x1=0&y1=0&x2=36&y2=18&cols=2&rows=1&from=a&to=b",       // non-numeric dates
+		"/api/browse?x1=0.5&y1=0&x2=36&y2=18&cols=2&rows=1",                 // misaligned region
+		"/api/browse?x1=0&y1=0&x2=36&y2=18&cols=5&rows=1",                   // non-dividing tiling
+	}
+	for _, path := range cases {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+}

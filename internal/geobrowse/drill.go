@@ -1,0 +1,87 @@
+package geobrowse
+
+import (
+	"net/http"
+
+	"spatialhist/internal/core"
+	"spatialhist/internal/geom"
+)
+
+// DrillResponse is the /api/drill response: leaf tiles of an adaptive
+// refinement, depth-first from the south-west.
+type DrillResponse struct {
+	Relation string      `json:"relation"`
+	Tiles    []DrillTile `json:"tiles"`
+}
+
+// DrillTile is one leaf of a drill-down.
+type DrillTile struct {
+	TileEstimate
+	Depth int `json:"depth"`
+}
+
+// handleDrill serves GET /api/drill?x1=&y1=&x2=&y2=&relation=&hot=&depth=:
+// adaptive refinement of the region, splitting only tiles whose count for
+// the relation reaches the hot threshold.
+func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
+	span, err := s.parseRegion(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rel, err := parseRelation(r.URL.Query().Get("relation"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	hot, err := posIntParam(r, "hot")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	depth, err := posIntParam(r, "depth")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	const maxDepth = 16
+	if depth > maxDepth {
+		http.Error(w, "parameter \"depth\" too large", http.StatusBadRequest)
+		return
+	}
+	leaves, err := core.Drilldown(s.est, span, core.DrillOptions{
+		Relation:     rel,
+		HotThreshold: int64(hot),
+		MaxDepth:     depth,
+		MaxTiles:     50_000,
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := DrillResponse{Relation: rel.String(), Tiles: make([]DrillTile, 0, len(leaves))}
+	for _, l := range leaves {
+		resp.Tiles = append(resp.Tiles, DrillTile{TileEstimate: s.tile(l.Span), Depth: l.Depth})
+	}
+	writeJSON(w, resp)
+}
+
+func parseRelation(arg string) (geom.Rel2, error) {
+	switch arg {
+	case "contains":
+		return geom.Rel2Contains, nil
+	case "contained":
+		return geom.Rel2Contained, nil
+	case "overlap":
+		return geom.Rel2Overlap, nil
+	case "disjoint":
+		return geom.Rel2Disjoint, nil
+	}
+	return 0, &badRelationError{arg}
+}
+
+type badRelationError struct{ arg string }
+
+func (e *badRelationError) Error() string {
+	return "parameter \"relation\" must be one of contains, contained, overlap, disjoint; got \"" + e.arg + "\""
+}

@@ -1,0 +1,190 @@
+// Package geobrowse implements a small HTTP version of the GeoBrowsing
+// service of §1: clients select a region of a spatial dataset, grid it
+// into tiles, and receive per-tile Level 2 relation counts estimated from
+// the dataset's Euler histograms — the "hundreds of trial queries with a
+// single click" interaction, without touching the actual objects.
+//
+// Endpoints:
+//
+//	GET /            minimal built-in heat-map client
+//	GET /api/info    dataset and summary metadata
+//	GET /api/query   one estimate: x1,y1,x2,y2
+//	GET /api/browse  tiled estimates: x1,y1,x2,y2,cols,rows
+//	GET /api/drill   adaptive refinement: x1,y1,x2,y2,relation,hot,depth
+//
+// All coordinates must align with the summary's grid resolution, matching
+// the paper's queries-at-resolution model; misaligned requests get 400s.
+package geobrowse
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"spatialhist/internal/core"
+	"spatialhist/internal/geom"
+	"spatialhist/internal/grid"
+	"spatialhist/internal/query"
+)
+
+// Server answers browsing queries over one summarized dataset.
+type Server struct {
+	name string
+	est  core.Estimator
+	mux  *http.ServeMux
+}
+
+// NewServer creates a Server for a named dataset summarized by est.
+func NewServer(name string, est core.Estimator) *Server {
+	s := &Server{name: name, est: est, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /api/info", s.handleInfo)
+	s.mux.HandleFunc("GET /api/query", s.handleQuery)
+	s.mux.HandleFunc("GET /api/browse", s.handleBrowse)
+	s.mux.HandleFunc("GET /api/drill", s.handleDrill)
+	s.mux.HandleFunc("GET /{$}", s.handleIndex)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Info is the /api/info response.
+type Info struct {
+	Dataset        string     `json:"dataset"`
+	Algorithm      string     `json:"algorithm"`
+	Objects        int64      `json:"objects"`
+	StorageBuckets int        `json:"storageBuckets"`
+	Extent         [4]float64 `json:"extent"` // x1,y1,x2,y2
+	GridNX         int        `json:"gridNX"`
+	GridNY         int        `json:"gridNY"`
+}
+
+// TileEstimate is one tile of a /api/browse response.
+type TileEstimate struct {
+	Rect      [4]float64 `json:"rect"`
+	Disjoint  int64      `json:"disjoint"`
+	Contains  int64      `json:"contains"`
+	Contained int64      `json:"contained"`
+	Overlap   int64      `json:"overlap"`
+}
+
+// BrowseResponse is the /api/browse response.
+type BrowseResponse struct {
+	Cols  int            `json:"cols"`
+	Rows  int            `json:"rows"`
+	Tiles []TileEstimate `json:"tiles"` // row-major from the south-west
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	g := s.est.Grid()
+	ext := g.Extent()
+	writeJSON(w, Info{
+		Dataset:        s.name,
+		Algorithm:      s.est.Name(),
+		Objects:        s.est.Count(),
+		StorageBuckets: s.est.StorageBuckets(),
+		Extent:         [4]float64{ext.XMin, ext.YMin, ext.XMax, ext.YMax},
+		GridNX:         g.NX(),
+		GridNY:         g.NY(),
+	})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	span, err := s.parseRegion(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, s.tile(span))
+}
+
+func (s *Server) handleBrowse(w http.ResponseWriter, r *http.Request) {
+	span, err := s.parseRegion(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cols, err := posIntParam(r, "cols")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rows, err := posIntParam(r, "rows")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	const maxTiles = 100_000
+	if cols*rows > maxTiles {
+		http.Error(w, fmt.Sprintf("tiling %dx%d exceeds the %d-tile limit", cols, rows, maxTiles),
+			http.StatusBadRequest)
+		return
+	}
+	qs, err := query.Browsing(span, cols, rows)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := BrowseResponse{Cols: cols, Rows: rows, Tiles: make([]TileEstimate, 0, len(qs.Tiles))}
+	for _, t := range qs.Tiles {
+		resp.Tiles = append(resp.Tiles, s.tile(t))
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) tile(span grid.Span) TileEstimate {
+	g := s.est.Grid()
+	rect := g.SpanRect(span)
+	est := s.est.Estimate(span).Clamped()
+	return TileEstimate{
+		Rect:      [4]float64{rect.XMin, rect.YMin, rect.XMax, rect.YMax},
+		Disjoint:  est.Disjoint,
+		Contains:  est.Contains,
+		Contained: est.Contained,
+		Overlap:   est.Overlap,
+	}
+}
+
+// parseRegion reads x1..y2 and converts them to a grid-aligned span.
+func (s *Server) parseRegion(r *http.Request) (grid.Span, error) {
+	return parseRegion(s.est.Grid(), r)
+}
+
+func parseRegion(g *grid.Grid, r *http.Request) (grid.Span, error) {
+	var vals [4]float64
+	for i, name := range []string{"x1", "y1", "x2", "y2"} {
+		raw := r.URL.Query().Get(name)
+		if raw == "" {
+			return grid.Span{}, fmt.Errorf("missing parameter %q", name)
+		}
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return grid.Span{}, fmt.Errorf("parameter %q: %v", name, err)
+		}
+		vals[i] = v
+	}
+	rect := geom.NewRect(vals[0], vals[1], vals[2], vals[3])
+	span, err := g.AlignedSpan(rect, 1e-9)
+	if err != nil {
+		return grid.Span{}, fmt.Errorf("region %v: %v", rect, err)
+	}
+	return span, nil
+}
+
+func posIntParam(r *http.Request, name string) (int, error) {
+	raw := r.URL.Query().Get(name)
+	v, err := strconv.Atoi(raw)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("parameter %q must be a positive integer, got %q", name, raw)
+	}
+	return v, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	// The response is assembled in memory; an encode failure here means the
+	// client went away, which the server cannot act on.
+	_ = enc.Encode(v)
+}

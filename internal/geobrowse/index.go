@@ -1,0 +1,83 @@
+package geobrowse
+
+import "net/http"
+
+// handleIndex serves a dependency-free heat-map client: it fetches
+// /api/browse for the whole data space and renders one colored cell per
+// tile, with the relation selectable — a minimal stand-in for the
+// GeoBrowsing "Map Browser" of Figure 1.
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(indexHTML))
+}
+
+const indexHTML = `<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>GeoBrowse</title>
+<style>
+  body { font-family: sans-serif; margin: 1.5rem; }
+  #map { display: grid; gap: 1px; background: #ccc; border: 1px solid #999; }
+  #map div { aspect-ratio: 2 / 1; }
+  .controls { margin-bottom: 1rem; display: flex; gap: 1rem; align-items: center; }
+  #meta { color: #555; font-size: 0.9rem; }
+</style>
+</head>
+<body>
+<h1>GeoBrowse</h1>
+<div class="controls">
+  <label>relation
+    <select id="relation">
+      <option value="contains">contains</option>
+      <option value="overlap">overlap</option>
+      <option value="contained">contained</option>
+      <option value="disjoint">disjoint</option>
+    </select>
+  </label>
+  <label>tiles <input id="cols" type="number" value="36" min="1" style="width:4em">
+   × <input id="rows" type="number" value="18" min="1" style="width:4em"></label>
+  <button id="go">browse</button>
+  <span id="meta"></span>
+</div>
+<div id="map"></div>
+<script>
+async function browse() {
+  const info = await (await fetch('api/info')).json();
+  const cols = +document.getElementById('cols').value;
+  const rows = +document.getElementById('rows').value;
+  const rel = document.getElementById('relation').value;
+  const [x1, y1, x2, y2] = info.extent;
+  const url = 'api/browse?x1=' + x1 + '&y1=' + y1 + '&x2=' + x2 + '&y2=' + y2 +
+    '&cols=' + cols + '&rows=' + rows;
+  const resp = await fetch(url);
+  if (!resp.ok) {
+    document.getElementById('meta').textContent = await resp.text();
+    return;
+  }
+  const data = await resp.json();
+  const max = Math.max(1, ...data.tiles.map(t => t[rel]));
+  const map = document.getElementById('map');
+  map.style.gridTemplateColumns = 'repeat(' + cols + ', 1fr)';
+  map.replaceChildren();
+  // Tiles arrive row-major from the south-west; render north-up.
+  for (let r = rows - 1; r >= 0; r--) {
+    for (let c = 0; c < cols; c++) {
+      const t = data.tiles[r * cols + c];
+      const v = t[rel];
+      const cell = document.createElement('div');
+      const shade = v === 0 ? 255 : Math.round(225 - 195 * Math.log1p(v) / Math.log1p(max));
+      cell.style.background = 'rgb(' + shade + ',' + shade + ',255)';
+      cell.title = '[' + t.rect.join(', ') + '] ' + rel + ': ' + v;
+      map.appendChild(cell);
+    }
+  }
+  document.getElementById('meta').textContent =
+    info.dataset + ' — ' + info.objects + ' objects via ' + info.algorithm;
+}
+document.getElementById('go').addEventListener('click', browse);
+browse();
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,56 @@
+package geom
+
+// Rel2Counts tallies how many objects fall into each Level 2 relation with
+// respect to one query: the quantities N_d, N_cs, N_cd, N_eq and N_o of
+// §4.2. Under the paper's shrinking convention Equals is always zero for
+// grid-aligned queries, but the field is kept so that exact evaluators over
+// raw (un-snapped) geometry can report it.
+type Rel2Counts struct {
+	Disjoint  int64 // N_d
+	Contains  int64 // N_cs: objects contained in the query
+	Contained int64 // N_cd: objects containing the query
+	Equals    int64 // N_eq
+	Overlap   int64 // N_o
+}
+
+// Add increments the tally for one classified object.
+func (c *Rel2Counts) Add(r Rel2) {
+	switch r {
+	case Rel2Disjoint:
+		c.Disjoint++
+	case Rel2Contains:
+		c.Contains++
+	case Rel2Contained:
+		c.Contained++
+	case Rel2Equals:
+		c.Equals++
+	case Rel2Overlap:
+		c.Overlap++
+	}
+}
+
+// Total returns the number of objects tallied, |S|.
+func (c Rel2Counts) Total() int64 {
+	return c.Disjoint + c.Contains + c.Contained + c.Equals + c.Overlap
+}
+
+// Intersecting returns n_ii, the number of objects whose interiors
+// intersect the query: everything but the disjoint ones.
+func (c Rel2Counts) Intersecting() int64 { return c.Total() - c.Disjoint }
+
+// Get returns the tally for one relation.
+func (c Rel2Counts) Get(r Rel2) int64 {
+	switch r {
+	case Rel2Disjoint:
+		return c.Disjoint
+	case Rel2Contains:
+		return c.Contains
+	case Rel2Contained:
+		return c.Contained
+	case Rel2Equals:
+		return c.Equals
+	case Rel2Overlap:
+		return c.Overlap
+	}
+	return 0
+}

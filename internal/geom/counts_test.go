@@ -1,0 +1,108 @@
+package geom
+
+import "testing"
+
+func TestRel2CountsAddGetTotal(t *testing.T) {
+	var c Rel2Counts
+	seq := []Rel2{
+		Rel2Disjoint, Rel2Disjoint,
+		Rel2Contains,
+		Rel2Contained, Rel2Contained, Rel2Contained,
+		Rel2Equals,
+		Rel2Overlap, Rel2Overlap,
+	}
+	for _, r := range seq {
+		c.Add(r)
+	}
+	want := Rel2Counts{Disjoint: 2, Contains: 1, Contained: 3, Equals: 1, Overlap: 2}
+	if c != want {
+		t.Fatalf("counts = %+v, want %+v", c, want)
+	}
+	if c.Total() != int64(len(seq)) {
+		t.Fatalf("Total = %d, want %d", c.Total(), len(seq))
+	}
+	if c.Intersecting() != 7 {
+		t.Fatalf("Intersecting = %d, want 7", c.Intersecting())
+	}
+	for _, r := range []Rel2{Rel2Disjoint, Rel2Contains, Rel2Contained, Rel2Equals, Rel2Overlap} {
+		var single Rel2Counts
+		single.Add(r)
+		if single.Get(r) != 1 || single.Total() != 1 {
+			t.Errorf("Get(%v) after Add = %d", r, single.Get(r))
+		}
+	}
+	if c.Get(Rel2(99)) != 0 {
+		t.Error("Get of invalid relation must be 0")
+	}
+	c.Add(Rel2(99)) // must be a no-op, not a panic
+	if c.Total() != int64(len(seq)) {
+		t.Error("Add of invalid relation changed the tally")
+	}
+}
+
+func TestLevel2Browse(t *testing.T) {
+	q := NewRect(0, 0, 10, 10)
+	cases := []struct {
+		name string
+		obj  Rect
+		want Rel2
+	}{
+		{"regular object delegates to Level2", NewRect(2, 2, 20, 20), Rel2Overlap},
+		{"point inside", NewRect(5, 5, 5, 5), Rel2Contains},
+		{"point on boundary", NewRect(10, 5, 10, 5), Rel2Overlap},
+		{"point outside", NewRect(11, 5, 11, 5), Rel2Disjoint},
+		{"segment inside", NewRect(2, 5, 8, 5), Rel2Contains},
+		{"segment crossing boundary", NewRect(5, 5, 15, 5), Rel2Overlap},
+		{"segment along boundary", NewRect(0, 0, 0, 10), Rel2Overlap},
+		{"segment outside", NewRect(20, 0, 20, 10), Rel2Disjoint},
+	}
+	for _, c := range cases {
+		if got := Level2Browse(q, c.obj); got != c.want {
+			t.Errorf("%s: Level2Browse = %v, want %v", c.name, got, c.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("degenerate query must panic")
+		}
+	}()
+	Level2Browse(NewRect(1, 1, 1, 5), NewRect(0, 0, 2, 2))
+}
+
+func TestRectString(t *testing.T) {
+	if got := NewRect(1, 2, 3, 4).String(); got != "[1,3]x[2,4]" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestRel3ToRel2AllCases(t *testing.T) {
+	cases := map[Rel3]Rel2{
+		Rel3Disjoint:  Rel2Disjoint,
+		Rel3Meet:      Rel2Disjoint,
+		Rel3Overlap:   Rel2Overlap,
+		Rel3Covers:    Rel2Contains,
+		Rel3Contains:  Rel2Contains,
+		Rel3CoveredBy: Rel2Contained,
+		Rel3Inside:    Rel2Contained,
+		Rel3Equal:     Rel2Equals,
+	}
+	for r3, want := range cases {
+		if got := Rel3ToRel2(r3); got != want {
+			t.Errorf("Rel3ToRel2(%v) = %v, want %v", r3, got, want)
+		}
+	}
+}
+
+func TestClipClampsAllSides(t *testing.T) {
+	bounds := NewRect(0, 0, 10, 10)
+	// Entirely above-right: both mins and maxes need clamping down.
+	c, ok := NewRect(20, 20, 30, 30).Clip(bounds)
+	if ok || c != NewRect(10, 10, 10, 10) {
+		t.Fatalf("Clip = %v/%t", c, ok)
+	}
+	// Entirely below-left.
+	c, ok = NewRect(-30, -30, -20, -20).Clip(bounds)
+	if ok || c != NewRect(0, 0, 0, 0) {
+		t.Fatalf("Clip = %v/%t", c, ok)
+	}
+}

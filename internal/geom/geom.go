@@ -1,0 +1,211 @@
+// Package geom provides the rectangle geometry underlying the spatial
+// histograms: minimal bounding rectangles (MBRs), point/rectangle
+// predicates, and the spatial relation models used by the paper — Level 1
+// (disjoint/intersect), Level 2 (the interior–exterior intersection model)
+// and Level 3 (the Egenhofer–Herring 9-intersection model).
+//
+// Throughout this package "interior" means the topological interior of a
+// rectangle (the open rectangle) and "boundary" its four edges. A rectangle
+// with zero width or height is degenerate: its interior is empty, so it can
+// only be disjoint from or overlap other regions under the Level 2 model;
+// higher layers snap such objects to grid cells before histogram insertion.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the 2-d data space.
+type Point struct {
+	X, Y float64
+}
+
+// Rect is an axis-aligned rectangle [XMin,XMax]×[YMin,YMax]. It is the MBR
+// representation used for every spatial object in the library. The zero
+// value is the degenerate rectangle at the origin.
+type Rect struct {
+	XMin, YMin, XMax, YMax float64
+}
+
+// NewRect returns the rectangle with the given bounds, normalizing the
+// coordinate order so that XMin <= XMax and YMin <= YMax.
+func NewRect(x1, y1, x2, y2 float64) Rect {
+	if x1 > x2 {
+		x1, x2 = x2, x1
+	}
+	if y1 > y2 {
+		y1, y2 = y2, y1
+	}
+	return Rect{XMin: x1, YMin: y1, XMax: x2, YMax: y2}
+}
+
+// RectFromCenter returns the rectangle of the given width and height
+// centered at c.
+func RectFromCenter(c Point, width, height float64) Rect {
+	return Rect{
+		XMin: c.X - width/2, YMin: c.Y - height/2,
+		XMax: c.X + width/2, YMax: c.Y + height/2,
+	}
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%g,%g]x[%g,%g]", r.XMin, r.XMax, r.YMin, r.YMax)
+}
+
+// Valid reports whether the rectangle's bounds are ordered and finite.
+func (r Rect) Valid() bool {
+	return r.XMin <= r.XMax && r.YMin <= r.YMax &&
+		!math.IsNaN(r.XMin) && !math.IsNaN(r.YMin) &&
+		!math.IsInf(r.XMin, 0) && !math.IsInf(r.YMin, 0) &&
+		!math.IsInf(r.XMax, 0) && !math.IsInf(r.YMax, 0)
+}
+
+// Width returns XMax - XMin.
+func (r Rect) Width() float64 { return r.XMax - r.XMin }
+
+// Height returns YMax - YMin.
+func (r Rect) Height() float64 { return r.YMax - r.YMin }
+
+// Area returns the area of the rectangle.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Center returns the center point of the rectangle.
+func (r Rect) Center() Point {
+	return Point{X: (r.XMin + r.XMax) / 2, Y: (r.YMin + r.YMax) / 2}
+}
+
+// Degenerate reports whether the rectangle has an empty interior, i.e. zero
+// width or zero height (points and axis-parallel line segments).
+func (r Rect) Degenerate() bool {
+	return r.XMin >= r.XMax || r.YMin >= r.YMax
+}
+
+// ContainsPoint reports whether p lies in the closed rectangle.
+func (r Rect) ContainsPoint(p Point) bool {
+	return p.X >= r.XMin && p.X <= r.XMax && p.Y >= r.YMin && p.Y <= r.YMax
+}
+
+// Intersects reports whether the closed rectangles share at least one point
+// (boundary contact counts).
+func (r Rect) Intersects(s Rect) bool {
+	return r.XMin <= s.XMax && s.XMin <= r.XMax &&
+		r.YMin <= s.YMax && s.YMin <= r.YMax
+}
+
+// InteriorsIntersect reports whether the open rectangles share at least one
+// point. This is the Level 1 "intersect" relation of the paper: boundary
+// contact alone does not count.
+func (r Rect) InteriorsIntersect(s Rect) bool {
+	return r.XMin < s.XMax && s.XMin < r.XMax &&
+		r.YMin < s.YMax && s.YMin < r.YMax
+}
+
+// Contains reports whether s lies entirely within the closed rectangle r
+// (boundary contact allowed).
+func (r Rect) Contains(s Rect) bool {
+	return s.XMin >= r.XMin && s.XMax <= r.XMax &&
+		s.YMin >= r.YMin && s.YMax <= r.YMax
+}
+
+// ContainsStrict reports whether the closed rectangle s lies entirely within
+// the interior of r, i.e. no boundary contact.
+func (r Rect) ContainsStrict(s Rect) bool {
+	return s.XMin > r.XMin && s.XMax < r.XMax &&
+		s.YMin > r.YMin && s.YMax < r.YMax
+}
+
+// Union returns the MBR of the two rectangles.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		XMin: math.Min(r.XMin, s.XMin),
+		YMin: math.Min(r.YMin, s.YMin),
+		XMax: math.Max(r.XMax, s.XMax),
+		YMax: math.Max(r.YMax, s.YMax),
+	}
+}
+
+// Intersection returns the overlap of the two closed rectangles and whether
+// it is non-empty. When the rectangles are disjoint the zero Rect is
+// returned with ok == false.
+func (r Rect) Intersection(s Rect) (overlap Rect, ok bool) {
+	if !r.Intersects(s) {
+		return Rect{}, false
+	}
+	return Rect{
+		XMin: math.Max(r.XMin, s.XMin),
+		YMin: math.Max(r.YMin, s.YMin),
+		XMax: math.Min(r.XMax, s.XMax),
+		YMax: math.Min(r.YMax, s.YMax),
+	}, true
+}
+
+// Expand returns the rectangle grown by d on every side. Negative d shrinks
+// the rectangle; the result is normalized so it stays valid (a rectangle
+// shrunk past its center collapses to its center point).
+func (r Rect) Expand(d float64) Rect {
+	out := Rect{XMin: r.XMin - d, YMin: r.YMin - d, XMax: r.XMax + d, YMax: r.YMax + d}
+	if out.XMin > out.XMax {
+		c := (r.XMin + r.XMax) / 2
+		out.XMin, out.XMax = c, c
+	}
+	if out.YMin > out.YMax {
+		c := (r.YMin + r.YMax) / 2
+		out.YMin, out.YMax = c, c
+	}
+	return out
+}
+
+// Translate returns the rectangle shifted by (dx, dy).
+func (r Rect) Translate(dx, dy float64) Rect {
+	return Rect{XMin: r.XMin + dx, YMin: r.YMin + dy, XMax: r.XMax + dx, YMax: r.YMax + dy}
+}
+
+// Clip returns the part of r inside bounds. If r lies entirely outside, the
+// returned rectangle is degenerate (collapsed onto the nearest edge of
+// bounds) and ok is false.
+func (r Rect) Clip(bounds Rect) (clipped Rect, ok bool) {
+	if c, hit := r.Intersection(bounds); hit {
+		return c, true
+	}
+	return Rect{
+		XMin: clampF(r.XMin, bounds.XMin, bounds.XMax),
+		YMin: clampF(r.YMin, bounds.YMin, bounds.YMax),
+		XMax: clampF(r.XMax, bounds.XMin, bounds.XMax),
+		YMax: clampF(r.YMax, bounds.YMin, bounds.YMax),
+	}, false
+}
+
+// EnlargementNeeded returns how much r's area must grow to cover s. It is
+// the classic R-tree insertion cost metric.
+func (r Rect) EnlargementNeeded(s Rect) float64 {
+	return r.Union(s).Area() - r.Area()
+}
+
+// Margin returns half the perimeter (width + height), the R*-tree split
+// goodness metric.
+func (r Rect) Margin() float64 { return r.Width() + r.Height() }
+
+// MBROf returns the minimal bounding rectangle of a non-empty set of
+// rectangles. It panics on an empty slice: an MBR of nothing is undefined.
+func MBROf(rects []Rect) Rect {
+	if len(rects) == 0 {
+		panic("geom: MBROf of empty slice")
+	}
+	out := rects[0]
+	for _, r := range rects[1:] {
+		out = out.Union(r)
+	}
+	return out
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

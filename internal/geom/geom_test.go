@@ -1,0 +1,268 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRectNormalizes(t *testing.T) {
+	r := NewRect(3, 4, 1, 2)
+	want := Rect{XMin: 1, YMin: 2, XMax: 3, YMax: 4}
+	if r != want {
+		t.Fatalf("NewRect(3,4,1,2) = %v, want %v", r, want)
+	}
+}
+
+func TestRectFromCenter(t *testing.T) {
+	r := RectFromCenter(Point{X: 10, Y: 20}, 4, 6)
+	want := Rect{XMin: 8, YMin: 17, XMax: 12, YMax: 23}
+	if r != want {
+		t.Fatalf("RectFromCenter = %v, want %v", r, want)
+	}
+	if got := r.Center(); got != (Point{X: 10, Y: 20}) {
+		t.Fatalf("Center = %v, want (10,20)", got)
+	}
+}
+
+func TestRectBasicProps(t *testing.T) {
+	r := NewRect(1, 2, 4, 6)
+	if got := r.Width(); got != 3 {
+		t.Errorf("Width = %g, want 3", got)
+	}
+	if got := r.Height(); got != 4 {
+		t.Errorf("Height = %g, want 4", got)
+	}
+	if got := r.Area(); got != 12 {
+		t.Errorf("Area = %g, want 12", got)
+	}
+	if got := r.Margin(); got != 7 {
+		t.Errorf("Margin = %g, want 7", got)
+	}
+	if r.Degenerate() {
+		t.Errorf("Degenerate = true for non-degenerate rect")
+	}
+	if !NewRect(1, 1, 1, 5).Degenerate() {
+		t.Errorf("zero-width rect should be degenerate")
+	}
+	if !NewRect(1, 1, 1, 1).Degenerate() {
+		t.Errorf("point rect should be degenerate")
+	}
+}
+
+func TestValid(t *testing.T) {
+	if !NewRect(0, 0, 1, 1).Valid() {
+		t.Errorf("unit rect should be valid")
+	}
+	if (Rect{XMin: 2, XMax: 1}).Valid() {
+		t.Errorf("reversed rect should be invalid")
+	}
+	if (Rect{XMin: math.NaN()}).Valid() {
+		t.Errorf("NaN rect should be invalid")
+	}
+	if (Rect{XMax: math.Inf(1), YMax: 1}).Valid() {
+		t.Errorf("Inf rect should be invalid")
+	}
+}
+
+func TestContainsPoint(t *testing.T) {
+	r := NewRect(0, 0, 2, 2)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{1, 1}, true},
+		{Point{0, 0}, true},  // corner is in the closed rect
+		{Point{2, 2}, true},  // corner
+		{Point{2, 1}, true},  // edge
+		{Point{3, 1}, false}, // outside
+		{Point{1, -0.001}, false},
+	}
+	for _, c := range cases {
+		if got := r.ContainsPoint(c.p); got != c.want {
+			t.Errorf("ContainsPoint(%v) = %t, want %t", c.p, got, c.want)
+		}
+	}
+}
+
+func TestIntersectsVsInteriors(t *testing.T) {
+	a := NewRect(0, 0, 2, 2)
+	b := NewRect(2, 0, 4, 2) // shares the edge x=2
+	if !a.Intersects(b) {
+		t.Errorf("closed rects sharing an edge must intersect")
+	}
+	if a.InteriorsIntersect(b) {
+		t.Errorf("open rects sharing only an edge must not intersect")
+	}
+	c := NewRect(1.5, 0.5, 3, 1)
+	if !a.InteriorsIntersect(c) {
+		t.Errorf("overlapping rects' interiors must intersect")
+	}
+	d := NewRect(10, 10, 11, 11)
+	if a.Intersects(d) || a.InteriorsIntersect(d) {
+		t.Errorf("far rects must be disjoint")
+	}
+	// Corner touch.
+	e := NewRect(2, 2, 3, 3)
+	if !a.Intersects(e) || a.InteriorsIntersect(e) {
+		t.Errorf("corner touch: closed intersect, open disjoint")
+	}
+}
+
+func TestContainment(t *testing.T) {
+	outer := NewRect(0, 0, 10, 10)
+	inner := NewRect(2, 2, 4, 4)
+	edge := NewRect(0, 2, 4, 4) // touches the boundary of outer
+	if !outer.Contains(inner) || !outer.ContainsStrict(inner) {
+		t.Errorf("inner must be (strictly) contained")
+	}
+	if !outer.Contains(edge) {
+		t.Errorf("edge-touching rect is contained (closed)")
+	}
+	if outer.ContainsStrict(edge) {
+		t.Errorf("edge-touching rect is not strictly contained")
+	}
+	if inner.Contains(outer) {
+		t.Errorf("inner cannot contain outer")
+	}
+	if !outer.Contains(outer) {
+		t.Errorf("a rect contains itself (closed)")
+	}
+	if outer.ContainsStrict(outer) {
+		t.Errorf("a rect does not strictly contain itself")
+	}
+}
+
+func TestUnionIntersection(t *testing.T) {
+	a := NewRect(0, 0, 2, 2)
+	b := NewRect(1, 1, 3, 4)
+	if got, want := a.Union(b), NewRect(0, 0, 3, 4); got != want {
+		t.Errorf("Union = %v, want %v", got, want)
+	}
+	got, ok := a.Intersection(b)
+	if !ok || got != NewRect(1, 1, 2, 2) {
+		t.Errorf("Intersection = %v/%t, want [1,2]x[1,2]/true", got, ok)
+	}
+	if _, ok := a.Intersection(NewRect(5, 5, 6, 6)); ok {
+		t.Errorf("disjoint Intersection reported ok")
+	}
+	// Edge-touching rectangles intersect in a degenerate rect.
+	ov, ok := a.Intersection(NewRect(2, 0, 3, 2))
+	if !ok || !ov.Degenerate() {
+		t.Errorf("edge touch intersection = %v/%t, want degenerate/true", ov, ok)
+	}
+}
+
+func TestExpand(t *testing.T) {
+	r := NewRect(2, 2, 4, 4)
+	if got, want := r.Expand(1), NewRect(1, 1, 5, 5); got != want {
+		t.Errorf("Expand(1) = %v, want %v", got, want)
+	}
+	if got, want := r.Expand(-0.5), NewRect(2.5, 2.5, 3.5, 3.5); got != want {
+		t.Errorf("Expand(-0.5) = %v, want %v", got, want)
+	}
+	// Over-shrinking collapses to the center, stays valid.
+	c := r.Expand(-10)
+	if !c.Valid() || c.Center() != r.Center() {
+		t.Errorf("over-shrunk rect = %v, want valid rect at center %v", c, r.Center())
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	r := NewRect(0, 0, 1, 2)
+	if got, want := r.Translate(5, -1), NewRect(5, -1, 6, 1); got != want {
+		t.Errorf("Translate = %v, want %v", got, want)
+	}
+}
+
+func TestClip(t *testing.T) {
+	bounds := NewRect(0, 0, 10, 10)
+	in, ok := NewRect(-5, 3, 5, 20).Clip(bounds)
+	if !ok || in != NewRect(0, 3, 5, 10) {
+		t.Errorf("Clip = %v/%t, want [0,5]x[3,10]/true", in, ok)
+	}
+	out, ok := NewRect(20, 20, 30, 30).Clip(bounds)
+	if ok {
+		t.Errorf("Clip of outside rect reported ok")
+	}
+	if !out.Valid() || !bounds.Contains(out) {
+		t.Errorf("clipped outside rect %v must collapse inside bounds", out)
+	}
+}
+
+func TestEnlargementNeeded(t *testing.T) {
+	a := NewRect(0, 0, 2, 2)
+	if got := a.EnlargementNeeded(NewRect(1, 1, 2, 2)); got != 0 {
+		t.Errorf("enlargement for contained rect = %g, want 0", got)
+	}
+	if got := a.EnlargementNeeded(NewRect(0, 0, 4, 2)); got != 4 {
+		t.Errorf("enlargement = %g, want 4", got)
+	}
+}
+
+func TestMBROf(t *testing.T) {
+	rects := []Rect{NewRect(0, 0, 1, 1), NewRect(5, -2, 6, 0), NewRect(2, 3, 3, 9)}
+	if got, want := MBROf(rects), NewRect(0, -2, 6, 9); got != want {
+		t.Errorf("MBROf = %v, want %v", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MBROf(nil) must panic")
+		}
+	}()
+	MBROf(nil)
+}
+
+// randRect produces rectangles on a small integer lattice so that boundary
+// cases (touching edges, equality, containment) occur frequently.
+func randRect(r *rand.Rand) Rect {
+	x1 := float64(r.Intn(8))
+	y1 := float64(r.Intn(8))
+	return NewRect(x1, y1, x1+float64(1+r.Intn(4)), y1+float64(1+r.Intn(4)))
+}
+
+func TestQuickUnionContainsBoth(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		a, b := randRect(r), randRect(r)
+		u := a.Union(b)
+		return u.Contains(a) && u.Contains(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntersectionSymmetric(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	f := func() bool {
+		a, b := randRect(r), randRect(r)
+		i1, ok1 := a.Intersection(b)
+		i2, ok2 := b.Intersection(a)
+		if ok1 != ok2 || i1 != i2 {
+			return false
+		}
+		if ok1 && (!a.Contains(i1) || !b.Contains(i1)) {
+			return false
+		}
+		return a.Intersects(b) == ok1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickInteriorsIntersectImpliesIntersects(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	f := func() bool {
+		a, b := randRect(r), randRect(r)
+		if a.InteriorsIntersect(b) && !a.Intersects(b) {
+			return false
+		}
+		return a.InteriorsIntersect(b) == b.InteriorsIntersect(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+package geom
+
+// IntersectionMatrix is a 9-intersection matrix (Equation 1 of the paper):
+// M[i][j] records whether part i of p intersects part j of q, where parts
+// are ordered interior, boundary, exterior.
+type IntersectionMatrix [3][3]bool
+
+// Matrix part indices.
+const (
+	Interior = 0
+	Boundary = 1
+	Exterior = 2
+)
+
+// String renders the matrix as three rows of 0/1.
+func (m IntersectionMatrix) String() string {
+	out := make([]byte, 0, 12)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if m[i][j] {
+				out = append(out, '1')
+			} else {
+				out = append(out, '0')
+			}
+		}
+		if i < 2 {
+			out = append(out, '\n')
+		}
+	}
+	return string(out)
+}
+
+// NineIntersection computes the 9-intersection matrix between two
+// non-degenerate rectangles. The computation is exact: each of the nine
+// point-set intersections is decided from the interval relations of the two
+// x-projections and the two y-projections.
+func NineIntersection(p, q Rect) IntersectionMatrix {
+	if p.Degenerate() || q.Degenerate() {
+		panic("geom: NineIntersection on degenerate rectangle")
+	}
+	var m IntersectionMatrix
+
+	// Exteriors of two bounded regions always intersect.
+	m[Exterior][Exterior] = true
+
+	ii := p.InteriorsIntersect(q)
+	m[Interior][Interior] = ii
+
+	pInQclosed := q.Contains(p)
+	qInPclosed := p.Contains(q)
+
+	// p.i ∩ q.e: some interior point of p lies outside closed q.
+	m[Interior][Exterior] = !pInQclosed
+	// p.e ∩ q.i: symmetric.
+	m[Exterior][Interior] = !qInPclosed
+
+	// p.b ∩ q.e: some boundary point of p lies strictly outside closed q.
+	// The boundary of p lies within closed q iff closed p ⊆ closed q.
+	m[Boundary][Exterior] = !pInQclosed
+	m[Exterior][Boundary] = !qInPclosed
+
+	// p.i ∩ q.b: a boundary point of q lies in the open rectangle p.
+	m[Interior][Boundary] = boundaryMeetsInterior(q, p)
+	m[Boundary][Interior] = boundaryMeetsInterior(p, q)
+
+	// p.b ∩ q.b: the two boundaries share a point.
+	m[Boundary][Boundary] = boundariesIntersect(p, q)
+
+	return m
+}
+
+// boundaryMeetsInterior reports whether the boundary of a intersects the
+// open rectangle b.
+func boundaryMeetsInterior(a, b Rect) bool {
+	// A boundary point of a inside open b exists iff one of a's four edges
+	// passes through the interior of b.
+	// Vertical edges of a at x = a.XMin and x = a.XMax, spanning a's y-range.
+	for _, x := range [2]float64{a.XMin, a.XMax} {
+		if x > b.XMin && x < b.XMax &&
+			a.YMin < b.YMax && b.YMin < a.YMax {
+			return true
+		}
+	}
+	for _, y := range [2]float64{a.YMin, a.YMax} {
+		if y > b.YMin && y < b.YMax &&
+			a.XMin < b.XMax && b.XMin < a.XMax {
+			return true
+		}
+	}
+	return false
+}
+
+// boundariesIntersect reports whether the boundaries of the two rectangles
+// share at least one point.
+func boundariesIntersect(a, b Rect) bool {
+	if !a.Intersects(b) {
+		return false
+	}
+	// If the closed rectangles intersect, the boundaries miss each other only
+	// when one open rectangle strictly contains the other closed rectangle.
+	if a.ContainsStrict(b) || b.ContainsStrict(a) {
+		return false
+	}
+	return true
+}
+
+// Classify maps a 9-intersection matrix of two hole-free regions to one of
+// the eight realizable Level 3 relations (Figure 3 of the paper). It panics
+// on a matrix that no pair of hole-free regions can produce.
+func (m IntersectionMatrix) Classify() Rel3 {
+	ii := m[Interior][Interior]
+	ie := m[Interior][Exterior]
+	ei := m[Exterior][Interior]
+	bb := m[Boundary][Boundary]
+
+	switch {
+	case !ii && !bb:
+		return Rel3Disjoint
+	case !ii && bb:
+		return Rel3Meet
+	case ii && ie && ei:
+		return Rel3Overlap
+	case ii && !ie && !ei:
+		if bb {
+			return Rel3Equal
+		}
+		panic("geom: unrealizable 9-intersection matrix (equal interiors, disjoint boundaries)")
+	case ii && !ie && ei:
+		// p.i∩q.e empty and q extends beyond p: p is inside q.
+		if bb {
+			return Rel3CoveredBy
+		}
+		return Rel3Inside
+	case ii && ie && !ei:
+		if bb {
+			return Rel3Covers
+		}
+		return Rel3Contains
+	}
+	panic("geom: unrealizable 9-intersection matrix")
+}

@@ -1,0 +1,221 @@
+package geom
+
+// The paper's three spatial relation "levels" (Figure 3):
+//
+//   - Level 1 distinguishes disjoint vs intersect using only the
+//     intersection of the two interiors. This is the only relation prior
+//     range-selectivity work supports.
+//   - Level 2 is the interior–exterior intersection model contributed by the
+//     paper: a 2×2 matrix of interior/exterior intersections distinguishing
+//     disjoint, contains, contained, equals, overlap.
+//   - Level 3 is the full 9-intersection model of Egenhofer & Herring with
+//     eight relations for hole-free regions.
+//
+// Relation names follow the paper's query-centric convention: for a query p
+// and object q, Contains means *the query contains the object* (counted in
+// N_cs) and Contained means *the query is contained in the object* (N_cd).
+
+// Rel1 is a Level 1 spatial relation.
+type Rel1 uint8
+
+// Level 1 relations.
+const (
+	Rel1Disjoint Rel1 = iota
+	Rel1Intersect
+)
+
+// String implements fmt.Stringer.
+func (r Rel1) String() string {
+	switch r {
+	case Rel1Disjoint:
+		return "disjoint"
+	case Rel1Intersect:
+		return "intersect"
+	}
+	return "rel1(invalid)"
+}
+
+// Rel2 is a Level 2 spatial relation under the interior–exterior
+// intersection model.
+type Rel2 uint8
+
+// Level 2 relations, query-centric: Rel2Contains means the query contains
+// the object; Rel2Contained means the object contains the query.
+const (
+	Rel2Disjoint Rel2 = iota
+	Rel2Contains
+	Rel2Contained
+	Rel2Equals
+	Rel2Overlap
+)
+
+// String implements fmt.Stringer.
+func (r Rel2) String() string {
+	switch r {
+	case Rel2Disjoint:
+		return "disjoint"
+	case Rel2Contains:
+		return "contains"
+	case Rel2Contained:
+		return "contained"
+	case Rel2Equals:
+		return "equals"
+	case Rel2Overlap:
+		return "overlap"
+	}
+	return "rel2(invalid)"
+}
+
+// Rel3 is a Level 3 spatial relation under the 9-intersection model,
+// restricted to the eight relations realizable between hole-free regions.
+type Rel3 uint8
+
+// Level 3 relations, query-centric: for query p and object q, Rel3Contains
+// means p contains q with no boundary contact, Rel3Covers means p contains q
+// with boundary contact, Rel3Inside / Rel3CoveredBy are the converses.
+const (
+	Rel3Disjoint Rel3 = iota
+	Rel3Meet
+	Rel3Overlap
+	Rel3Covers
+	Rel3Contains
+	Rel3CoveredBy
+	Rel3Inside
+	Rel3Equal
+)
+
+// String implements fmt.Stringer.
+func (r Rel3) String() string {
+	switch r {
+	case Rel3Disjoint:
+		return "disjoint"
+	case Rel3Meet:
+		return "meet"
+	case Rel3Overlap:
+		return "overlap"
+	case Rel3Covers:
+		return "covers"
+	case Rel3Contains:
+		return "contains"
+	case Rel3CoveredBy:
+		return "coveredBy"
+	case Rel3Inside:
+		return "inside"
+	case Rel3Equal:
+		return "equal"
+	}
+	return "rel3(invalid)"
+}
+
+// Level1 classifies the Level 1 relation between query p and object q: they
+// intersect iff their interiors intersect.
+func Level1(p, q Rect) Rel1 {
+	if p.InteriorsIntersect(q) {
+		return Rel1Intersect
+	}
+	return Rel1Disjoint
+}
+
+// Level2 classifies the Level 2 relation between query p and object q under
+// the interior–exterior intersection model (Equation 2 of the paper).
+//
+// The four matrix entries for rectangles reduce to:
+//
+//	p.i ∩ q.i ≠ ∅  — interiors overlap
+//	p.i ∩ q.e ≠ ∅  — p is not contained in q (some of p sticks out)
+//	p.e ∩ q.i ≠ ∅  — q is not contained in p
+//	p.e ∩ q.e ≠ ∅  — always true for bounded regions
+//
+// Degenerate rectangles have empty interiors and classify as disjoint from
+// everything; callers working at a grid resolution should snap such objects
+// to cells first (grid.Snap) so they acquire an interior.
+func Level2(p, q Rect) Rel2 {
+	if p.Degenerate() || q.Degenerate() {
+		return Rel2Disjoint
+	}
+	ii := p.InteriorsIntersect(q)
+	if !ii {
+		return Rel2Disjoint
+	}
+	// p.i ∩ q.e is empty iff closed p ⊆ closed q; for rectangles the
+	// interior of p escapes q exactly when p is not contained in q.
+	pInQ := q.Contains(p)
+	qInP := p.Contains(q)
+	switch {
+	case pInQ && qInP:
+		return Rel2Equals
+	case qInP:
+		return Rel2Contains
+	case pInQ:
+		return Rel2Contained
+	default:
+		return Rel2Overlap
+	}
+}
+
+// Level3 classifies the Level 3 relation between query p and object q under
+// the 9-intersection model, using the eight hole-free region relations.
+// Degenerate rectangles are not regions; Level3 panics on them to avoid
+// silently misclassifying (use Level1/Level2 or snap to a grid first).
+func Level3(p, q Rect) Rel3 {
+	if p.Degenerate() || q.Degenerate() {
+		panic("geom: Level3 on degenerate rectangle")
+	}
+	m := NineIntersection(p, q)
+	return m.Classify()
+}
+
+// Level2Browse classifies the Level 2 relation between a non-degenerate
+// query p and object q for browsing purposes: unlike Level2, a degenerate
+// object (point or axis-parallel segment) is treated as an infinitesimally
+// extended region — the same convention grid.Snap uses — so that every
+// dataset record participates in the counts:
+//
+//   - strictly inside p:            contains
+//   - touching p (boundary or not): overlap
+//   - outside closed p:             disjoint
+//
+// Non-degenerate objects classify exactly as Level2. Level2Browse panics on
+// a degenerate query: browsing tiles always have positive extent.
+func Level2Browse(p, q Rect) Rel2 {
+	if p.Degenerate() {
+		panic("geom: Level2Browse with degenerate query")
+	}
+	if !q.Degenerate() {
+		return Level2(p, q)
+	}
+	switch {
+	case !p.Intersects(q):
+		return Rel2Disjoint
+	case p.ContainsStrict(q):
+		return Rel2Contains
+	default:
+		return Rel2Overlap
+	}
+}
+
+// Rel2ToRel1 projects a Level 2 relation down to Level 1.
+func Rel2ToRel1(r Rel2) Rel1 {
+	if r == Rel2Disjoint {
+		return Rel1Disjoint
+	}
+	return Rel1Intersect
+}
+
+// Rel3ToRel2 projects a Level 3 relation down to Level 2 by discarding
+// boundary information: meet becomes disjoint (interiors do not intersect),
+// covers becomes contains, coveredBy becomes contained.
+func Rel3ToRel2(r Rel3) Rel2 {
+	switch r {
+	case Rel3Disjoint, Rel3Meet:
+		return Rel2Disjoint
+	case Rel3Contains, Rel3Covers:
+		return Rel2Contains
+	case Rel3Inside, Rel3CoveredBy:
+		return Rel2Contained
+	case Rel3Equal:
+		return Rel2Equals
+	default:
+		return Rel2Overlap
+	}
+}

@@ -1,0 +1,203 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevel1(t *testing.T) {
+	a := NewRect(0, 0, 2, 2)
+	cases := []struct {
+		q    Rect
+		want Rel1
+	}{
+		{NewRect(1, 1, 3, 3), Rel1Intersect},
+		{NewRect(2, 0, 3, 2), Rel1Disjoint}, // edge touch: interiors disjoint
+		{NewRect(5, 5, 6, 6), Rel1Disjoint},
+		{NewRect(0.5, 0.5, 1, 1), Rel1Intersect},
+	}
+	for _, c := range cases {
+		if got := Level1(a, c.q); got != c.want {
+			t.Errorf("Level1(%v, %v) = %v, want %v", a, c.q, got, c.want)
+		}
+	}
+}
+
+func TestLevel2(t *testing.T) {
+	q := NewRect(10, 10, 20, 20) // the query
+	cases := []struct {
+		name string
+		obj  Rect
+		want Rel2
+	}{
+		{"far disjoint", NewRect(0, 0, 5, 5), Rel2Disjoint},
+		{"edge meet is disjoint at level 2", NewRect(0, 10, 10, 20), Rel2Disjoint},
+		{"corner meet is disjoint", NewRect(5, 5, 10, 10), Rel2Disjoint},
+		{"object inside query", NewRect(12, 12, 15, 15), Rel2Contains},
+		{"object covers-inside query (boundary contact)", NewRect(10, 12, 15, 15), Rel2Contains},
+		{"object equals query", NewRect(10, 10, 20, 20), Rel2Equals},
+		{"object contains query", NewRect(5, 5, 30, 30), Rel2Contained},
+		{"object covers query with boundary contact", NewRect(10, 5, 30, 30), Rel2Contained},
+		{"partial overlap", NewRect(15, 15, 30, 30), Rel2Overlap},
+		{"crossover object", NewRect(5, 12, 30, 18), Rel2Overlap},
+	}
+	for _, c := range cases {
+		if got := Level2(q, c.obj); got != c.want {
+			t.Errorf("%s: Level2 = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestLevel2Degenerate(t *testing.T) {
+	q := NewRect(0, 0, 10, 10)
+	pt := NewRect(5, 5, 5, 5)
+	if got := Level2(q, pt); got != Rel2Disjoint {
+		t.Errorf("Level2 with degenerate object = %v, want disjoint", got)
+	}
+	if got := Level2(pt, q); got != Rel2Disjoint {
+		t.Errorf("Level2 with degenerate query = %v, want disjoint", got)
+	}
+}
+
+func TestLevel3(t *testing.T) {
+	q := NewRect(10, 10, 20, 20)
+	cases := []struct {
+		name string
+		obj  Rect
+		want Rel3
+	}{
+		{"disjoint", NewRect(0, 0, 5, 5), Rel3Disjoint},
+		{"meet on edge", NewRect(0, 10, 10, 20), Rel3Meet},
+		{"meet at corner", NewRect(5, 5, 10, 10), Rel3Meet},
+		{"overlap", NewRect(15, 15, 30, 30), Rel3Overlap},
+		{"contains (object strictly inside)", NewRect(12, 12, 15, 15), Rel3Contains},
+		{"covers (object inside touching)", NewRect(10, 12, 15, 15), Rel3Covers},
+		{"inside (query strictly inside object)", NewRect(5, 5, 30, 30), Rel3Inside},
+		{"coveredBy (query inside object touching)", NewRect(10, 5, 30, 30), Rel3CoveredBy},
+		{"equal", NewRect(10, 10, 20, 20), Rel3Equal},
+	}
+	for _, c := range cases {
+		if got := Level3(q, c.obj); got != c.want {
+			t.Errorf("%s: Level3 = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestLevel3PanicsOnDegenerate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Level3 on degenerate rect must panic")
+		}
+	}()
+	Level3(NewRect(0, 0, 1, 1), NewRect(2, 2, 2, 3))
+}
+
+func TestNineIntersectionContainsMatrix(t *testing.T) {
+	// Figure 2 of the paper: p contains q.
+	p := NewRect(0, 0, 10, 10)
+	q := NewRect(2, 2, 5, 5)
+	m := NineIntersection(p, q)
+	want := IntersectionMatrix{
+		{true, true, true},
+		{false, false, true},
+		{false, false, true},
+	}
+	if m != want {
+		t.Fatalf("NineIntersection contains matrix =\n%v\nwant\n%v", m, want)
+	}
+}
+
+func TestNineIntersectionDisjointMatrix(t *testing.T) {
+	m := NineIntersection(NewRect(0, 0, 1, 1), NewRect(5, 5, 6, 6))
+	want := IntersectionMatrix{
+		{false, false, true},
+		{false, false, true},
+		{true, true, true},
+	}
+	if m != want {
+		t.Fatalf("disjoint matrix =\n%v\nwant\n%v", m, want)
+	}
+}
+
+func TestIntersectionMatrixString(t *testing.T) {
+	m := NineIntersection(NewRect(0, 0, 1, 1), NewRect(5, 5, 6, 6))
+	if got, want := m.String(), "001\n001\n111"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestProjectionConsistency(t *testing.T) {
+	// Level3 projected down must agree with direct Level2 and Level1
+	// classification for every pair of lattice rectangles.
+	r := rand.New(rand.NewSource(7))
+	f := func() bool {
+		p, q := randRect(r), randRect(r)
+		l3 := Level3(p, q)
+		l2 := Level2(p, q)
+		l1 := Level1(p, q)
+		return Rel3ToRel2(l3) == l2 && Rel2ToRel1(l2) == l1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevel2Converse(t *testing.T) {
+	// Swapping arguments must swap contains/contained and keep the rest.
+	r := rand.New(rand.NewSource(8))
+	conv := map[Rel2]Rel2{
+		Rel2Disjoint:  Rel2Disjoint,
+		Rel2Contains:  Rel2Contained,
+		Rel2Contained: Rel2Contains,
+		Rel2Equals:    Rel2Equals,
+		Rel2Overlap:   Rel2Overlap,
+	}
+	f := func() bool {
+		p, q := randRect(r), randRect(r)
+		return Level2(q, p) == conv[Level2(p, q)]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelStrings(t *testing.T) {
+	if Rel1Intersect.String() != "intersect" || Rel1(9).String() != "rel1(invalid)" {
+		t.Error("Rel1 String broken")
+	}
+	for r, want := range map[Rel2]string{
+		Rel2Disjoint: "disjoint", Rel2Contains: "contains",
+		Rel2Contained: "contained", Rel2Equals: "equals", Rel2Overlap: "overlap",
+	} {
+		if r.String() != want {
+			t.Errorf("Rel2(%d).String() = %q, want %q", r, r.String(), want)
+		}
+	}
+	if Rel2(99).String() != "rel2(invalid)" {
+		t.Error("invalid Rel2 String broken")
+	}
+	for r, want := range map[Rel3]string{
+		Rel3Disjoint: "disjoint", Rel3Meet: "meet", Rel3Overlap: "overlap",
+		Rel3Covers: "covers", Rel3Contains: "contains",
+		Rel3CoveredBy: "coveredBy", Rel3Inside: "inside", Rel3Equal: "equal",
+	} {
+		if r.String() != want {
+			t.Errorf("Rel3(%d).String() = %q, want %q", r, r.String(), want)
+		}
+	}
+	if Rel3(99).String() != "rel3(invalid)" {
+		t.Error("invalid Rel3 String broken")
+	}
+}
+
+func TestNineIntersectionExteriorAlwaysTrue(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	f := func() bool {
+		p, q := randRect(r), randRect(r)
+		return NineIntersection(p, q)[Exterior][Exterior]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

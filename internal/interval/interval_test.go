@@ -1,0 +1,347 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDomainPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero n":     func() { NewDomain(0, 10, 0) },
+		"degenerate": func() { NewDomain(5, 5, 10) },
+		"inverted":   func() { NewDomain(10, 0, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: must panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+	d := NewDomain(0, 100, 50)
+	if d.N() != 50 || d.Lo() != 0 || d.Hi() != 100 || d.SegmentWidth() != 2 {
+		t.Fatalf("domain accessors broken: %+v", d)
+	}
+}
+
+func TestSnap(t *testing.T) {
+	d := NewDomain(0, 10, 10)
+	cases := []struct {
+		lo, hi float64
+		want   Seg
+		ok     bool
+	}{
+		{0.2, 0.8, Seg{0, 0}, true},
+		{1, 3, Seg{1, 2}, true}, // shrinking convention
+		{0.5, 2.5, Seg{0, 2}, true},
+		{5, 5, Seg{4, 4}, true},     // point on a line -> lower segment
+		{5.5, 5.5, Seg{5, 5}, true}, // point inside a segment
+		{0, 0, Seg{0, 0}, true},     // point at domain minimum
+		{-5, 15, Seg{0, 9}, true},   // clipped
+		{20, 30, Seg{}, false},      // outside
+		{3, 2, Seg{}, false},        // inverted
+	}
+	for _, c := range cases {
+		got, ok := d.Snap(c.lo, c.hi)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("Snap(%g,%g) = %v/%t, want %v/%t", c.lo, c.hi, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func randSegs(r *rand.Rand, n, count int) []Seg {
+	out := make([]Seg, count)
+	for k := range out {
+		i1 := r.Intn(n)
+		out[k] = Seg{I1: i1, I2: i1 + r.Intn(n-i1)}
+	}
+	return out
+}
+
+func buildHist(d *Domain, segs []Seg) *Histogram {
+	b := NewBuilder(d)
+	for _, s := range segs {
+		b.AddSeg(s)
+	}
+	return b.Build()
+}
+
+func TestHistogramInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(81))
+	f := func() bool {
+		n := 1 + r.Intn(30)
+		d := NewDomain(0, float64(n), n)
+		segs := randSegs(r, n, r.Intn(60))
+		h := buildHist(d, segs)
+		return h.Total() == int64(len(segs)) && h.Count() == int64(len(segs)) &&
+			h.StorageBuckets() == 2*n-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsideSumExact(t *testing.T) {
+	r := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.Intn(40)
+		d := NewDomain(0, float64(n), n)
+		segs := randSegs(r, n, 80)
+		h := buildHist(d, segs)
+		for qt := 0; qt < 20; qt++ {
+			i1 := r.Intn(n)
+			q := Seg{I1: i1, I2: i1 + r.Intn(n-i1)}
+			want := EvaluateQuery(segs, q)
+			if got := h.InsideSum(q); got != want.Total()-want.Disjoint {
+				t.Fatalf("InsideSum(%v) = %d, want %d", q, got, want.Total()-want.Disjoint)
+			}
+		}
+	}
+}
+
+func TestOutsideSumDoubleCountsContaining(t *testing.T) {
+	d := NewDomain(0, 10, 10)
+	q := Seg{I1: 4, I2: 5}
+	cases := []struct {
+		name string
+		seg  Seg
+		want int64
+	}{
+		{"containing counted twice", Seg{1, 8}, 2},
+		{"overlap counted once", Seg{3, 4}, 1},
+		{"disjoint counted once", Seg{0, 1}, 1},
+		{"contained counted zero", Seg{4, 4}, 0},
+	}
+	for _, c := range cases {
+		h := buildHist(d, []Seg{c.seg})
+		if got := h.OutsideSum(q); got != c.want {
+			t.Errorf("%s: OutsideSum = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestEstimateExactWhenOneSidedOrDisjoint(t *testing.T) {
+	// N_d is always exact; when a dataset has no containing (or no
+	// contained) intervals w.r.t. the query, everything is exact.
+	r := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 300; trial++ {
+		n := 4 + r.Intn(30)
+		d := NewDomain(0, float64(n), n)
+		i1 := r.Intn(n - 1)
+		q := Seg{I1: i1, I2: i1 + 1 + r.Intn(n-i1-1)}
+		var segs []Seg
+		onlyShort := r.Intn(2) == 0
+		for k := 0; k < 60; k++ {
+			s := randSegs(r, n, 1)[0]
+			if onlyShort && s.Len() > q.Len() {
+				continue // no containing intervals possible
+			}
+			if !onlyShort && s.Len() < q.Len()+2 {
+				continue // no contained intervals possible
+			}
+			segs = append(segs, s)
+		}
+		h := buildHist(d, segs)
+		got := h.Estimate(q)
+		want := EvaluateQuery(segs, q)
+		if got != (Counts{Disjoint: want.Disjoint, Contains: want.Contains,
+			Contained: want.Contained, Overlap: want.Overlap}) {
+			t.Fatalf("Estimate(%v) = %+v, want %+v (onlyShort=%t)", q, got, want, onlyShort)
+		}
+	}
+}
+
+func TestEstimateDifferenceAlwaysExact(t *testing.T) {
+	// For arbitrary datasets the difference N_cs − N_cd is exact even when
+	// the split is heuristic, and N_d is exact.
+	r := rand.New(rand.NewSource(84))
+	for trial := 0; trial < 300; trial++ {
+		n := 4 + r.Intn(30)
+		d := NewDomain(0, float64(n), n)
+		segs := randSegs(r, n, 80)
+		h := buildHist(d, segs)
+		i1 := r.Intn(n)
+		q := Seg{I1: i1, I2: i1 + r.Intn(n-i1)}
+		got := h.Estimate(q)
+		want := EvaluateQuery(segs, q)
+		if got.Disjoint != want.Disjoint {
+			t.Fatalf("N_d = %d, want %d", got.Disjoint, want.Disjoint)
+		}
+		if got.Contains-got.Contained != want.Contains-want.Contained {
+			t.Fatalf("N_cs−N_cd = %d, want %d",
+				got.Contains-got.Contained, want.Contains-want.Contained)
+		}
+		if got.Total() != want.Total() {
+			t.Fatalf("totals diverge")
+		}
+	}
+}
+
+func TestContainedInAnchoredOnly(t *testing.T) {
+	d := NewDomain(0, 10, 10)
+	h := buildHist(d, []Seg{{1, 2}, {0, 5}, {7, 9}})
+	if got := h.ContainedIn(Seg{I1: 0, I2: 5}); got != 2 {
+		t.Fatalf("ContainedIn(left) = %d, want 2", got)
+	}
+	if got := h.ContainedIn(Seg{I1: 6, I2: 9}); got != 1 {
+		t.Fatalf("ContainedIn(right) = %d, want 1", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("interior region must panic")
+		}
+	}()
+	h.ContainedIn(Seg{I1: 2, I2: 5})
+}
+
+func TestLengthPartitionedValidation(t *testing.T) {
+	d := NewDomain(0, 10, 10)
+	for name, lens := range map[string][]int{
+		"empty":      {},
+		"not one":    {2, 4},
+		"not sorted": {1, 5, 3},
+		"duplicate":  {1, 3, 3},
+	} {
+		if _, err := NewLengthPartitioned(d, lens, nil); err == nil {
+			t.Errorf("%s: must error", name)
+		}
+	}
+}
+
+func TestLengthPartitionedExactWithFullThresholds(t *testing.T) {
+	// With a threshold at qlen+1 for every query length used, no group
+	// straddles any query and every count is exact.
+	r := rand.New(rand.NewSource(85))
+	n := 24
+	d := NewDomain(0, float64(n), n)
+	segs := randSegs(r, n, 500)
+	qlens := []int{2, 4, 8}
+	lens := []int{1, 3, 5, 9} // thresholds at qlen+1 for each
+	lp, err := NewLengthPartitioned(d, lens, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.Count() != 500 || len(lp.Histograms()) != 4 {
+		t.Fatalf("partitioning broken: %d intervals, %d groups", lp.Count(), len(lp.Histograms()))
+	}
+	if lp.StorageBuckets() != 4*(2*n-1) {
+		t.Fatalf("storage = %d", lp.StorageBuckets())
+	}
+	for _, ql := range qlens {
+		for i1 := 0; i1+ql <= n; i1++ {
+			q := Seg{I1: i1, I2: i1 + ql - 1}
+			got := lp.Estimate(q)
+			want := EvaluateQuery(segs, q)
+			if got != want {
+				t.Fatalf("Q len %d at %d: got %+v, want %+v", ql, i1, got, want)
+			}
+		}
+	}
+}
+
+func TestLengthPartitionedBeatsSingle(t *testing.T) {
+	// On mixed-length data, partitioning reduces the contains error of the
+	// heuristic split.
+	r := rand.New(rand.NewSource(86))
+	n := 50
+	d := NewDomain(0, float64(n), n)
+	segs := randSegs(r, n, 2000)
+	single := buildHist(d, segs)
+	lp, err := NewLengthPartitioned(d, []int{1, 3, 6, 11, 21}, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errSingle, errLP, sum int64
+	for i1 := 0; i1+8 <= n; i1++ {
+		q := Seg{I1: i1, I2: i1 + 7}
+		want := EvaluateQuery(segs, q)
+		sum += want.Contains
+		errSingle += abs64(single.Estimate(q).Contains - want.Contains)
+		errLP += abs64(lp.Estimate(q).Contains - want.Contains)
+	}
+	if sum == 0 {
+		t.Fatal("degenerate workload")
+	}
+	if errLP >= errSingle {
+		t.Fatalf("partitioned error %d not better than single %d", errLP, errSingle)
+	}
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestOracleMatchesBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(87))
+	n := 30
+	d := NewDomain(0, float64(n), n)
+	segs := randSegs(r, n, 300)
+	o := NewOracle(d, segs)
+	if o.StorageCells() != n*n {
+		t.Fatalf("StorageCells = %d", o.StorageCells())
+	}
+	for trial := 0; trial < 500; trial++ {
+		i1 := r.Intn(n)
+		q := Seg{I1: i1, I2: i1 + r.Intn(n-i1)}
+		if got, want := o.Evaluate(q), EvaluateQuery(segs, q); got != want {
+			t.Fatalf("Oracle(%v) = %+v, want %+v", q, got, want)
+		}
+	}
+}
+
+func TestBuilderAddAndPanics(t *testing.T) {
+	d := NewDomain(0, 10, 10)
+	b := NewBuilder(d)
+	if !b.Add(1.5, 3.5) {
+		t.Fatal("in-domain Add must succeed")
+	}
+	if b.Add(20, 30) {
+		t.Fatal("outside Add must fail")
+	}
+	if b.Count() != 1 {
+		t.Fatalf("Count = %d", b.Count())
+	}
+	h := b.Build()
+	if h.Domain() != d || h.Total() != 1 {
+		t.Fatal("histogram accessors broken")
+	}
+	if h.Bucket(0) != 0 || h.Bucket(2) != 1 {
+		t.Fatalf("buckets wrong: %d %d", h.Bucket(0), h.Bucket(2))
+	}
+	for name, f := range map[string]func(){
+		"seg outside":  func() { b.AddSeg(Seg{I1: 0, I2: 10}) },
+		"seg inverted": func() { b.AddSeg(Seg{I1: 3, I2: 2}) },
+		"bucket range": func() { h.Bucket(99) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: must panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSegHelpers(t *testing.T) {
+	s := Seg{I1: 2, I2: 5}
+	if s.Len() != 4 || !s.Valid() || s.String() == "" {
+		t.Fatal("Seg helpers broken")
+	}
+	if !s.Contains(Seg{3, 4}) || s.Contains(Seg{0, 3}) {
+		t.Fatal("Contains broken")
+	}
+	if !(Seg{3, 4}).ContainsStrict(Seg{2, 5}) || (Seg{2, 4}).ContainsStrict(Seg{2, 5}) {
+		t.Fatal("ContainsStrict broken")
+	}
+	if !s.Intersects(Seg{5, 9}) || s.Intersects(Seg{6, 9}) {
+		t.Fatal("Intersects broken")
+	}
+}

@@ -1,0 +1,137 @@
+package interval
+
+import (
+	"fmt"
+	"sort"
+
+	"spatialhist/internal/prefixsum"
+)
+
+// LengthPartitioned is the 1-d analogue of M-EulerApprox: one histogram per
+// interval-length group. Because Histogram.Estimate is exact whenever a
+// group cannot contribute both contained and containing intervals, a query
+// of length L is answered exactly by every group except the one straddling
+// L — and a threshold at L+1 removes even that. Groups are defined by
+// snapped segment lengths: group i holds the intervals with
+// lens[i] ≤ segments < lens[i+1] (the last group is open-ended, the first
+// also takes anything shorter than lens[0]).
+type LengthPartitioned struct {
+	d     *Domain
+	lens  []int
+	hists []*Histogram
+	n     int64
+}
+
+// NewLengthPartitioned builds the per-group histograms. lens must be
+// ascending, start at 1, and contain no duplicates.
+func NewLengthPartitioned(d *Domain, lens []int, segs []Seg) (*LengthPartitioned, error) {
+	if len(lens) == 0 {
+		return nil, fmt.Errorf("interval: need at least one length threshold")
+	}
+	if lens[0] != 1 {
+		return nil, fmt.Errorf("interval: first length threshold must be 1, got %d", lens[0])
+	}
+	if !sort.IntsAreSorted(lens) {
+		return nil, fmt.Errorf("interval: thresholds %v not ascending", lens)
+	}
+	for i := 1; i < len(lens); i++ {
+		if lens[i] == lens[i-1] {
+			return nil, fmt.Errorf("interval: duplicate threshold %d", lens[i])
+		}
+	}
+	builders := make([]*Builder, len(lens))
+	for i := range builders {
+		builders[i] = NewBuilder(d)
+	}
+	lp := &LengthPartitioned{d: d, lens: append([]int(nil), lens...)}
+	for _, s := range segs {
+		builders[lp.groupOf(s.Len())].AddSeg(s)
+	}
+	for _, b := range builders {
+		h := b.Build()
+		lp.hists = append(lp.hists, h)
+		lp.n += h.Count()
+	}
+	return lp, nil
+}
+
+// groupOf returns the histogram index for an interval spanning the given
+// number of segments.
+func (lp *LengthPartitioned) groupOf(segLen int) int {
+	i := sort.SearchInts(lp.lens, segLen)
+	if i < len(lp.lens) && lp.lens[i] == segLen {
+		return i
+	}
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
+// Count returns the number of summarized intervals.
+func (lp *LengthPartitioned) Count() int64 { return lp.n }
+
+// StorageBuckets returns the total buckets across groups.
+func (lp *LengthPartitioned) StorageBuckets() int {
+	total := 0
+	for _, h := range lp.hists {
+		total += h.StorageBuckets()
+	}
+	return total
+}
+
+// Histograms returns the per-group histograms, shortest group first.
+func (lp *LengthPartitioned) Histograms() []*Histogram {
+	return append([]*Histogram(nil), lp.hists...)
+}
+
+// Estimate sums the per-group estimates. It is exact when no group's
+// length range straddles the query length (some members ≤ len(q), others
+// ≥ len(q)+2).
+func (lp *LengthPartitioned) Estimate(q Seg) Counts {
+	var out Counts
+	for _, h := range lp.hists {
+		c := h.Estimate(q)
+		out.Disjoint += c.Disjoint
+		out.Contains += c.Contains
+		out.Contained += c.Contained
+		out.Overlap += c.Overlap
+	}
+	return out
+}
+
+// Oracle answers exact 1-d Level 2 counts for arbitrary grid-aligned
+// queries by treating intervals as 2-d points (start, end) over a 2-d
+// prefix cube — the n(n+1)/2-class structure Theorem 3.1 proves necessary
+// for exact contains, specialized to one dimension.
+type Oracle struct {
+	d    *Domain
+	cube *prefixsum.Sum2D
+	n    int64
+}
+
+// NewOracle builds the exact structure, O(n²) storage.
+func NewOracle(d *Domain, segs []Seg) *Oracle {
+	src := make([]int64, d.n*d.n)
+	for _, s := range segs {
+		src[s.I1*d.n+s.I2]++
+	}
+	return &Oracle{d: d, cube: prefixsum.NewSum2D(src, d.n, d.n), n: int64(len(segs))}
+}
+
+// StorageCells returns the oracle's storage cost, n².
+func (o *Oracle) StorageCells() int { return o.d.n * o.d.n }
+
+// Evaluate returns the exact Level 2 counts for query q.
+func (o *Oracle) Evaluate(q Seg) Counts {
+	n := o.d.n
+	contains := o.cube.RangeSum(q.I1, 0, n-1, q.I2)
+	contained := o.cube.RangeSum(0, q.I2+1, q.I1-1, n-1)
+	intersect := o.cube.RangeSum(0, q.I1, q.I2, n-1)
+	return Counts{
+		Disjoint:  o.n - intersect,
+		Contains:  contains,
+		Contained: contained,
+		Overlap:   intersect - contains - contained,
+	}
+}

@@ -1,0 +1,177 @@
+// Package metrics implements the evaluation metrics of §6.1.3: the average
+// relative error of [APR99] used for all accuracy figures, plus scatter
+// series for the estimated-vs-exact plots and simple timing aggregation.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// AvgRelativeError returns the paper's accuracy metric for a query set:
+//
+//	( Σ_i |r_i − e_i| ) / ( Σ_i r_i )
+//
+// where r_i is the exact answer and e_i the estimate. It is NaN when every
+// exact answer is zero and the estimates are not (infinite relative error)
+// and 0 when both sums are zero. The slices must have equal length.
+func AvgRelativeError(exact, est []int64) float64 {
+	if len(exact) != len(est) {
+		panic(fmt.Sprintf("metrics: length mismatch %d vs %d", len(exact), len(est)))
+	}
+	var absErr, sum int64
+	for i := range exact {
+		d := exact[i] - est[i]
+		if d < 0 {
+			d = -d
+		}
+		absErr += d
+		sum += exact[i]
+	}
+	if sum == 0 {
+		if absErr == 0 {
+			return 0
+		}
+		return math.NaN()
+	}
+	return float64(absErr) / float64(sum)
+}
+
+// ScatterPoint is one (exact, estimated) pair of the Figure 13/15 plots.
+type ScatterPoint struct {
+	Exact, Estimated int64
+}
+
+// Scatter pairs exact and estimated answers for plotting.
+func Scatter(exact, est []int64) []ScatterPoint {
+	if len(exact) != len(est) {
+		panic(fmt.Sprintf("metrics: length mismatch %d vs %d", len(exact), len(est)))
+	}
+	out := make([]ScatterPoint, len(exact))
+	for i := range exact {
+		out[i] = ScatterPoint{Exact: exact[i], Estimated: est[i]}
+	}
+	return out
+}
+
+// ScatterStats summarizes how tightly a scatter hugs the y = x line.
+type ScatterStats struct {
+	N               int
+	MaxAbsError     int64
+	MeanAbsError    float64
+	AvgRelError     float64
+	WithinPct       float64 // fraction of points within 5% (or ±1) of exact
+	ExactMax        int64
+	EstimatedMax    int64
+	PearsonApprox   float64 // correlation of exact vs estimated
+	RegressionSlope float64 // least-squares slope through the origin
+}
+
+// Summarize computes ScatterStats for a set of points.
+func Summarize(points []ScatterPoint) ScatterStats {
+	s := ScatterStats{N: len(points)}
+	if len(points) == 0 {
+		return s
+	}
+	var sumAbs float64
+	var exact, est []int64
+	var within int
+	var sxy, sxx, syy, sx, sy float64
+	for _, p := range points {
+		d := p.Exact - p.Estimated
+		if d < 0 {
+			d = -d
+		}
+		if int64(d) > s.MaxAbsError {
+			s.MaxAbsError = d
+		}
+		sumAbs += float64(d)
+		if p.Exact > s.ExactMax {
+			s.ExactMax = p.Exact
+		}
+		if p.Estimated > s.EstimatedMax {
+			s.EstimatedMax = p.Estimated
+		}
+		tol := int64(math.Ceil(0.05 * float64(p.Exact)))
+		if tol < 1 {
+			tol = 1
+		}
+		if d <= tol {
+			within++
+		}
+		exact = append(exact, p.Exact)
+		est = append(est, p.Estimated)
+		x, y := float64(p.Exact), float64(p.Estimated)
+		sx += x
+		sy += y
+		sxy += x * y
+		sxx += x * x
+		syy += y * y
+	}
+	n := float64(len(points))
+	s.MeanAbsError = sumAbs / n
+	s.AvgRelError = AvgRelativeError(exact, est)
+	s.WithinPct = float64(within) / n
+	covXY := sxy - sx*sy/n
+	varX := sxx - sx*sx/n
+	varY := syy - sy*sy/n
+	if varX > 0 && varY > 0 {
+		s.PearsonApprox = covXY / math.Sqrt(varX*varY)
+	}
+	if sxx > 0 {
+		s.RegressionSlope = sxy / sxx
+	}
+	return s
+}
+
+// Timing aggregates wall-clock measurements of query-set processing
+// (Figure 19).
+type Timing struct {
+	Queries int
+	Total   time.Duration
+}
+
+// PerQuery returns the mean time per query.
+func (t Timing) PerQuery() time.Duration {
+	if t.Queries == 0 {
+		return 0
+	}
+	return t.Total / time.Duration(t.Queries)
+}
+
+// String implements fmt.Stringer.
+func (t Timing) String() string {
+	return fmt.Sprintf("%d queries in %v (%v/query)", t.Queries, t.Total, t.PerQuery())
+}
+
+// Measure runs f repeatedly (at least once, until minDuration has elapsed)
+// and returns the per-run Timing with the best (smallest) total, the usual
+// way to get a stable wall-clock number for sub-millisecond workloads.
+func Measure(queries int, minDuration time.Duration, f func()) Timing {
+	best := time.Duration(math.MaxInt64)
+	var elapsed time.Duration
+	for runs := 0; runs == 0 || elapsed < minDuration; runs++ {
+		start := time.Now()
+		f()
+		d := time.Since(start)
+		elapsed += d
+		if d < best {
+			best = d
+		}
+	}
+	return Timing{Queries: queries, Total: best}
+}
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) of the values using the
+// nearest-rank method. It panics on an empty slice.
+func Quantile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		panic("metrics: quantile of empty slice")
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

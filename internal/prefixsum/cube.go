@@ -1,0 +1,136 @@
+package prefixsum
+
+import "fmt"
+
+// Cube is a d-dimensional prefix-sum data cube [HAMS97]. After construction
+// it answers the sum over any axis-aligned inclusive box in O(2^d) lookups.
+//
+// The paper uses the 4-d instance to discuss treating 2-d rectangles as 4-d
+// points (x1, y1, x2, y2): COUNT over a 4-d dominance box then answers
+// Level 2 relation queries exactly, at the cost of N^2 storage — the
+// infeasible-but-exact alternative of §2 and Theorem 3.1.
+type Cube struct {
+	dims    []int
+	strides []int
+	p       []int64
+}
+
+// NewCube builds a prefix-sum cube over a row-major d-dimensional array.
+// dims lists the size of every dimension; the source length must equal the
+// product of the dims. A zero-dimensional cube holds a single scalar.
+func NewCube(src []int64, dims []int) *Cube {
+	size := 1
+	for _, d := range dims {
+		if d <= 0 {
+			panic(fmt.Sprintf("prefixsum: non-positive dimension %d", d))
+		}
+		size *= d
+	}
+	if len(src) != size {
+		panic(fmt.Sprintf("prefixsum: source length %d does not match dims %v", len(src), dims))
+	}
+	c := &Cube{
+		dims:    append([]int(nil), dims...),
+		strides: make([]int, len(dims)),
+		p:       make([]int64, size),
+	}
+	copy(c.p, src)
+	stride := 1
+	for k := len(dims) - 1; k >= 0; k-- {
+		c.strides[k] = stride
+		stride *= dims[k]
+	}
+	// Prefix along each dimension in turn: after pass k, p holds prefix
+	// sums over dimensions k..d-1.
+	for k := len(dims) - 1; k >= 0; k-- {
+		c.prefixAlong(k)
+	}
+	return c
+}
+
+// prefixAlong accumulates p in place along dimension k.
+func (c *Cube) prefixAlong(k int) {
+	dk, sk := c.dims[k], c.strides[k]
+	// Iterate over all "columns" along dimension k: indices whose k-th
+	// coordinate is 0, then add p[idx] += p[idx - sk] walking coordinate k.
+	outer := len(c.p) / dk
+	// Decompose flat index: idx = hi*(dk*sk) + lo, lo in [0, sk).
+	block := dk * sk
+	for o := 0; o < outer; o++ {
+		hi := o / sk
+		lo := o % sk
+		base := hi*block + lo
+		for x := 1; x < dk; x++ {
+			c.p[base+x*sk] += c.p[base+(x-1)*sk]
+		}
+	}
+}
+
+// Dims returns a copy of the cube's dimensions.
+func (c *Cube) Dims() []int { return append([]int(nil), c.dims...) }
+
+// Size returns the number of cells in the cube.
+func (c *Cube) Size() int { return len(c.p) }
+
+// Total returns the sum of the whole array.
+func (c *Cube) Total() int64 { return c.p[len(c.p)-1] }
+
+// at returns the prefix value at the given coordinates, with any negative
+// coordinate yielding 0.
+func (c *Cube) at(coord []int) int64 {
+	idx := 0
+	for k, x := range coord {
+		if x < 0 {
+			return 0
+		}
+		idx += x * c.strides[k]
+	}
+	return c.p[idx]
+}
+
+// RangeSum returns the sum over the inclusive box lo..hi (one pair per
+// dimension). Coordinates are clamped to the cube; inverted ranges sum to
+// zero. It panics if the slice lengths do not match the dimensionality:
+// that is a programming error, not a data error.
+func (c *Cube) RangeSum(lo, hi []int) int64 {
+	d := len(c.dims)
+	if len(lo) != d || len(hi) != d {
+		panic(fmt.Sprintf("prefixsum: RangeSum bounds rank %d/%d, cube rank %d", len(lo), len(hi), d))
+	}
+	cl := make([]int, d)
+	ch := make([]int, d)
+	for k := 0; k < d; k++ {
+		l, h := lo[k], hi[k]
+		if l < 0 {
+			l = 0
+		}
+		if h >= c.dims[k] {
+			h = c.dims[k] - 1
+		}
+		if l > h {
+			return 0
+		}
+		cl[k], ch[k] = l, h
+	}
+	// Inclusion–exclusion over the 2^d corners.
+	var sum int64
+	corner := make([]int, d)
+	for mask := 0; mask < 1<<d; mask++ {
+		bits := 0
+		for k := 0; k < d; k++ {
+			if mask&(1<<k) != 0 {
+				corner[k] = cl[k] - 1
+				bits++
+			} else {
+				corner[k] = ch[k]
+			}
+		}
+		v := c.at(corner)
+		if bits%2 == 0 {
+			sum += v
+		} else {
+			sum -= v
+		}
+	}
+	return sum
+}

@@ -1,0 +1,90 @@
+// Package prefixsum implements the prefix-sum data cube of Ho, Agrawal,
+// Megiddo and Srikant (SIGMOD'97), the aggregation technique the paper
+// builds its cumulative histograms on (§5.2): after an O(size)
+// precomputation, the sum over any axis-aligned range of an array is
+// answered in constant time (2^d lookups for d dimensions).
+//
+// Sum2D is the specialized 2-d form used by the Euler histograms; Cube is
+// the general d-dimensional form used to realize the "rectangles as 4-d
+// points" exact alternative discussed in §2 of the paper.
+package prefixsum
+
+import "fmt"
+
+// Sum2D is a 2-d prefix-sum array: P[i][j] = sum of src[0..i][0..j].
+// It answers inclusive rectangular range sums in constant time.
+type Sum2D struct {
+	nx, ny int
+	p      []int64 // (nx)x(ny), row-major: p[i*ny+j]
+}
+
+// NewSum2D builds the prefix sums of an nx×ny row-major array. The source
+// slice must have exactly nx*ny entries.
+func NewSum2D(src []int64, nx, ny int) *Sum2D {
+	if nx < 0 || ny < 0 || len(src) != nx*ny {
+		panic(fmt.Sprintf("prefixsum: source length %d does not match %dx%d", len(src), nx, ny))
+	}
+	p := make([]int64, nx*ny)
+	copy(p, src)
+	// Prefix along y within each row.
+	for i := 0; i < nx; i++ {
+		row := p[i*ny : (i+1)*ny]
+		for j := 1; j < ny; j++ {
+			row[j] += row[j-1]
+		}
+	}
+	// Prefix along x across rows.
+	for i := 1; i < nx; i++ {
+		prev := p[(i-1)*ny : i*ny]
+		row := p[i*ny : (i+1)*ny]
+		for j := 0; j < ny; j++ {
+			row[j] += prev[j]
+		}
+	}
+	return &Sum2D{nx: nx, ny: ny, p: p}
+}
+
+// NX returns the first dimension size.
+func (s *Sum2D) NX() int { return s.nx }
+
+// NY returns the second dimension size.
+func (s *Sum2D) NY() int { return s.ny }
+
+// Total returns the sum of the whole array.
+func (s *Sum2D) Total() int64 {
+	if s.nx == 0 || s.ny == 0 {
+		return 0
+	}
+	return s.p[s.nx*s.ny-1]
+}
+
+// at returns P(i,j) with the convention P(-1,·) = P(·,-1) = 0.
+func (s *Sum2D) at(i, j int) int64 {
+	if i < 0 || j < 0 {
+		return 0
+	}
+	return s.p[i*s.ny+j]
+}
+
+// RangeSum returns the sum of src over the inclusive range
+// [i1..i2]×[j1..j2]. Ranges are clamped to the array; an inverted or fully
+// outside range sums to zero, which lets callers pass empty regions (e.g. a
+// region A side rectangle of width zero) without special-casing.
+func (s *Sum2D) RangeSum(i1, j1, i2, j2 int) int64 {
+	if i1 < 0 {
+		i1 = 0
+	}
+	if j1 < 0 {
+		j1 = 0
+	}
+	if i2 >= s.nx {
+		i2 = s.nx - 1
+	}
+	if j2 >= s.ny {
+		j2 = s.ny - 1
+	}
+	if i1 > i2 || j1 > j2 {
+		return 0
+	}
+	return s.at(i2, j2) - s.at(i1-1, j2) - s.at(i2, j1-1) + s.at(i1-1, j1-1)
+}

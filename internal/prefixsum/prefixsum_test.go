@@ -1,0 +1,203 @@
+package prefixsum
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func naiveSum2D(src []int64, nx, ny, i1, j1, i2, j2 int) int64 {
+	var s int64
+	for i := max(i1, 0); i <= min(i2, nx-1); i++ {
+		for j := max(j1, 0); j <= min(j2, ny-1); j++ {
+			s += src[i*ny+j]
+		}
+	}
+	return s
+}
+
+func TestSum2DSmall(t *testing.T) {
+	src := []int64{
+		1, 2, 3,
+		4, 5, 6,
+	}
+	s := NewSum2D(src, 2, 3)
+	if s.NX() != 2 || s.NY() != 3 {
+		t.Fatalf("dims wrong")
+	}
+	if got := s.Total(); got != 21 {
+		t.Fatalf("Total = %d, want 21", got)
+	}
+	cases := []struct {
+		i1, j1, i2, j2 int
+		want           int64
+	}{
+		{0, 0, 1, 2, 21},
+		{0, 0, 0, 0, 1},
+		{1, 1, 1, 2, 11},
+		{0, 1, 1, 1, 7},
+		{1, 0, 0, 0, 0},      // inverted
+		{-5, -5, 10, 10, 21}, // clamped
+		{2, 0, 3, 2, 0},      // fully outside
+	}
+	for _, c := range cases {
+		if got := s.RangeSum(c.i1, c.j1, c.i2, c.j2); got != c.want {
+			t.Errorf("RangeSum(%d,%d,%d,%d) = %d, want %d", c.i1, c.j1, c.i2, c.j2, got, c.want)
+		}
+	}
+}
+
+func TestSum2DPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSum2D with mismatched length must panic")
+		}
+	}()
+	NewSum2D(make([]int64, 5), 2, 3)
+}
+
+func TestSum2DEmpty(t *testing.T) {
+	s := NewSum2D(nil, 0, 0)
+	if s.Total() != 0 || s.RangeSum(0, 0, 10, 10) != 0 {
+		t.Fatal("empty Sum2D must be all zeros")
+	}
+}
+
+func TestSum2DQuickAgainstNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	const nx, ny = 13, 9
+	src := make([]int64, nx*ny)
+	for i := range src {
+		src[i] = int64(r.Intn(21) - 10) // negatives matter: Euler edges are negative
+	}
+	s := NewSum2D(src, nx, ny)
+	f := func() bool {
+		i1, j1 := r.Intn(nx+4)-2, r.Intn(ny+4)-2
+		i2, j2 := r.Intn(nx+4)-2, r.Intn(ny+4)-2
+		return s.RangeSum(i1, j1, i2, j2) == naiveSum2D(src, nx, ny, i1, j1, i2, j2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func naiveCubeSum(src []int64, dims, lo, hi []int) int64 {
+	d := len(dims)
+	strides := make([]int, d)
+	stride := 1
+	for k := d - 1; k >= 0; k-- {
+		strides[k] = stride
+		stride *= dims[k]
+	}
+	var sum int64
+	coord := make([]int, d)
+	for k := 0; k < d; k++ {
+		coord[k] = max(lo[k], 0)
+		if coord[k] > min(hi[k], dims[k]-1) {
+			return 0
+		}
+	}
+	for {
+		idx := 0
+		for k := 0; k < d; k++ {
+			idx += coord[k] * strides[k]
+		}
+		sum += src[idx]
+		k := d - 1
+		for k >= 0 {
+			coord[k]++
+			if coord[k] <= min(hi[k], dims[k]-1) {
+				break
+			}
+			coord[k] = max(lo[k], 0)
+			k--
+		}
+		if k < 0 {
+			return sum
+		}
+	}
+}
+
+func TestCube1DMatchesPrefix(t *testing.T) {
+	src := []int64{3, 1, 4, 1, 5}
+	c := NewCube(src, []int{5})
+	if c.Total() != 14 {
+		t.Fatalf("Total = %d, want 14", c.Total())
+	}
+	if got := c.RangeSum([]int{1}, []int{3}); got != 6 {
+		t.Fatalf("RangeSum[1..3] = %d, want 6", got)
+	}
+}
+
+func TestCube2DMatchesSum2D(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	const nx, ny = 7, 11
+	src := make([]int64, nx*ny)
+	for i := range src {
+		src[i] = int64(r.Intn(9) - 4)
+	}
+	s2 := NewSum2D(src, nx, ny)
+	c := NewCube(src, []int{nx, ny})
+	for trial := 0; trial < 1000; trial++ {
+		i1, j1 := r.Intn(nx), r.Intn(ny)
+		i2, j2 := i1+r.Intn(nx-i1), j1+r.Intn(ny-j1)
+		a := s2.RangeSum(i1, j1, i2, j2)
+		b := c.RangeSum([]int{i1, j1}, []int{i2, j2})
+		if a != b {
+			t.Fatalf("Cube/Sum2D disagree at (%d,%d,%d,%d): %d vs %d", i1, j1, i2, j2, a, b)
+		}
+	}
+}
+
+func TestCube4DAgainstNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	dims := []int{4, 3, 5, 2}
+	size := 4 * 3 * 5 * 2
+	src := make([]int64, size)
+	for i := range src {
+		src[i] = int64(r.Intn(7) - 3)
+	}
+	c := NewCube(src, dims)
+	if got, want := c.Size(), size; got != want {
+		t.Fatalf("Size = %d, want %d", got, want)
+	}
+	for trial := 0; trial < 2000; trial++ {
+		lo := make([]int, 4)
+		hi := make([]int, 4)
+		for k := range dims {
+			lo[k] = r.Intn(dims[k]+2) - 1
+			hi[k] = r.Intn(dims[k]+2) - 1
+		}
+		got := c.RangeSum(lo, hi)
+		want := naiveCubeSum(src, dims, lo, hi)
+		if got != want {
+			t.Fatalf("RangeSum(%v,%v) = %d, want %d", lo, hi, got, want)
+		}
+	}
+}
+
+func TestCubePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"bad dims":   func() { NewCube(make([]int64, 4), []int{2, 3}) },
+		"zero dim":   func() { NewCube(nil, []int{0}) },
+		"rank error": func() { NewCube(make([]int64, 4), []int{2, 2}).RangeSum([]int{0}, []int{1, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: must panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCubeDims(t *testing.T) {
+	c := NewCube(make([]int64, 6), []int{2, 3})
+	d := c.Dims()
+	d[0] = 99 // mutation must not leak into the cube
+	if got := c.Dims(); got[0] != 2 || got[1] != 3 {
+		t.Fatalf("Dims leaked mutation: %v", got)
+	}
+}

@@ -1,0 +1,124 @@
+package query
+
+import (
+	"testing"
+
+	"spatialhist/internal/grid"
+)
+
+func TestQNPaperCounts(t *testing.T) {
+	g := grid.NewUnit(360, 180)
+	wantCounts := map[int]int{
+		20: 18 * 9, 10: 36 * 18, 2: 180 * 90,
+	}
+	for n, want := range wantCounts {
+		s, err := QN(g, n)
+		if err != nil {
+			t.Fatalf("QN(%d): %v", n, err)
+		}
+		if s.Len() != want {
+			t.Errorf("Q%d has %d tiles, want %d", n, s.Len(), want)
+		}
+		if s.TileW != n || s.TileH != n {
+			t.Errorf("Q%d tile size %dx%d", n, s.TileW, s.TileH)
+		}
+	}
+	// Q10 is the paper's example: 648 queries.
+	s, _ := QN(g, 10)
+	if s.Len() != 648 {
+		t.Errorf("Q10 = %d queries, want 648", s.Len())
+	}
+}
+
+func TestQNTilesPartitionSpace(t *testing.T) {
+	g := grid.NewUnit(60, 30)
+	s, err := QN(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := make(map[[2]int]int)
+	for _, tile := range s.Tiles {
+		if !tile.Valid() || tile.I1 < 0 || tile.J1 < 0 || tile.I2 >= 60 || tile.J2 >= 30 {
+			t.Fatalf("tile %v outside grid", tile)
+		}
+		if tile.Width() != 5 || tile.Height() != 5 {
+			t.Fatalf("tile %v has wrong size", tile)
+		}
+		for i := tile.I1; i <= tile.I2; i++ {
+			for j := tile.J1; j <= tile.J2; j++ {
+				covered[[2]int{i, j}]++
+			}
+		}
+	}
+	if len(covered) != 60*30 {
+		t.Fatalf("tiles cover %d cells, want %d", len(covered), 60*30)
+	}
+	for cell, times := range covered {
+		if times != 1 {
+			t.Fatalf("cell %v covered %d times", cell, times)
+		}
+	}
+}
+
+func TestQNErrors(t *testing.T) {
+	g := grid.NewUnit(360, 180)
+	if _, err := QN(g, 7); err == nil {
+		t.Error("non-dividing tile size must error")
+	}
+	if _, err := QN(g, 0); err == nil {
+		t.Error("zero tile size must error")
+	}
+}
+
+func TestBrowsing(t *testing.T) {
+	region := grid.Span{I1: 10, J1: 20, I2: 31, J2: 31} // 22x12 cells
+	s, err := Browsing(region, 11, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 44 || s.TileW != 2 || s.TileH != 3 {
+		t.Fatalf("Browsing = %v", s)
+	}
+	// Row-major order from the SW corner.
+	if s.Tiles[0] != (grid.Span{I1: 10, J1: 20, I2: 11, J2: 22}) {
+		t.Errorf("first tile = %v", s.Tiles[0])
+	}
+	if s.Tiles[1].I1 != 12 {
+		t.Errorf("second tile = %v, want next column", s.Tiles[1])
+	}
+	if s.Tiles[11].J1 != 23 {
+		t.Errorf("tile 11 = %v, want second row", s.Tiles[11])
+	}
+
+	if _, err := Browsing(region, 5, 4); err == nil {
+		t.Error("non-dividing cols must error")
+	}
+	if _, err := Browsing(region, 0, 4); err == nil {
+		t.Error("zero cols must error")
+	}
+	if _, err := Browsing(grid.Span{I1: 5, I2: 3, J2: 0}, 1, 1); err == nil {
+		t.Error("invalid region must error")
+	}
+}
+
+func TestAllPaperSets(t *testing.T) {
+	g := grid.NewUnit(360, 180)
+	sets, err := AllPaperSets(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 11 {
+		t.Fatalf("got %d sets, want 11", len(sets))
+	}
+	if sets[0].Name != "Q20" || sets[len(sets)-1].Name != "Q2" {
+		t.Errorf("set order wrong: %s .. %s", sets[0].Name, sets[len(sets)-1].Name)
+	}
+	// Q2 is the largest set: 16,200 queries (§6.5).
+	if sets[len(sets)-1].Len() != 16200 {
+		t.Errorf("Q2 = %d queries, want 16200", sets[len(sets)-1].Len())
+	}
+	// A grid not divisible by all paper sizes must fail.
+	if _, err := AllPaperSets(grid.NewUnit(100, 100)); err == nil {
+		t.Error("AllPaperSets on 100x100 must error (15 does not divide 100)")
+	}
+}

@@ -1,0 +1,49 @@
+package rtree
+
+import "fmt"
+
+// check validates the subtree rooted at n and returns its depth. Fan-out
+// minimums are not enforced on the root (standard R-tree relaxation) and
+// maximums always are. Bulk-loaded trees may under-fill the last node per
+// level, so minimums below the root are only enforced for trees built by
+// dynamic insertion; rather than track provenance, check enforces the
+// universally true bound: at least one entry, at most maxEntries.
+func (n *node) check(t *Tree, isRoot bool) (depth int, err error) {
+	cnt := n.entryCount()
+	if cnt == 0 && !isRoot {
+		return 0, fmt.Errorf("rtree: empty non-root node")
+	}
+	if cnt > t.maxEntries {
+		return 0, fmt.Errorf("rtree: node with %d entries exceeds max %d", cnt, t.maxEntries)
+	}
+	if n.leaf {
+		if len(n.rects) != len(n.ids) {
+			return 0, fmt.Errorf("rtree: leaf rects/ids length mismatch %d/%d", len(n.rects), len(n.ids))
+		}
+		for _, r := range n.rects {
+			if !n.mbr.Contains(r) {
+				return 0, fmt.Errorf("rtree: leaf MBR %v does not cover entry %v", n.mbr, r)
+			}
+		}
+		return 1, nil
+	}
+	if len(n.rects) != 0 || len(n.ids) != 0 {
+		return 0, fmt.Errorf("rtree: internal node carries leaf entries")
+	}
+	childDepth := -1
+	for _, c := range n.children {
+		if !n.mbr.Contains(c.mbr) {
+			return 0, fmt.Errorf("rtree: node MBR %v does not cover child MBR %v", n.mbr, c.mbr)
+		}
+		d, err := c.check(t, false)
+		if err != nil {
+			return 0, err
+		}
+		if childDepth == -1 {
+			childDepth = d
+		} else if d != childDepth {
+			return 0, fmt.Errorf("rtree: unbalanced tree: child depths %d and %d", childDepth, d)
+		}
+	}
+	return childDepth + 1, nil
+}

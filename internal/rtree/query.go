@@ -1,0 +1,212 @@
+package rtree
+
+import (
+	"sort"
+
+	"spatialhist/internal/geom"
+)
+
+// Bulk builds a tree from a set of MBRs using Sort-Tile-Recursive (STR)
+// packing: objects are sorted into vertical slices by center x, each slice
+// sorted by center y, and leaves filled to capacity; levels are packed the
+// same way recursively. Ids are the indices into rects. STR yields nearly
+// full nodes and is how the experiment harness builds the exact baseline
+// for millions of objects.
+func Bulk(rects []geom.Rect, minEntries, maxEntries int) (*Tree, error) {
+	t, err := New(minEntries, maxEntries)
+	if err != nil {
+		return nil, err
+	}
+	if len(rects) == 0 {
+		return t, nil
+	}
+	type entry struct {
+		r  geom.Rect
+		id int64
+	}
+	entries := make([]entry, len(rects))
+	for i, r := range rects {
+		if !r.Valid() {
+			panic("rtree: Bulk with invalid rect")
+		}
+		entries[i] = entry{r: r, id: int64(i)}
+	}
+
+	// Pack leaves.
+	per := maxEntries
+	nLeaves := (len(entries) + per - 1) / per
+	nSlices := int(sqrtCeil(nLeaves))
+	sliceSize := nSlices * per
+
+	sort.Slice(entries, func(a, b int) bool {
+		return entries[a].r.Center().X < entries[b].r.Center().X
+	})
+	leaves := make([]*node, 0, nLeaves)
+	for s := 0; s < len(entries); s += sliceSize {
+		end := min(s+sliceSize, len(entries))
+		sl := entries[s:end]
+		sort.Slice(sl, func(a, b int) bool {
+			return sl[a].r.Center().Y < sl[b].r.Center().Y
+		})
+		for o := 0; o < len(sl); o += per {
+			oe := min(o+per, len(sl))
+			leaf := &node{leaf: true}
+			for _, e := range sl[o:oe] {
+				leaf.rects = append(leaf.rects, e.r)
+				leaf.ids = append(leaf.ids, e.id)
+			}
+			leaf.mbr = geom.MBROf(leaf.rects)
+			leaves = append(leaves, leaf)
+		}
+	}
+
+	// Pack upper levels.
+	level := leaves
+	height := 1
+	for len(level) > 1 {
+		next := packLevel(level, maxEntries)
+		level = next
+		height++
+	}
+	t.root = level[0]
+	t.size = len(entries)
+	t.height = height
+	return t, nil
+}
+
+// BulkDefault builds a tree with the default fan-out.
+func BulkDefault(rects []geom.Rect) *Tree {
+	t, err := Bulk(rects, DefaultMinEntries, DefaultMaxEntries)
+	if err != nil {
+		panic(err) // defaults are valid by construction
+	}
+	return t
+}
+
+func packLevel(nodes []*node, per int) []*node {
+	nParents := (len(nodes) + per - 1) / per
+	nSlices := int(sqrtCeil(nParents))
+	sliceSize := nSlices * per
+	sort.Slice(nodes, func(a, b int) bool {
+		return nodes[a].mbr.Center().X < nodes[b].mbr.Center().X
+	})
+	parents := make([]*node, 0, nParents)
+	for s := 0; s < len(nodes); s += sliceSize {
+		end := min(s+sliceSize, len(nodes))
+		sl := nodes[s:end]
+		sort.Slice(sl, func(a, b int) bool {
+			return sl[a].mbr.Center().Y < sl[b].mbr.Center().Y
+		})
+		for o := 0; o < len(sl); o += per {
+			oe := min(o+per, len(sl))
+			p := &node{leaf: false, children: append([]*node(nil), sl[o:oe]...)}
+			ms := make([]geom.Rect, len(p.children))
+			for i, c := range p.children {
+				ms[i] = c.mbr
+			}
+			p.mbr = geom.MBROf(ms)
+			parents = append(parents, p)
+		}
+	}
+	return parents
+}
+
+func sqrtCeil(n int) int64 {
+	s := int64(1)
+	for s*s < int64(n) {
+		s++
+	}
+	return s
+}
+
+// Search appends the ids of all objects whose closed MBRs intersect q and
+// returns the result.
+func (t *Tree) Search(q geom.Rect, ids []int64) []int64 {
+	if t.size == 0 {
+		return ids
+	}
+	return t.root.search(q, ids)
+}
+
+func (n *node) search(q geom.Rect, ids []int64) []int64 {
+	if !n.mbr.Intersects(q) {
+		return ids
+	}
+	if n.leaf {
+		for i, r := range n.rects {
+			if r.Intersects(q) {
+				ids = append(ids, n.ids[i])
+			}
+		}
+		return ids
+	}
+	for _, c := range n.children {
+		ids = c.search(q, ids)
+	}
+	return ids
+}
+
+// CountRel2 classifies every object against the (closed, non-degenerate)
+// query rectangle and tallies the Level 2 counts — the exact answer the
+// GeoBrowsing prototype computes per tile. Degenerate objects use the
+// browsing convention of geom.Level2Browse. Subtrees are pruned in two
+// ways:
+//
+//   - a subtree whose MBR does not intersect the closed query is disjoint
+//     wholesale;
+//   - a subtree whose MBR lies strictly inside the query holds only
+//     contained objects (its objects cannot reach the query's exterior).
+func (t *Tree) CountRel2(q geom.Rect) geom.Rel2Counts {
+	var c geom.Rel2Counts
+	if t.size > 0 {
+		t.root.countRel2(q, &c)
+	}
+	return c
+}
+
+func (n *node) countRel2(q geom.Rect, c *geom.Rel2Counts) {
+	if !n.mbr.Intersects(q) {
+		c.Disjoint += int64(n.subtreeSize())
+		return
+	}
+	if q.ContainsStrict(n.mbr) {
+		// Everything below sits strictly inside the query: contained,
+		// under both the regular and the degenerate-object convention.
+		c.Contains += int64(n.subtreeSize())
+		return
+	}
+	if n.leaf {
+		for _, r := range n.rects {
+			c.Add(geom.Level2Browse(q, r))
+		}
+		return
+	}
+	for _, ch := range n.children {
+		ch.countRel2(q, c)
+	}
+}
+
+// subtreeSize counts the objects below n. Sizes are not cached on nodes:
+// browsing workloads are read-heavy after a bulk load and the count is a
+// cheap walk only for pruned subtrees near the query boundary.
+func (n *node) subtreeSize() int {
+	if n.leaf {
+		return len(n.rects)
+	}
+	total := 0
+	for _, c := range n.children {
+		total += c.subtreeSize()
+	}
+	return total
+}
+
+// checkInvariants validates the structural invariants of the tree: MBRs
+// cover their entries, fan-out bounds hold (root excepted), and all leaves
+// sit at the same depth. It is exported to tests via export_test.go.
+func (t *Tree) checkInvariants() error {
+	if t.size == 0 {
+		return nil
+	}
+	_, err := t.root.check(t, true)
+	return err
+}

@@ -1,0 +1,153 @@
+package spatialhist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"spatialhist/internal/core"
+	"spatialhist/internal/euler"
+)
+
+// Summary persistence: a small container around the euler histogram format
+// that also records which algorithm to rebuild. A saved summary is a few
+// MB and loads in milliseconds, so a browsing service can start without
+// the original objects.
+//
+//	magic  [8]byte "SPSUM001"
+//	algo   uint8   (1 = S-EulerApprox, 2 = EulerApprox, 3 = M-EulerApprox)
+//	m      uint32  (number of histograms; 1 unless M-EulerApprox)
+//	areas  m × float64 (M-EulerApprox only)
+//	hists  m × euler histogram payloads
+var summaryMagic = [8]byte{'S', 'P', 'S', 'U', 'M', '0', '0', '1'}
+
+const (
+	algoSEuler uint8 = 1
+	algoEuler  uint8 = 2
+	algoMEuler uint8 = 3
+)
+
+// Save serializes the summary.
+func (s *Summary) Save(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(summaryMagic[:]); err != nil {
+		return err
+	}
+	var algo uint8
+	var areas []float64
+	var hists []*euler.Histogram
+	switch est := s.est.(type) {
+	case *core.SEuler:
+		algo, hists = algoSEuler, []*euler.Histogram{est.Histogram()}
+	case *core.Euler:
+		algo, hists = algoEuler, []*euler.Histogram{est.Histogram()}
+	case *core.MEuler:
+		algo, areas, hists = algoMEuler, est.Areas(), est.Histograms()
+	default:
+		return fmt.Errorf("spatialhist: summaries over %T cannot be saved", s.est)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, algo); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(hists))); err != nil {
+		return err
+	}
+	for _, a := range areas {
+		if err := binary.Write(bw, binary.LittleEndian, a); err != nil {
+			return err
+		}
+	}
+	for _, h := range hists {
+		if err := h.Write(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load deserializes a summary written by Save.
+func Load(r io.Reader) (*Summary, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("spatialhist: reading magic: %w", err)
+	}
+	if m != summaryMagic {
+		return nil, fmt.Errorf("spatialhist: bad magic %q", m)
+	}
+	var algo uint8
+	if err := binary.Read(br, binary.LittleEndian, &algo); err != nil {
+		return nil, fmt.Errorf("spatialhist: reading algorithm: %w", err)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("spatialhist: reading histogram count: %w", err)
+	}
+	const maxHists = 64
+	if count == 0 || count > maxHists {
+		return nil, fmt.Errorf("spatialhist: unreasonable histogram count %d", count)
+	}
+	if (algo == algoSEuler || algo == algoEuler) && count != 1 {
+		return nil, fmt.Errorf("spatialhist: single-histogram algorithm with %d histograms", count)
+	}
+	var areas []float64
+	if algo == algoMEuler {
+		areas = make([]float64, count)
+		for i := range areas {
+			if err := binary.Read(br, binary.LittleEndian, &areas[i]); err != nil {
+				return nil, fmt.Errorf("spatialhist: reading area threshold %d: %w", i, err)
+			}
+			if math.IsNaN(areas[i]) || math.IsInf(areas[i], 0) {
+				return nil, fmt.Errorf("spatialhist: invalid area threshold %g", areas[i])
+			}
+		}
+	}
+	hists := make([]*euler.Histogram, count)
+	for i := range hists {
+		h, err := euler.Read(br)
+		if err != nil {
+			return nil, fmt.Errorf("spatialhist: histogram %d: %w", i, err)
+		}
+		hists[i] = h
+	}
+	switch algo {
+	case algoSEuler:
+		return &Summary{est: core.NewSEuler(hists[0]), g: hists[0].Grid()}, nil
+	case algoEuler:
+		return &Summary{est: core.NewEuler(hists[0]), g: hists[0].Grid()}, nil
+	case algoMEuler:
+		me, err := core.MEulerFromHistograms(areas, hists)
+		if err != nil {
+			return nil, fmt.Errorf("spatialhist: %w", err)
+		}
+		return &Summary{est: me, g: me.Grid()}, nil
+	}
+	return nil, fmt.Errorf("spatialhist: unknown algorithm tag %d", algo)
+}
+
+// SaveFile writes the summary to a file.
+func (s *Summary) SaveFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return s.Save(f)
+}
+
+// LoadFile reads a summary from a file.
+func LoadFile(path string) (*Summary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

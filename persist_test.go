@@ -1,0 +1,120 @@
+package spatialhist
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"spatialhist/internal/dataset"
+)
+
+func persistedEqual(t *testing.T, s *Summary) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Algorithm() != s.Algorithm() || got.Count() != s.Count() ||
+		got.StorageBuckets() != s.StorageBuckets() {
+		t.Fatalf("metadata diverges: %s/%d/%d vs %s/%d/%d",
+			got.Algorithm(), got.Count(), got.StorageBuckets(),
+			s.Algorithm(), s.Count(), s.StorageBuckets())
+	}
+	g := s.Grid()
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		i1, j1 := r.Intn(g.NX()), r.Intn(g.NY())
+		q := Span{I1: i1, J1: j1, I2: i1 + r.Intn(g.NX()-i1), J2: j1 + r.Intn(g.NY()-j1)}
+		if got.QuerySpan(q) != s.QuerySpan(q) {
+			t.Fatalf("estimates diverge at %v", q)
+		}
+	}
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	d := dataset.SzSkew(3000, 31)
+	g := NewGrid(d.Extent, 60, 30)
+	persistedEqual(t, NewSEuler(g, d.Rects))
+	persistedEqual(t, NewEuler(g, d.Rects))
+	me, err := NewMEuler(g, []float64{1, 4, 25}, d.Rects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	persistedEqual(t, me)
+}
+
+func TestSummaryFileRoundTrip(t *testing.T) {
+	d := dataset.SpSkew(500, 2)
+	g := NewGrid(d.Extent, 36, 18)
+	s := NewEuler(g, d.Rects)
+	path := filepath.Join(t.TempDir(), "summary.bin")
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != 500 {
+		t.Fatalf("Count = %d", got.Count())
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	d := dataset.SpSkew(100, 2)
+	g := NewGrid(d.Extent, 36, 18)
+	var buf bytes.Buffer
+	if err := NewSEuler(g, d.Rects).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	cases := map[string]func([]byte) []byte{
+		"empty":     func(b []byte) []byte { return nil },
+		"bad magic": func(b []byte) []byte { c := cp(b); c[3] = 'X'; return c },
+		"bad algo":  func(b []byte) []byte { c := cp(b); c[8] = 99; return c },
+		"bad count": func(b []byte) []byte { c := cp(b); c[9] = 77; return c },
+		"truncated": func(b []byte) []byte { return b[:len(b)/2] },
+		"corrupted": func(b []byte) []byte { c := cp(b); c[len(c)-4] ^= 0xff; return c },
+	}
+	for name, mutate := range cases {
+		if _, err := Load(bytes.NewReader(mutate(raw))); err == nil {
+			t.Errorf("%s: Load must error", name)
+		}
+	}
+}
+
+func cp(b []byte) []byte { return append([]byte(nil), b...) }
+
+func TestSummaryOf(t *testing.T) {
+	d := dataset.SpSkew(200, 4)
+	g := NewGrid(d.Extent, 36, 18)
+	s := NewSEuler(g, d.Rects)
+	wrapped, err := SummaryOf(s.Estimator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrapped.Algorithm() != "S-EulerApprox" || wrapped.Count() != 200 {
+		t.Fatalf("SummaryOf = %s/%d", wrapped.Algorithm(), wrapped.Count())
+	}
+	// Round-trip preserves the algorithm.
+	var buf bytes.Buffer
+	if err := wrapped.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Algorithm() != "S-EulerApprox" {
+		t.Fatalf("algorithm changed across save/load: %s", got.Algorithm())
+	}
+}

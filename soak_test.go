@@ -1,0 +1,87 @@
+package spatialhist
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"spatialhist/internal/dataset"
+	"spatialhist/internal/exact"
+	"spatialhist/internal/grid"
+)
+
+// TestConcurrentQueries hammers one summary from many goroutines; run with
+// -race this pins the documented immutability/concurrency contract.
+func TestConcurrentQueries(t *testing.T) {
+	d := dataset.ADLLike(20_000, 8)
+	g := NewGrid(d.Extent, 90, 45)
+	s, err := NewMEuler(g, []float64{1, 9, 100}, d.Rects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference answers computed single-threaded.
+	queries := make([]Span, 512)
+	want := make([]Estimate, len(queries))
+	r := rand.New(rand.NewSource(5))
+	for i := range queries {
+		i1, j1 := r.Intn(90), r.Intn(45)
+		queries[i] = Span{I1: i1, J1: j1, I2: i1 + r.Intn(90-i1), J2: j1 + r.Intn(45-j1)}
+		want[i] = s.QuerySpan(queries[i])
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rr := rand.New(rand.NewSource(seed))
+			for k := 0; k < 2000; k++ {
+				i := rr.Intn(len(queries))
+				if got := s.QuerySpan(queries[i]); got != want[i] {
+					t.Errorf("concurrent query diverged at %v", queries[i])
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}
+
+// TestPaperScaleSoak builds the full paper-scale sz_skew dataset and
+// validates the structural invariants end to end at 1M objects. Skipped
+// under -short.
+func TestPaperScaleSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale soak")
+	}
+	d := dataset.SzSkew(1_000_000, 2002)
+	g := NewGrid(d.Extent, 360, 180)
+	spans := exact.Spans(g, d.Rects)
+	if len(spans) != 1_000_000 {
+		t.Fatalf("snapped %d objects", len(spans))
+	}
+	me, err := NewMEuler(g, []float64{1, 4, 9, 25, 100, 225}, d.Rects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if me.Count() != 1_000_000 {
+		t.Fatalf("Count = %d", me.Count())
+	}
+	// Every estimate sums to |S|; disjoint is exact; the whole-space query
+	// reports everything as contained in it.
+	r := rand.New(rand.NewSource(9))
+	for k := 0; k < 500; k++ {
+		i1, j1 := r.Intn(360), r.Intn(180)
+		q := grid.Span{I1: i1, J1: j1, I2: i1 + r.Intn(360-i1), J2: j1 + r.Intn(180-j1)}
+		est := me.QuerySpan(q)
+		if est.Total() != 1_000_000 {
+			t.Fatalf("estimate sums to %d at %v", est.Total(), q)
+		}
+		if est.Disjoint != int64(1_000_000)-int64(exact.EvaluateQuery(spans, q).Intersecting()) {
+			t.Fatalf("disjoint not exact at %v", q)
+		}
+	}
+	whole := me.QuerySpan(grid.Span{I1: 0, J1: 0, I2: 359, J2: 179})
+	if whole.Contains != 1_000_000 || whole.Disjoint != 0 {
+		t.Fatalf("whole-space estimate = %v", whole)
+	}
+}
