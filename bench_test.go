@@ -294,6 +294,46 @@ func BenchmarkParallelHistogramBuild(b *testing.B) {
 	}
 }
 
+// perTileOnly hides the batch path so core.EstimateGrid takes the generic
+// per-tile fallback — the pre-batch serving path (query.Browsing +
+// EstimateSet) behind the same entry point.
+type perTileOnly struct{ core.Estimator }
+
+// BenchmarkBrowseGrid measures a full 100x100-tile browse map — the
+// paper's GeoBrowsing interaction — answered three ways: per-tile
+// Estimate calls over a query.Browsing tiling, the one-sweep batch path,
+// and the batch path with tile rows fanned across GOMAXPROCS workers.
+// All three run the same region→estimates request through
+// core.EstimateGrid/EstimateGridParallel.
+func BenchmarkBrowseGrid(b *testing.B) {
+	d := dataset.SzSkew(200_000, 3)
+	g := grid.New(d.Extent, 400, 300)
+	est := core.EulerFromRects(g, d.Rects)
+	region := grid.Span{I1: 0, J1: 0, I2: g.NX() - 1, J2: g.NY() - 1}
+	const cols, rows = 100, 100
+	b.Run("per-tile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.EstimateGrid(perTileOnly{est}, region, cols, rows); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := est.EstimateGrid(region, cols, rows); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batched-parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.EstimateGridParallel(est, region, cols, rows, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkIntervalEstimate(b *testing.B) {
 	r := rand.New(rand.NewSource(13))
 	d := interval.NewDomain(0, 1000, 1000)

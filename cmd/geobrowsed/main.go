@@ -37,6 +37,8 @@ func main() {
 		gridH    = flag.Int("gh", 180, "grid cells in y")
 		loadSum  = flag.String("load", "", "serve a saved summary file instead of building one")
 		saveSum  = flag.String("save", "", "after building, save the summary to this file")
+		cacheSz  = flag.Int("cache", 0, "browse-response cache entries (0 = default, negative disables)")
+		workers  = flag.Int("workers", 0, "tile-map worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -47,7 +49,7 @@ func main() {
 		}
 		log.Printf("loaded summary: %s, %d objects, %d buckets",
 			sum.Algorithm(), sum.Count(), sum.StorageBuckets())
-		serve(*addr, *loadSum, sum.Estimator())
+		serve(*addr, *loadSum, sum.Estimator(), geobrowse.Options{CacheSize: *cacheSz, Workers: *workers})
 		return
 	}
 
@@ -81,13 +83,13 @@ func main() {
 		}
 		log.Printf("saved summary to %s", *saveSum)
 	}
-	serve(*addr, d.Name, est)
+	serve(*addr, d.Name, est, geobrowse.Options{CacheSize: *cacheSz, Workers: *workers})
 }
 
-func serve(addr, name string, est core.Estimator) {
+func serve(addr, name string, est core.Estimator, opts geobrowse.Options) {
 	srv := &http.Server{
 		Addr:         addr,
-		Handler:      geobrowse.NewServer(name, est),
+		Handler:      geobrowse.NewServerOpts(name, est, opts),
 		ReadTimeout:  10 * time.Second,
 		WriteTimeout: 30 * time.Second,
 	}

@@ -268,19 +268,35 @@ func (a *Archive) estimate(subjects []int, bandLo, bandHi int, tile grid.Span) c
 
 // Browse answers a full browsing interaction: the filtered records against
 // every tile of a cols×rows tiling of the region (row-major from the
-// south-west).
+// south-west). Each selected partition contributes one batch sweep of its
+// histogram (core.BatchEstimator) instead of per-tile lookups, so the cost
+// is O(partitions × tiles) additions over O(1)-gathered corner sums.
 func (a *Archive) Browse(f Filter, region grid.Span, cols, rows int) ([]core.Estimate, error) {
 	subjects, bandLo, bandHi, err := a.resolve(f)
 	if err != nil {
 		return nil, err
 	}
-	qs, err := query.Browsing(region, cols, rows)
-	if err != nil {
+	if _, _, err := query.Tiling(region, cols, rows); err != nil {
 		return nil, err
 	}
-	out := make([]core.Estimate, len(qs.Tiles))
-	for i, tile := range qs.Tiles {
-		out[i] = a.estimate(subjects, bandLo, bandHi, tile)
+	out := make([]core.Estimate, cols*rows)
+	for _, sub := range subjects {
+		for band := bandLo; band <= bandHi; band++ {
+			p := a.parts[sub*a.schema.DateBands+band]
+			if p == nil {
+				continue
+			}
+			part, err := p.EstimateGrid(region, cols, rows)
+			if err != nil {
+				return nil, err
+			}
+			for k, e := range part {
+				out[k].Disjoint += e.Disjoint
+				out[k].Contains += e.Contains
+				out[k].Contained += e.Contained
+				out[k].Overlap += e.Overlap
+			}
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,282 @@
+// Batch estimation: a browsing interaction is not one query but a
+// cols×rows tile map of them (§1, §2), and the per-tile sums of all three
+// algorithms are corner combinations of one shared cumulative lattice.
+// EstimateGrid answers the whole map in one sweep per histogram
+// (euler.GridQuerySums/GridEulerSums), bit-identical to calling Estimate
+// per tile but without re-deriving corner values, span bookkeeping and
+// row-level Region A/B bands for every tile.
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"spatialhist/internal/grid"
+	"spatialhist/internal/query"
+)
+
+// BatchEstimator is implemented by estimators that can answer a whole tile
+// map in one sweep. EstimateGrid returns the estimate of every tile of the
+// cols×rows tiling of region, row-major from the south-west (index
+// row*cols+col, the query.Browsing order), and must return exactly the
+// estimates the per-tile Estimate path would.
+type BatchEstimator interface {
+	Estimator
+	EstimateGrid(region grid.Span, cols, rows int) ([]Estimate, error)
+}
+
+// EstimateGrid answers every tile of the cols×rows tiling of region using
+// est's batch path when it has one and a per-tile fallback otherwise, so
+// callers can serve tile maps through one entry point for any Estimator.
+func EstimateGrid(est Estimator, region grid.Span, cols, rows int) ([]Estimate, error) {
+	if be, ok := est.(BatchEstimator); ok {
+		return be.EstimateGrid(region, cols, rows)
+	}
+	qs, err := query.Browsing(region, cols, rows)
+	if err != nil {
+		return nil, err
+	}
+	return EstimateSet(est, qs.Tiles), nil
+}
+
+// parallelMinTiles is the tile count below which EstimateGridParallel runs
+// inline: the batch sweep clears 100k tiles in a few milliseconds, so
+// goroutine fan-out only pays for itself on large maps.
+const parallelMinTiles = 4096
+
+// EstimateGridParallel is EstimateGrid with the tile rows of large maps
+// fanned across up to workers goroutines (workers <= 0 means GOMAXPROCS).
+// Each worker sweeps a contiguous band of tile rows with the batch path,
+// writing its slice of the result directly, so output is identical to
+// EstimateGrid in content and order.
+func EstimateGridParallel(est Estimator, region grid.Span, cols, rows, workers int) ([]Estimate, error) {
+	_, th, err := query.Tiling(region, cols, rows)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	workers = min(workers, rows)
+	if workers <= 1 || cols*rows < parallelMinTiles {
+		return EstimateGrid(est, region, cols, rows)
+	}
+	out := make([]Estimate, cols*rows)
+	band := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		r0 := w * band
+		r1 := min(r0+band-1, rows-1)
+		if r0 > r1 {
+			break
+		}
+		wg.Add(1)
+		go func(w, r0, r1 int) {
+			defer wg.Done()
+			sub := query.RowBand(region, th, r0, r1)
+			part, err := EstimateGrid(est, sub, cols, r1-r0+1)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			copy(out[r0*cols:], part)
+		}(w, r0, r1)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// EstimateGrid implements BatchEstimator: the S-EulerApprox identities of
+// Equations 16–17 assembled straight from the cumulative lattice rows —
+// no per-tile span bookkeeping or corner re-derivation — iterating tile
+// columns outermost so the four prefix rows of a column stream through
+// cache. The boundary tile rows (at most the first and last, where corner
+// positions leave the lattice) take the per-tile path, which loads the
+// same clamped values, so results stay bit-identical throughout.
+func (e *SEuler) EstimateGrid(region grid.Span, cols, rows int) ([]Estimate, error) {
+	cv, err := e.h.CornerView(region, cols, rows)
+	if err != nil {
+		return nil, err
+	}
+	n := e.h.Count()
+	total := e.h.Total()
+	out := make([]Estimate, cols*rows)
+	v0, step, r0, r1 := cv.Interior()
+	for col := 0; col < cols; col++ {
+		inL, inR, clL, clR := cv.ColumnRows(col)
+		for r, v := r0, v0+r0*step; r < r1; r, v = r+1, v+step {
+			nii := inR[v+step-1] - inL[v+step-1] - inR[v] + inL[v]
+			nei := total - (clR[v+step] - clL[v+step] - clR[v-1] + clL[v-1])
+			nd := n - nii
+			out[r*cols+col] = Estimate{
+				Disjoint:  nd,
+				Contains:  n - nei,
+				Contained: 0,
+				Overlap:   nei - nd,
+			}
+		}
+	}
+	for r := 0; r < rows; r++ {
+		if r >= r0 && r < r1 {
+			continue
+		}
+		for col := 0; col < cols; col++ {
+			out[r*cols+col] = e.Estimate(cv.Tile(col, r))
+		}
+	}
+	return out, nil
+}
+
+// EstimateGrid implements BatchEstimator: the EulerApprox estimate of
+// every tile from one corner sweep, with the Region A band sum and the
+// Region B contained count — which depend only on the tile row — hoisted
+// to one computation per row instead of one per tile.
+func (e *Euler) EstimateGrid(region grid.Span, cols, rows int) ([]Estimate, error) {
+	cv, err := e.h.CornerView(region, cols, rows)
+	if err != nil {
+		return nil, err
+	}
+	n := e.h.Count()
+	total := e.h.Total()
+	g := e.h.Grid()
+	nx, ny := g.NX(), g.NY()
+	th := region.Height() / rows
+	bandInside := make([]int64, rows)
+	belowContained := make([]int64, rows)
+	for r := 0; r < rows; r++ {
+		j1 := region.J1 + r*th
+		bandInside[r] = e.h.InsideSum(grid.Span{I1: 0, J1: j1, I2: nx - 1, J2: ny - 1})
+		if j1 > 0 {
+			belowContained[r] = e.h.ContainedIn(grid.Span{I1: 0, J1: 0, I2: nx - 1, J2: j1 - 1})
+		}
+	}
+	out := make([]Estimate, cols*rows)
+	v0, step, r0, r1 := cv.Interior()
+	estimate := func(r, col int, nii, neiPrime, niA int64) {
+		nd := n - nii
+		no := neiPrime - nd
+		ncd := niA + belowContained[r] - neiPrime
+		out[r*cols+col] = Estimate{
+			Disjoint:  nd,
+			Contains:  n - ncd - nd - no,
+			Contained: ncd,
+			Overlap:   no,
+		}
+	}
+	for col := 0; col < cols; col++ {
+		inL, inR, clL, clR := cv.ColumnRows(col)
+		v := v0 + r0*step
+		// The A-wide sum's bottom corners (at v) sit where the previous
+		// row's closed/A-wide top corners were, so they carry across
+		// iterations; its top corners coincide with the closed top.
+		var awLB, awRB int64
+		if r0 < r1 {
+			awLB, awRB = clL[v], clR[v]
+		}
+		for r := r0; r < r1; r, v = r+1, v+step {
+			clLT, clRT := clL[v+step], clR[v+step]
+			nii := inR[v+step-1] - inL[v+step-1] - inR[v] + inL[v]
+			neiPrime := total - (clRT - clLT - clR[v-1] + clL[v-1])
+			niA := bandInside[r] - (clRT - clLT - awRB + awLB)
+			estimate(r, col, nii, neiPrime, niA)
+			awLB, awRB = clLT, clRT
+		}
+	}
+	// Edge tile rows, where corner positions leave the lattice. A pure
+	// bottom row reads zeros below the lattice (dropping half its loads); a
+	// pure top row clamps the closed/A-wide top onto the inside top
+	// position. Rows that are both at once (a rows==1 full-height map) take
+	// the per-tile path.
+	if r0 == 1 && rows > 1 { // bottom row: corners below the lattice are zero
+		vT := v0 + step
+		for col := 0; col < cols; col++ {
+			inL, inR, clL, clR := cv.ColumnRows(col)
+			nii := inR[vT-1] - inL[vT-1]
+			wide := clR[vT] - clL[vT]
+			estimate(0, col, nii, total-wide, bandInside[0]-wide)
+		}
+	}
+	if r1 == rows-1 && rows > 1 { // top row: the closed top clamps to the edge
+		r := rows - 1
+		v := v0 + r*step
+		top := v + step - 1
+		for col := 0; col < cols; col++ {
+			inL, inR, clL, clR := cv.ColumnRows(col)
+			clLT, clRT := clL[top], clR[top]
+			nii := inR[top] - inL[top] - inR[v] + inL[v]
+			neiPrime := total - (clRT - clLT - clR[v-1] + clL[v-1])
+			niA := bandInside[r] - (clRT - clLT - clR[v] + clL[v])
+			estimate(r, col, nii, neiPrime, niA)
+		}
+	}
+	for r := 0; r < rows; r++ {
+		if (r >= r0 && r < r1) || (rows > 1 && (r == 0 && r0 == 1 || r == rows-1 && r1 == rows-1)) {
+			continue
+		}
+		for col := 0; col < cols; col++ {
+			out[r*cols+col] = e.Estimate(cv.Tile(col, r))
+		}
+	}
+	return out, nil
+}
+
+// EstimateGrid implements BatchEstimator. Every tile of an equal tiling
+// has the same area, so the per-group algorithm choice of §5.4 is made
+// once for the whole map and each group contributes one batch sweep of its
+// histogram.
+func (m *MEuler) EstimateGrid(region grid.Span, cols, rows int) ([]Estimate, error) {
+	tw, th, err := query.Tiling(region, cols, rows)
+	if err != nil {
+		return nil, err
+	}
+	tile := grid.Span{I1: region.I1, J1: region.J1, I2: region.I1 + tw - 1, J2: region.J1 + th - 1}
+	aq := m.g.SpanArea(tile) / m.g.CellArea()
+	nTiles := cols * rows
+	nii := make([]int64, nTiles)
+	no := make([]int64, nTiles)
+	ncs := make([]int64, nTiles)
+	last := len(m.hists) - 1
+	for i := range m.hists {
+		var part []Estimate
+		var role GroupRole
+		switch {
+		case aq <= m.areas[i]:
+			role = GroupNoContains
+			part, err = m.seuler[i].EstimateGrid(region, cols, rows)
+		case i < last && aq >= m.areas[i+1]:
+			role = GroupSEuler
+			part, err = m.seuler[i].EstimateGrid(region, cols, rows)
+		default:
+			role = GroupEulerApprox
+			part, err = m.eapx[i].EstimateGrid(region, cols, rows)
+		}
+		if err != nil {
+			return nil, err
+		}
+		ng := m.hists[i].Count()
+		for k, p := range part {
+			nii[k] += ng - p.Disjoint
+			no[k] += p.Overlap
+			if role != GroupNoContains {
+				ncs[k] += p.Contains
+			}
+		}
+	}
+	out := make([]Estimate, nTiles)
+	for k := range out {
+		nd := m.n - nii[k]
+		out[k] = Estimate{
+			Disjoint:  nd,
+			Contains:  ncs[k],
+			Contained: m.n - nd - no[k] - ncs[k],
+			Overlap:   no[k],
+		}
+	}
+	return out, nil
+}

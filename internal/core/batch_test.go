@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatialhist/internal/geom"
+	"spatialhist/internal/grid"
+	"spatialhist/internal/query"
+)
+
+func batchRects(r *rand.Rand, extent geom.Rect, n int) []geom.Rect {
+	out := make([]geom.Rect, n)
+	w, h := extent.Width(), extent.Height()
+	for i := range out {
+		x := extent.XMin + (r.Float64()*1.2-0.1)*w
+		y := extent.YMin + (r.Float64()*1.2-0.1)*h
+		// Mix tiny and huge objects so all M-EulerApprox groups and the
+		// containing-object (loophole) paths are populated.
+		scale := 0.05
+		if i%7 == 0 {
+			scale = 0.9
+		}
+		out[i] = geom.NewRect(x, y, x+r.Float64()*w*scale, y+r.Float64()*h*scale)
+	}
+	return out
+}
+
+func randBatchTiling(r *rand.Rand, g *grid.Grid) (region grid.Span, cols, rows int) {
+	cols = 1 + r.Intn(6)
+	rows = 1 + r.Intn(6)
+	tw := 1 + r.Intn(max(1, g.NX()/cols))
+	th := 1 + r.Intn(max(1, g.NY()/rows))
+	for cols*tw > g.NX() {
+		cols--
+	}
+	for rows*th > g.NY() {
+		rows--
+	}
+	i1 := r.Intn(g.NX() - cols*tw + 1)
+	j1 := r.Intn(g.NY() - rows*th + 1)
+	return grid.Span{I1: i1, J1: j1, I2: i1 + cols*tw - 1, J2: j1 + rows*th - 1}, cols, rows
+}
+
+// hideBatch masks the batch interface so EstimateGrid's per-tile fallback
+// is exercised with the same golden comparison.
+type hideBatch struct{ Estimator }
+
+func testEstimators(t *testing.T, g *grid.Grid, rects []geom.Rect) []Estimator {
+	t.Helper()
+	m, err := NewMEuler(g, []float64{1, 9, 100}, rects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := SEulerFromRects(g, rects)
+	return []Estimator{se, EulerFromRects(g, rects), m, hideBatch{se}}
+}
+
+// TestEstimateGridGolden asserts the batch path is bit-identical to the
+// per-tile path for all three estimators (and the fallback) across random
+// grids, regions and tilings.
+func TestEstimateGridGolden(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	for _, gc := range [][2]int{{1, 1}, {9, 7}, {36, 18}, {50, 40}} {
+		g := grid.NewUnit(gc[0], gc[1])
+		rects := batchRects(r, g.Extent(), 400)
+		for _, est := range testEstimators(t, g, rects) {
+			for trial := 0; trial < 40; trial++ {
+				region, cols, rows := randBatchTiling(r, g)
+				got, err := EstimateGrid(est, region, cols, rows)
+				if err != nil {
+					t.Fatalf("%s: EstimateGrid(%v,%d,%d): %v", est.Name(), region, cols, rows, err)
+				}
+				qs, err := query.Browsing(region, cols, rows)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(qs.Tiles) {
+					t.Fatalf("%s: %d estimates for %d tiles", est.Name(), len(got), len(qs.Tiles))
+				}
+				for k, q := range qs.Tiles {
+					if want := est.Estimate(q); got[k] != want {
+						t.Fatalf("%s grid %v region %v %dx%d tile %d %v:\n  batch    %v\n  per-tile %v",
+							est.Name(), g, region, cols, rows, k, q, got[k], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEstimateGridEdgeTilings pins the 1×1 and max-tiles (every tile one
+// cell) cases over the whole space.
+func TestEstimateGridEdgeTilings(t *testing.T) {
+	r := rand.New(rand.NewSource(52))
+	g := grid.NewUnit(20, 12)
+	rects := batchRects(r, g.Extent(), 300)
+	whole := grid.Span{I1: 0, J1: 0, I2: 19, J2: 11}
+	for _, est := range testEstimators(t, g, rects) {
+		for _, tc := range [][2]int{{1, 1}, {20, 12}, {1, 12}, {20, 1}} {
+			cols, rows := tc[0], tc[1]
+			got, err := EstimateGrid(est, whole, cols, rows)
+			if err != nil {
+				t.Fatalf("%s %dx%d: %v", est.Name(), cols, rows, err)
+			}
+			qs, _ := query.Browsing(whole, cols, rows)
+			for k, q := range qs.Tiles {
+				if want := est.Estimate(q); got[k] != want {
+					t.Fatalf("%s %dx%d tile %d: %v != %v", est.Name(), cols, rows, k, got[k], want)
+				}
+			}
+		}
+	}
+}
+
+func TestEstimateGridParallelMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	g := grid.NewUnit(128, 96)
+	rects := batchRects(r, g.Extent(), 500)
+	whole := grid.Span{I1: 0, J1: 0, I2: 127, J2: 95}
+	for _, est := range testEstimators(t, g, rects) {
+		// 128×96 = 12288 tiles clears the parallel threshold.
+		serial, err := EstimateGrid(est, whole, 128, 96)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 3, 8, 200} {
+			par, err := EstimateGridParallel(est, whole, 128, 96, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", est.Name(), workers, err)
+			}
+			for k := range serial {
+				if par[k] != serial[k] {
+					t.Fatalf("%s workers=%d tile %d: %v != %v", est.Name(), workers, k, par[k], serial[k])
+				}
+			}
+		}
+	}
+}
+
+func TestEstimateGridErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(54))
+	g := grid.NewUnit(10, 10)
+	est := SEulerFromRects(g, batchRects(r, g.Extent(), 50))
+	whole := grid.Span{I1: 0, J1: 0, I2: 9, J2: 9}
+	if _, err := EstimateGrid(est, whole, 3, 2); err == nil {
+		t.Error("non-dividing tiling: expected error")
+	}
+	if _, err := EstimateGrid(est, whole, 0, 2); err == nil {
+		t.Error("zero cols: expected error")
+	}
+	if _, err := EstimateGridParallel(est, whole, 3, 2, 4); err == nil {
+		t.Error("parallel non-dividing tiling: expected error")
+	}
+}

@@ -1,0 +1,364 @@
+package euler
+
+import (
+	"fmt"
+	"sync"
+
+	"spatialhist/internal/grid"
+	"spatialhist/internal/prefixsum"
+)
+
+// This file implements the batch query path: one browsing interaction asks
+// for a cols×rows tile map over a region, and every per-tile sum the
+// estimators need is a ±-combination of cumulative-lattice values at the
+// tiles' corners. Because the tiling is equal-sized, adjacent tiles share
+// corners — the right closed-sum corner of one tile column is the left
+// inside-sum corner of the next — so the whole map needs cumulative values
+// only at a (cols+1)×(rows+1) lattice of tile corners (an even/odd lattice
+// pair per corner per axis, 4(cols+1)(rows+1) values in all). The kernel
+// gathers those once and assembles every tile's sums from them, instead of
+// re-deriving four clamped lookups per sum per tile. The arithmetic is the
+// exact int64 combination RangeSum performs, so batch results are
+// bit-identical to the per-tile path.
+
+// TileSums holds the two per-tile bucket sums every estimator consumes,
+// for a cols×rows tiling of a region, row-major from the south-west
+// (index row*Cols+col, matching query.Browsing).
+type TileSums struct {
+	Cols, Rows int
+	// Inside[k] is InsideSum of tile k: the buckets strictly inside it.
+	Inside []int64
+	// Closed[k] is ClosedSum of tile k: the buckets inside or on its
+	// boundary. OutsideSum follows as Total − Closed.
+	Closed []int64
+}
+
+// EulerSums extends TileSums with the Region A/B auxiliary sums of the
+// EulerApprox algorithm (§5.3), hoisted to one value per tile row where
+// the per-tile formulation recomputes them for every tile.
+type EulerSums struct {
+	TileSums
+	// AWide[k] is the lattice sum over tile k's footprint widened by its
+	// left, right and top boundary — the subtraction term of the Region A
+	// inside sum.
+	AWide []int64
+	// BandInside[r] is the inside sum of the full-width band from tile row
+	// r's bottom edge to the top of the space (the R_A band). It depends
+	// only on the row, not the column.
+	BandInside []int64
+	// BelowContained[r] is ContainedIn of the full-width strip below tile
+	// row r (Region B); 0 when the row touches the bottom of the space.
+	BelowContained []int64
+}
+
+// checkTiling validates a cols×rows tiling of region against g and returns
+// the tile size in cells. The rules match query.Browsing: the region must
+// lie within the grid and divide evenly.
+func checkTiling(g *grid.Grid, region grid.Span, cols, rows int) (tw, th int, err error) {
+	if cols <= 0 || rows <= 0 {
+		return 0, 0, fmt.Errorf("euler: non-positive tiling %dx%d", cols, rows)
+	}
+	if !region.Valid() || region.I1 < 0 || region.J1 < 0 || region.I2 >= g.NX() || region.J2 >= g.NY() {
+		return 0, 0, fmt.Errorf("euler: region %v outside %v", region, g)
+	}
+	if region.Width()%cols != 0 || region.Height()%rows != 0 {
+		return 0, 0, fmt.Errorf("euler: %dx%d tiling does not divide region %v", cols, rows, region)
+	}
+	return region.Width() / cols, region.Height() / rows, nil
+}
+
+// gatherCorners fetches the cumulative values at the tile-corner lattice:
+// for every tile boundary a=0..cols the even/odd lattice column pair
+// (2·i(a)−2, 2·i(a)−1) where i(a) is the boundary's cell index, and
+// likewise in y. The returned slice is indexed [ix*nyp+iy] with
+// ix = 2a(+1), iy = 2b(+1), nyp = 2(rows+1).
+//
+// Those four values per corner cover every sum the estimators form:
+// tile (r,c) spans cells [i(c)..i(c+1)−1]×[j(r)..j(r+1)−1], so
+//
+//	inside  = Σ lattice [2i(c) .. 2i(c+1)−2]   → corners odd/even
+//	closed  = Σ lattice [2i(c)−1 .. 2i(c+1)−1] → corners even/odd
+//	A-wide  = Σ lattice [2i(c)−1 .. 2i(c+1)−1]×[2j(r) .. 2j(r+1)−1]
+//
+// and the prefix corner of a range [u1..u2] is P(u1−1) and P(u2), which is
+// exactly the even/odd pair of the boundary on each side.
+// cornerPool recycles the corner matrices between batch calls: a browse
+// server computes tile maps continuously and the matrix is the single
+// largest allocation of a sweep. Buffers come back dirty; gatherCorners
+// overwrites every entry.
+var cornerPool sync.Pool
+
+func getCorners(n int) []int64 {
+	if v := cornerPool.Get(); v != nil {
+		if c := v.([]int64); cap(c) >= n {
+			return c[:n]
+		}
+	}
+	return make([]int64, n)
+}
+
+func putCorners(c []int64) {
+	if c != nil {
+		cornerPool.Put(c) //lint:ignore SA6002 slice header allocation is negligible
+	}
+}
+
+func gatherCorners(hc *prefixsum.Sum2D, region grid.Span, tw, th, cols, rows int) []int64 {
+	nxp := 2 * (cols + 1)
+	nyp := 2 * (rows + 1)
+	xs := make([]int, nxp)
+	for a := 0; a <= cols; a++ {
+		bx := region.I1 + a*tw
+		xs[2*a] = 2*bx - 2
+		xs[2*a+1] = 2*bx - 1
+	}
+	c := getCorners(nxp * nyp)
+	// The y coordinates form two interleaved arithmetic progressions of
+	// step 2·th, so the inner loop advances a single cursor instead of
+	// loading indices: only the first pair can be negative (prefix value
+	// zero, when the region touches the bottom edge) and only the last odd
+	// coordinate can clamp at the lattice edge (top edge), both handled
+	// outside the loop.
+	step := 2 * th
+	for ix, u := range xs {
+		dst := c[ix*nyp : (ix+1)*nyp]
+		prow := hc.Row(u) // clamps high, nil when negative
+		if prow == nil {
+			clear(dst)
+			continue
+		}
+		b, v := 0, 2*region.J1-2
+		if v < 0 {
+			dst[0], dst[1] = 0, 0
+			b, v = 1, v+step
+		}
+		for ; b < rows; b++ {
+			dst[2*b] = prow[v]
+			dst[2*b+1] = prow[v+1]
+			v += step
+		}
+		dst[2*rows] = prow[v]
+		dst[2*rows+1] = prow[min(v+1, len(prow)-1)]
+	}
+	return c
+}
+
+// tileSums assembles per-tile inside and closed sums from gathered corners.
+//
+// The assembly iterates tile columns outermost: a fixed tile column reads
+// exactly four corner lattice lines, each walked sequentially, so the
+// reads stream through cache while the strided row-major writes revisit a
+// small working set of output lines across consecutive columns.
+func tileSums(hc *prefixsum.Sum2D, region grid.Span, cols, rows, tw, th int) TileSums {
+	corners := gatherCorners(hc, region, tw, th, cols, rows)
+	defer putCorners(corners)
+	nyp := 2 * (rows + 1)
+	ts := TileSums{
+		Cols:   cols,
+		Rows:   rows,
+		Inside: make([]int64, cols*rows),
+		Closed: make([]int64, cols*rows),
+	}
+	for col := 0; col < cols; col++ {
+		// Prefix lattice lines flanking this tile column: inside range
+		// [2i(c) .. 2i(c+1)−2] reads P(2i(c)−1, ·) and P(2i(c+1)−2, ·);
+		// closed reads the flanking pair.
+		cinL := corners[(2*col+1)*nyp : (2*col+2)*nyp]
+		cinR := corners[(2*col+2)*nyp : (2*col+3)*nyp]
+		cclL := corners[(2*col)*nyp : (2*col+1)*nyp]
+		cclR := corners[(2*col+3)*nyp : (2*col+4)*nyp]
+		for r := 0; r < rows; r++ {
+			inB, inT := 2*r+1, 2*r+2
+			clB, clT := 2*r, 2*r+3
+			k := r*cols + col
+			ts.Inside[k] = cinR[inT] - cinL[inT] - cinR[inB] + cinL[inB]
+			ts.Closed[k] = cclR[clT] - cclL[clT] - cclR[clB] + cclL[clB]
+		}
+	}
+	return ts
+}
+
+// CornerView is a zero-copy view of the cumulative lattice organized for
+// one cols×rows tiling — the raw material of the fused batch estimator
+// paths in core. ColumnRows hands out the four prefix lattice rows
+// flanking a tile column and Interior tells which tile rows can read them
+// branch-free; sums assembled from those rows are bit-identical to the
+// per-tile RangeSum path because they load the very same prefix values.
+type CornerView struct {
+	hc         *prefixsum.Sum2D
+	region     grid.Span
+	ny         int // grid cells in y
+	tw, th     int
+	cols, rows int
+	zeros      []int64 // stand-in for lattice rows below the space
+}
+
+// CornerView validates the tiling and returns the lattice view for it.
+// Unlike the Grid*Sums sweeps it gathers nothing: callers stream the
+// prefix rows directly.
+func (h *Histogram) CornerView(region grid.Span, cols, rows int) (*CornerView, error) {
+	tw, th, err := checkTiling(h.g, region, cols, rows)
+	if err != nil {
+		return nil, err
+	}
+	return &CornerView{hc: h.hc, region: region, ny: h.g.NY(), tw: tw, th: th, cols: cols, rows: rows}, nil
+}
+
+// ColumnRows returns the four prefix lattice rows flanking tile column
+// col: inL/inR answer the inside sum, clL/clR the closed and A-wide sums.
+// Rows below the lattice (region at the left edge) come back as shared
+// zero rows, matching the zero-prefix convention; rows past it are
+// clamped, matching RangeSum.
+func (s *CornerView) ColumnRows(col int) (inL, inR, clL, clR []int64) {
+	bxL := s.region.I1 + col*s.tw
+	bxR := bxL + s.tw
+	inL = s.rowOrZeros(2*bxL - 1)
+	inR = s.rowOrZeros(2*bxR - 2)
+	clL = s.rowOrZeros(2*bxL - 2)
+	clR = s.rowOrZeros(2*bxR - 1)
+	return inL, inR, clL, clR
+}
+
+func (s *CornerView) rowOrZeros(u int) []int64 {
+	if r := s.hc.Row(u); r != nil {
+		return r
+	}
+	if s.zeros == nil {
+		s.zeros = make([]int64, s.hc.NY())
+	}
+	return s.zeros
+}
+
+// Interior returns the in-row cursor and the range of tile rows whose
+// corner positions need no boundary handling: for tile row r in [r0, r1),
+// with v = v0 + r·step, the inside sum combines ColumnRows values at v
+// (bottom) and v+step−1 (top), the closed sum at v−1 and v+step, and the
+// A-wide sum at v and v+step — all in range. Tile rows outside [r0, r1)
+// (at most the first and last, when the region touches the bottom or top
+// of the space) take the per-tile path instead.
+func (s *CornerView) Interior() (v0, step, r0, r1 int) {
+	v0 = 2*s.region.J1 - 1
+	step = 2 * s.th
+	r0, r1 = 0, s.rows
+	if s.region.J1 == 0 {
+		r0 = 1 // the bottom corners fall below the lattice
+	}
+	if s.region.J2 == s.ny-1 {
+		r1 = s.rows - 1 // the top closed corner clamps at the lattice edge
+	}
+	return v0, step, r0, r1
+}
+
+// Tile returns the cell span of tile (col, r) of the tiling.
+func (s *CornerView) Tile(col, r int) grid.Span {
+	return grid.Span{
+		I1: s.region.I1 + col*s.tw,
+		J1: s.region.J1 + r*s.th,
+		I2: s.region.I1 + (col+1)*s.tw - 1,
+		J2: s.region.J1 + (r+1)*s.th - 1,
+	}
+}
+
+// GridQuerySums computes the inside and closed bucket sums of every tile of
+// a cols×rows tiling of region in one sweep over the tile-corner lattice.
+// Results are bit-identical to calling InsideSum and ClosedSum per tile.
+func (h *Histogram) GridQuerySums(region grid.Span, cols, rows int) (*TileSums, error) {
+	tw, th, err := checkTiling(h.g, region, cols, rows)
+	if err != nil {
+		return nil, err
+	}
+	ts := tileSums(h.hc, region, cols, rows, tw, th)
+	return &ts, nil
+}
+
+// GridInsideSums returns InsideSum for every tile of the tiling, row-major
+// from the south-west.
+func (h *Histogram) GridInsideSums(region grid.Span, cols, rows int) ([]int64, error) {
+	ts, err := h.GridQuerySums(region, cols, rows)
+	if err != nil {
+		return nil, err
+	}
+	return ts.Inside, nil
+}
+
+// GridOutsideSums returns OutsideSum for every tile of the tiling,
+// row-major from the south-west.
+func (h *Histogram) GridOutsideSums(region grid.Span, cols, rows int) ([]int64, error) {
+	ts, err := h.GridQuerySums(region, cols, rows)
+	if err != nil {
+		return nil, err
+	}
+	total := h.Total()
+	out := ts.Closed // reuse: overwrite in place
+	for k, closed := range out {
+		out[k] = total - closed
+	}
+	return out, nil
+}
+
+// GridEulerSums computes, in one corner sweep plus O(rows) band lookups,
+// every sum the EulerApprox algorithm needs for a cols×rows tile map:
+// per-tile inside/closed/A-wide sums and the per-row Region A/B band
+// values. Results are bit-identical to the per-tile formulation.
+func (h *Histogram) GridEulerSums(region grid.Span, cols, rows int) (*EulerSums, error) {
+	tw, th, err := checkTiling(h.g, region, cols, rows)
+	if err != nil {
+		return nil, err
+	}
+	corners := gatherCorners(h.hc, region, tw, th, cols, rows)
+	defer putCorners(corners)
+	nyp := 2 * (rows + 1)
+	es := &EulerSums{
+		TileSums: TileSums{
+			Cols:   cols,
+			Rows:   rows,
+			Inside: make([]int64, cols*rows),
+			Closed: make([]int64, cols*rows),
+		},
+		AWide:          make([]int64, cols*rows),
+		BandInside:     make([]int64, rows),
+		BelowContained: make([]int64, rows),
+	}
+	nx, ny := h.g.NX(), h.g.NY()
+	for r := 0; r < rows; r++ {
+		j1 := region.J1 + r*th
+		es.BandInside[r] = h.InsideSum(grid.Span{I1: 0, J1: j1, I2: nx - 1, J2: ny - 1})
+		if j1 > 0 {
+			es.BelowContained[r] = h.ContainedIn(grid.Span{I1: 0, J1: 0, I2: nx - 1, J2: j1 - 1})
+		}
+	}
+	// Column-major assembly, as in tileSums. A-wide widens the footprint
+	// left/right/top but not down: lattice range
+	// [2i1−1 .. 2i2+1]×[2j1 .. 2j2+1], whose prefix corners are the closed
+	// pair in x and the odd pair in y — so it shares the closed lattice
+	// lines and its top corner values with the closed sum.
+	for col := 0; col < cols; col++ {
+		cinL := corners[(2*col+1)*nyp : (2*col+2)*nyp]
+		cinR := corners[(2*col+2)*nyp : (2*col+3)*nyp]
+		cclL := corners[(2*col)*nyp : (2*col+1)*nyp]
+		cclR := corners[(2*col+3)*nyp : (2*col+4)*nyp]
+		for r := 0; r < rows; r++ {
+			inB, inT := 2*r+1, 2*r+2
+			clB, clT := 2*r, 2*r+3
+			awB := 2*r + 1 // awT coincides with clT
+			k := r*cols + col
+			clLT, clRT := cclL[clT], cclR[clT]
+			es.Inside[k] = cinR[inT] - cinL[inT] - cinR[inB] + cinL[inB]
+			es.Closed[k] = clRT - clLT - cclR[clB] + cclL[clB]
+			es.AWide[k] = clRT - clLT - cclR[awB] + cclL[awB]
+		}
+	}
+	return es, nil
+}
+
+// GridInsideSums is the exterior histogram's batch analogue: InsideSum for
+// every tile of the tiling, row-major from the south-west, computed from
+// one sweep over the tile-corner lattice.
+func (h *ExteriorHistogram) GridInsideSums(region grid.Span, cols, rows int) ([]int64, error) {
+	tw, th, err := checkTiling(h.g, region, cols, rows)
+	if err != nil {
+		return nil, err
+	}
+	ts := tileSums(h.hc, region, cols, rows, tw, th)
+	return ts.Inside, nil
+}

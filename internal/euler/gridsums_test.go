@@ -1,0 +1,177 @@
+package euler
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatialhist/internal/geom"
+	"spatialhist/internal/grid"
+)
+
+// randRects returns n random rectangles over (and slightly beyond) the
+// extent, mixing sizes so all sum types get exercised.
+func randRects(r *rand.Rand, extent geom.Rect, n int) []geom.Rect {
+	out := make([]geom.Rect, n)
+	w, h := extent.Width(), extent.Height()
+	for i := range out {
+		x := extent.XMin + (r.Float64()*1.2-0.1)*w
+		y := extent.YMin + (r.Float64()*1.2-0.1)*h
+		dw := r.Float64() * w * 0.8
+		dh := r.Float64() * h * 0.8
+		out[i] = geom.NewRect(x, y, x+dw, y+dh)
+	}
+	return out
+}
+
+// tilesOf reproduces query.Browsing's row-major tiling locally (euler must
+// not depend on the query package).
+func tilesOf(region grid.Span, cols, rows int) []grid.Span {
+	tw := region.Width() / cols
+	th := region.Height() / rows
+	tiles := make([]grid.Span, 0, cols*rows)
+	for row := 0; row < rows; row++ {
+		for col := 0; col < cols; col++ {
+			i1 := region.I1 + col*tw
+			j1 := region.J1 + row*th
+			tiles = append(tiles, grid.Span{I1: i1, J1: j1, I2: i1 + tw - 1, J2: j1 + th - 1})
+		}
+	}
+	return tiles
+}
+
+// randTiling picks a random region within g and a tiling that divides it.
+func randTiling(r *rand.Rand, g *grid.Grid) (region grid.Span, cols, rows int) {
+	cols = 1 + r.Intn(6)
+	rows = 1 + r.Intn(6)
+	tw := 1 + r.Intn(max(1, g.NX()/cols))
+	th := 1 + r.Intn(max(1, g.NY()/rows))
+	for cols*tw > g.NX() {
+		cols--
+	}
+	for rows*th > g.NY() {
+		rows--
+	}
+	i1 := r.Intn(g.NX() - cols*tw + 1)
+	j1 := r.Intn(g.NY() - rows*th + 1)
+	return grid.Span{I1: i1, J1: j1, I2: i1 + cols*tw - 1, J2: j1 + rows*th - 1}, cols, rows
+}
+
+func TestGridSumsMatchPerTile(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for _, gc := range [][2]int{{1, 1}, {7, 5}, {36, 18}, {61, 43}} {
+		g := grid.NewUnit(gc[0], gc[1])
+		h := FromRects(g, randRects(r, g.Extent(), 300))
+		for trial := 0; trial < 50; trial++ {
+			region, cols, rows := randTiling(r, g)
+			ts, err := h.GridQuerySums(region, cols, rows)
+			if err != nil {
+				t.Fatalf("grid %v: GridQuerySums(%v,%d,%d): %v", g, region, cols, rows, err)
+			}
+			es, err := h.GridEulerSums(region, cols, rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outs, err := h.GridOutsideSums(region, cols, rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nx, ny := g.NX(), g.NY()
+			for k, q := range tilesOf(region, cols, rows) {
+				if got, want := ts.Inside[k], h.InsideSum(q); got != want {
+					t.Fatalf("tile %d %v: inside %d, want %d", k, q, got, want)
+				}
+				if got, want := ts.Closed[k], h.ClosedSum(q); got != want {
+					t.Fatalf("tile %d %v: closed %d, want %d", k, q, got, want)
+				}
+				if got, want := outs[k], h.OutsideSum(q); got != want {
+					t.Fatalf("tile %d %v: outside %d, want %d", k, q, got, want)
+				}
+				if got, want := es.AWide[k], h.LatticeSum(2*q.I1-1, 2*q.J1, 2*q.I2+1, 2*q.J2+1); got != want {
+					t.Fatalf("tile %d %v: a-wide %d, want %d", k, q, got, want)
+				}
+				row := k / cols
+				band := grid.Span{I1: 0, J1: q.J1, I2: nx - 1, J2: ny - 1}
+				if got, want := es.BandInside[row], h.InsideSum(band); got != want {
+					t.Fatalf("row %d: band inside %d, want %d", row, got, want)
+				}
+				var below int64
+				if q.J1 > 0 {
+					below = h.ContainedIn(grid.Span{I1: 0, J1: 0, I2: nx - 1, J2: q.J1 - 1})
+				}
+				if got := es.BelowContained[row]; got != below {
+					t.Fatalf("row %d: below contained %d, want %d", row, got, below)
+				}
+			}
+		}
+	}
+}
+
+func TestGridSumsWholeSpaceSingleTile(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	g := grid.NewUnit(12, 9)
+	h := FromRects(g, randRects(r, g.Extent(), 200))
+	whole := grid.Span{I1: 0, J1: 0, I2: 11, J2: 8}
+	ts, err := h.GridQuerySums(whole, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Inside[0] != h.InsideSum(whole) || ts.Closed[0] != h.ClosedSum(whole) {
+		t.Fatalf("1x1 whole-space tile: got %d/%d, want %d/%d",
+			ts.Inside[0], ts.Closed[0], h.InsideSum(whole), h.ClosedSum(whole))
+	}
+	// Max tiling: every tile a single cell.
+	ins, err := h.GridInsideSums(whole, 12, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, q := range tilesOf(whole, 12, 9) {
+		if ins[k] != h.InsideSum(q) {
+			t.Fatalf("cell tile %d: %d, want %d", k, ins[k], h.InsideSum(q))
+		}
+	}
+}
+
+func TestGridSumsBadTiling(t *testing.T) {
+	g := grid.NewUnit(10, 10)
+	h := FromRects(g, nil)
+	whole := grid.Span{I1: 0, J1: 0, I2: 9, J2: 9}
+	for _, c := range []struct {
+		region     grid.Span
+		cols, rows int
+	}{
+		{whole, 0, 1},
+		{whole, 1, -1},
+		{whole, 3, 1},  // does not divide 10
+		{whole, 1, 11}, // more tiles than cells
+		{grid.Span{I1: 0, J1: 0, I2: 10, J2: 9}, 1, 1}, // outside grid
+		{grid.Span{I1: 5, J1: 0, I2: 4, J2: 9}, 1, 1},  // invalid span
+	} {
+		if _, err := h.GridQuerySums(c.region, c.cols, c.rows); err == nil {
+			t.Errorf("GridQuerySums(%v, %d, %d): expected error", c.region, c.cols, c.rows)
+		}
+	}
+}
+
+func TestExteriorGridInsideSums(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	g := grid.NewUnit(24, 16)
+	b := NewExteriorBuilder(g)
+	for _, rect := range randRects(r, g.Extent(), 150) {
+		if s, ok := g.Snap(rect); ok {
+			b.AddSpan(s)
+		}
+	}
+	h := b.Build()
+	for trial := 0; trial < 30; trial++ {
+		region, cols, rows := randTiling(r, g)
+		ins, err := h.GridInsideSums(region, cols, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, q := range tilesOf(region, cols, rows) {
+			if got, want := ins[k], h.InsideSum(q); got != want {
+				t.Fatalf("tile %d %v: %d, want %d", k, q, got, want)
+			}
+		}
+	}
+}

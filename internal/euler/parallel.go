@@ -14,20 +14,24 @@ import (
 // The result is identical to FromRects — difference-array insertion is
 // commutative.
 //
-// Measured expectations: insertion is four scattered memory writes per
-// object, so construction is memory-bandwidth-bound and the speedup from
-// parallelism is modest (~15% at 2M objects on the paper's 360×180 grid)
-// before the O(lattice × workers) merge erases it. The auto-scaling is
-// therefore conservative — one extra worker per million objects — and the
-// function exists mainly so callers with many smaller grids per dataset
-// (e.g. archive partitions) can build them concurrently with a familiar
-// shape. An explicit worker count is honored as given; workers <= 0 asks
-// for the conservative automatic policy.
+// Insertion is four scattered memory writes per object, so construction
+// is memory-bandwidth-bound and parallel speedup is modest. The merge
+// sums the workers' difference arrays chunked by lattice range, so the
+// chunks fan across the same workers with disjoint writes and the merge
+// is O(lattice × workers / min(workers, GOMAXPROCS)) wall-clock instead
+// of the serial O(lattice × workers) pass that used to erase the
+// insertion speedup (BenchmarkParallelHistogramBuild compares worker
+// counts; on a single-core host all counts converge, which is the
+// correctness floor — extra workers must not cost). The automatic policy
+// stays conservative — one extra worker per 250k objects — since small
+// builds are dominated by the fixed O(lattice) Build pass. An explicit
+// worker count is honored as given; workers <= 0 asks for the automatic
+// policy.
 func FromRectsParallel(g *grid.Grid, rects []geom.Rect, workers int) *Histogram {
 	if workers <= 0 {
-		// One extra worker per million objects: parallelism cannot pay for
-		// the merge on smaller inputs.
-		workers = min(runtime.GOMAXPROCS(0), 1+len(rects)/1_000_000)
+		// One extra worker per 250k objects: below that the fixed Build
+		// pass dominates and parallelism cannot pay for itself.
+		workers = min(runtime.GOMAXPROCS(0), 1+len(rects)/250_000)
 	}
 	if workers == 1 || len(rects) == 0 {
 		return FromRects(g, rects)
@@ -50,12 +54,34 @@ func FromRectsParallel(g *grid.Grid, rects []geom.Rect, workers int) *Histogram 
 	}
 	wg.Wait()
 
-	// Merge worker diffs into the first builder and finalize once.
+	// Merge worker diffs into the first builder and finalize once. The
+	// merge is chunked by lattice range: each chunk of the index space sums
+	// every worker's slice of it independently, so the chunks fan across
+	// cores with disjoint writes and perfectly sequential reads.
 	root := builders[0]
-	for _, b := range builders[1:] {
-		for i, v := range b.diff {
-			root.diff[i] += v
+	mergeWorkers := min(workers, runtime.GOMAXPROCS(0))
+	chunk := (len(root.diff) + mergeWorkers - 1) / mergeWorkers
+	var merge sync.WaitGroup
+	for c := 0; c < mergeWorkers; c++ {
+		lo := min(c*chunk, len(root.diff))
+		hi := min(lo+chunk, len(root.diff))
+		if lo >= hi {
+			break
 		}
+		merge.Add(1)
+		go func(lo, hi int) {
+			defer merge.Done()
+			dst := root.diff[lo:hi]
+			for _, b := range builders[1:] {
+				src := b.diff[lo:hi]
+				for i, v := range src {
+					dst[i] += v
+				}
+			}
+		}(lo, hi)
+	}
+	merge.Wait()
+	for _, b := range builders[1:] {
 		root.n += b.n
 		root.rects += b.rects
 	}

@@ -1,12 +1,14 @@
 package geobrowse
 
 import (
+	"encoding/json"
 	"net/http"
 	"strconv"
 	"strings"
 
 	"spatialhist/internal/archive"
-	"spatialhist/internal/query"
+	"spatialhist/internal/core"
+	"spatialhist/internal/grid"
 )
 
 // ArchiveServer serves faceted browsing over a multi-attribute archive —
@@ -20,15 +22,36 @@ import (
 //
 // subjects is a comma-separated list of subject indices; from/to must
 // align with the archive's date bands.
+//
+// Like Server, browse requests take the batch path per selected partition,
+// large maps are split by tile row across a bounded worker pool, and
+// responses are cached with single-flight deduplication, keyed by region,
+// tiling and facets.
 type ArchiveServer struct {
-	name string
-	a    *archive.Archive
-	mux  *http.ServeMux
+	name  string
+	a     *archive.Archive
+	mux   *http.ServeMux
+	cache *browseCache
+	sem   chan struct{}
 }
 
-// NewArchiveServer creates an ArchiveServer for a named archive.
+// NewArchiveServer creates an ArchiveServer for a named archive with
+// default options.
 func NewArchiveServer(name string, a *archive.Archive) *ArchiveServer {
-	s := &ArchiveServer{name: name, a: a, mux: http.NewServeMux()}
+	return NewArchiveServerOpts(name, a, Options{})
+}
+
+// NewArchiveServerOpts creates an ArchiveServer with explicit serving
+// options.
+func NewArchiveServerOpts(name string, a *archive.Archive, opts Options) *ArchiveServer {
+	opts = opts.withDefaults()
+	s := &ArchiveServer{
+		name:  name,
+		a:     a,
+		mux:   http.NewServeMux(),
+		cache: newBrowseCache(opts.CacheSize),
+		sem:   make(chan struct{}, opts.Workers),
+	}
 	s.mux.HandleFunc("GET /api/info", s.handleInfo)
 	s.mux.HandleFunc("GET /api/browse", s.handleBrowse)
 	return s
@@ -36,6 +59,9 @@ func NewArchiveServer(name string, a *archive.Archive) *ArchiveServer {
 
 // ServeHTTP implements http.Handler.
 func (s *ArchiveServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// CacheStats reports browse-cache hits and misses.
+func (s *ArchiveServer) CacheStats() (hits, misses int64) { return s.cache.Stats() }
 
 // ArchiveInfo is the archive /api/info response.
 type ArchiveInfo struct {
@@ -78,17 +104,7 @@ type FacetedBrowseResponse struct {
 
 func (s *ArchiveServer) handleBrowse(w http.ResponseWriter, r *http.Request) {
 	sc := s.a.Schema()
-	span, err := parseRegion(sc.Grid, r)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	cols, err := posIntParam(r, "cols")
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	rows, err := posIntParam(r, "rows")
+	span, cols, rows, err := parseBrowse(sc.Grid, r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -121,33 +137,27 @@ func (s *ArchiveServer) handleBrowse(w http.ResponseWriter, r *http.Request) {
 		f.DateFrom, f.DateTo = from, to
 	}
 
-	matching, err := s.a.MatchCount(f)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	ests, err := s.a.Browse(f, span, cols, rows)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	qs, err := query.Browsing(span, cols, rows)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	resp := FacetedBrowseResponse{Cols: cols, Rows: rows, Matching: matching,
-		Tiles: make([]TileEstimate, 0, len(ests))}
-	for i, est := range ests {
-		rect := sc.Grid.SpanRect(qs.Tiles[i])
-		c := est.Clamped()
-		resp.Tiles = append(resp.Tiles, TileEstimate{
-			Rect:      [4]float64{rect.XMin, rect.YMin, rect.XMax, rect.YMax},
-			Disjoint:  c.Disjoint,
-			Contains:  c.Contains,
-			Contained: c.Contained,
-			Overlap:   c.Overlap,
+	// The filter participates in the cache key via its raw parameters.
+	facets := r.URL.Query().Get("subjects") + "|" + r.URL.Query().Get("from") + "|" + r.URL.Query().Get("to")
+	key := browseKey(span, cols, rows, facets)
+	data, err := s.cache.Do(key, func() ([]byte, error) {
+		matching, err := s.a.MatchCount(f)
+		if err != nil {
+			return nil, err
+		}
+		ests, err := rowParallel(s.sem, span, cols, rows, func(sub grid.Span, subRows int) ([]core.Estimate, error) {
+			return s.a.Browse(f, sub, cols, subRows)
 		})
+		if err != nil {
+			return nil, err
+		}
+		resp := FacetedBrowseResponse{Cols: cols, Rows: rows, Matching: matching,
+			Tiles: tileEstimates(sc.Grid, span, cols, rows, ests)}
+		return json.Marshal(resp)
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
 	}
-	writeJSON(w, resp)
+	writeJSONBytes(w, data)
 }

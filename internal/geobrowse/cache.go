@@ -1,0 +1,108 @@
+package geobrowse
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// browseCache is a small LRU of marshaled browse responses with
+// single-flight deduplication: identical concurrent requests — the common
+// case when many clients watch the same region — are computed once, and
+// repeats of a recent request are served from memory without touching the
+// histograms or re-encoding JSON.
+//
+// Values are the final response bytes, so a hit is a map lookup plus one
+// Write. The cache is bounded by entry count, not bytes: a browse response
+// is at most ~maxTiles tiles, so capacity×maxTiles bounds the footprint.
+type browseCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	entries  map[string]*list.Element
+	inflight map[string]*flight
+
+	hits, misses atomic.Int64
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// flight is one in-progress computation; followers wait on done and read
+// val/err afterwards.
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// newBrowseCache returns a cache holding up to capacity responses;
+// capacity <= 0 disables storage but keeps single-flight deduplication.
+func newBrowseCache(capacity int) *browseCache {
+	return &browseCache{
+		capacity: capacity,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Do returns the cached response for key, or computes it with compute,
+// deduplicating concurrent calls for the same key: one caller runs
+// compute, the rest wait for its result. Errors are returned to every
+// waiter and never cached.
+func (c *browseCache) Do(key string, compute func() ([]byte, error)) ([]byte, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		val := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return val, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		// A deduplicated follower is neither a recomputation nor a store
+		// hit; count it as a hit since the work was shared.
+		if f.err == nil {
+			c.hits.Add(1)
+		}
+		return f.val, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	f.val, f.err = compute()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil && c.capacity > 0 {
+		c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, val: f.val})
+		for c.ll.Len() > c.capacity {
+			oldest := c.ll.Back()
+			c.ll.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, f.err
+}
+
+// Stats returns how many Do calls were served from cache (or a shared
+// in-flight computation) versus computed.
+func (c *browseCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len returns the number of stored responses.
+func (c *browseCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

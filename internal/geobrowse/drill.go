@@ -34,19 +34,15 @@ func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	hot, err := posIntParam(r, "hot")
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	depth, err := posIntParam(r, "depth")
+	hot, err := posIntParam(r, "hot", unboundedParam)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	const maxDepth = 16
-	if depth > maxDepth {
-		http.Error(w, "parameter \"depth\" too large", http.StatusBadRequest)
+	depth, err := posIntParam(r, "depth", maxDepth)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	leaves, err := core.Drilldown(s.est, span, core.DrillOptions{

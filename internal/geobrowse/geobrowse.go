@@ -14,13 +14,23 @@
 //
 // All coordinates must align with the summary's grid resolution, matching
 // the paper's queries-at-resolution model; misaligned requests get 400s.
+//
+// Browse requests take the batch estimation path: the whole tile map is
+// answered in one sweep per histogram (core.EstimateGrid), large maps are
+// split by tile row across a bounded worker pool shared by all requests,
+// and responses are cached in a small LRU with single-flight deduplication
+// so identical concurrent requests are computed once.
 package geobrowse
 
 import (
 	"encoding/json"
 	"fmt"
+	"log"
+	"math"
 	"net/http"
+	"runtime"
 	"strconv"
+	"sync"
 
 	"spatialhist/internal/core"
 	"spatialhist/internal/geom"
@@ -28,16 +38,68 @@ import (
 	"spatialhist/internal/query"
 )
 
-// Server answers browsing queries over one summarized dataset.
-type Server struct {
-	name string
-	est  core.Estimator
-	mux  *http.ServeMux
+// logf reports server-side I/O and encoding problems; a variable so tests
+// can capture it.
+var logf = log.Printf
+
+// maxTiles bounds one browse response; it doubles as the individual bound
+// on cols and rows so their product cannot overflow before the check.
+const maxTiles = 100_000
+
+// browseParallelMinTiles is the tile-map size from which a browse request
+// is split across the worker pool; smaller maps run inline on the request
+// goroutine.
+const browseParallelMinTiles = 4096
+
+// Options tunes a Server's serving machinery.
+type Options struct {
+	// CacheSize bounds the browse-response LRU in entries. 0 means the
+	// default (64); negative disables storage while keeping single-flight
+	// deduplication of concurrent identical requests.
+	CacheSize int
+	// Workers bounds the pool that large tile maps are fanned across,
+	// shared by all in-flight requests. 0 means GOMAXPROCS.
+	Workers int
 }
 
-// NewServer creates a Server for a named dataset summarized by est.
+func (o Options) withDefaults() Options {
+	if o.CacheSize == 0 {
+		o.CacheSize = 64
+	}
+	if o.CacheSize < 0 {
+		o.CacheSize = 0
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Server answers browsing queries over one summarized dataset.
+type Server struct {
+	name  string
+	est   core.Estimator
+	mux   *http.ServeMux
+	cache *browseCache
+	sem   chan struct{} // bounded tile-row worker pool
+}
+
+// NewServer creates a Server for a named dataset summarized by est, with
+// default options.
 func NewServer(name string, est core.Estimator) *Server {
-	s := &Server{name: name, est: est, mux: http.NewServeMux()}
+	return NewServerOpts(name, est, Options{})
+}
+
+// NewServerOpts creates a Server with explicit serving options.
+func NewServerOpts(name string, est core.Estimator, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		name:  name,
+		est:   est,
+		mux:   http.NewServeMux(),
+		cache: newBrowseCache(opts.CacheSize),
+		sem:   make(chan struct{}, opts.Workers),
+	}
 	s.mux.HandleFunc("GET /api/info", s.handleInfo)
 	s.mux.HandleFunc("GET /api/query", s.handleQuery)
 	s.mux.HandleFunc("GET /api/browse", s.handleBrowse)
@@ -48,6 +110,10 @@ func NewServer(name string, est core.Estimator) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// CacheStats reports browse-cache hits (served from memory or a shared
+// in-flight computation) and misses (computed).
+func (s *Server) CacheStats() (hits, misses int64) { return s.cache.Stats() }
 
 // Info is the /api/info response.
 type Info struct {
@@ -100,37 +166,132 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleBrowse(w http.ResponseWriter, r *http.Request) {
-	span, err := s.parseRegion(r)
+	span, cols, rows, err := parseBrowse(s.est.Grid(), r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	cols, err := posIntParam(r, "cols")
+	key := browseKey(span, cols, rows, "")
+	data, err := s.cache.Do(key, func() ([]byte, error) {
+		ests, err := s.estimateTiles(span, cols, rows)
+		if err != nil {
+			return nil, err
+		}
+		resp := BrowseResponse{Cols: cols, Rows: rows, Tiles: tileEstimates(s.est.Grid(), span, cols, rows, ests)}
+		return json.Marshal(resp)
+	})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	rows, err := posIntParam(r, "rows")
+	writeJSONBytes(w, data)
+}
+
+// estimateTiles answers a tile map with the batch path, fanning tile rows
+// of large maps across the server's bounded worker pool.
+func (s *Server) estimateTiles(region grid.Span, cols, rows int) ([]core.Estimate, error) {
+	return rowParallel(s.sem, region, cols, rows, func(sub grid.Span, subRows int) ([]core.Estimate, error) {
+		return core.EstimateGrid(s.est, sub, cols, subRows)
+	})
+}
+
+// rowParallel runs a tile-map estimation, splitting large maps into
+// contiguous bands of tile rows fanned across the bounded pool sem (shared
+// by all in-flight requests). Every band keeps its row-major order and
+// lands in its slice of the result, so the output is identical to a single
+// sweep. estimate answers one band: a sub-region spanning subRows tile
+// rows at the map's column count.
+func rowParallel(sem chan struct{}, region grid.Span, cols, rows int,
+	estimate func(sub grid.Span, subRows int) ([]core.Estimate, error)) ([]core.Estimate, error) {
+	_, th, err := query.Tiling(region, cols, rows)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+		return nil, err
 	}
-	const maxTiles = 100_000
-	if cols*rows > maxTiles {
-		http.Error(w, fmt.Sprintf("tiling %dx%d exceeds the %d-tile limit", cols, rows, maxTiles),
-			http.StatusBadRequest)
-		return
+	workers := min(cap(sem), rows)
+	if workers <= 1 || cols*rows < browseParallelMinTiles {
+		return estimate(region, rows)
 	}
-	qs, err := query.Browsing(span, cols, rows)
+	out := make([]core.Estimate, cols*rows)
+	band := (rows + workers - 1) / workers
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		r0 := w * band
+		r1 := min(r0+band-1, rows-1)
+		if r0 > r1 {
+			break
+		}
+		wg.Add(1)
+		go func(w, r0, r1 int) {
+			defer wg.Done()
+			sem <- struct{}{} // acquire a pool slot
+			defer func() { <-sem }()
+			part, err := estimate(query.RowBand(region, th, r0, r1), r1-r0+1)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			copy(out[r0*cols:], part)
+		}(w, r0, r1)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// tileEstimates pairs clamped estimates with their tile rectangles in
+// row-major order.
+func tileEstimates(g *grid.Grid, region grid.Span, cols, rows int, ests []core.Estimate) []TileEstimate {
+	tw := region.Width() / cols
+	th := region.Height() / rows
+	tiles := make([]TileEstimate, len(ests))
+	for k, est := range ests {
+		col, row := k%cols, k/cols
+		i1 := region.I1 + col*tw
+		j1 := region.J1 + row*th
+		rect := g.SpanRect(grid.Span{I1: i1, J1: j1, I2: i1 + tw - 1, J2: j1 + th - 1})
+		c := est.Clamped()
+		tiles[k] = TileEstimate{
+			Rect:      [4]float64{rect.XMin, rect.YMin, rect.XMax, rect.YMax},
+			Disjoint:  c.Disjoint,
+			Contains:  c.Contains,
+			Contained: c.Contained,
+			Overlap:   c.Overlap,
+		}
+	}
+	return tiles
+}
+
+// browseKey identifies one browse computation; facets distinguishes
+// faceted (archive) requests over the same region.
+func browseKey(span grid.Span, cols, rows int, facets string) string {
+	return fmt.Sprintf("%d,%d,%d,%d/%dx%d;%s", span.I1, span.J1, span.I2, span.J2, cols, rows, facets)
+}
+
+// parseBrowse reads the region and tiling of a browse request, bounding
+// cols and rows individually before multiplying so the product check
+// cannot be bypassed by overflow.
+func parseBrowse(g *grid.Grid, r *http.Request) (span grid.Span, cols, rows int, err error) {
+	span, err = parseRegion(g, r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+		return grid.Span{}, 0, 0, err
 	}
-	resp := BrowseResponse{Cols: cols, Rows: rows, Tiles: make([]TileEstimate, 0, len(qs.Tiles))}
-	for _, t := range qs.Tiles {
-		resp.Tiles = append(resp.Tiles, s.tile(t))
+	cols, err = posIntParam(r, "cols", maxTiles)
+	if err != nil {
+		return grid.Span{}, 0, 0, err
 	}
-	writeJSON(w, resp)
+	rows, err = posIntParam(r, "rows", maxTiles)
+	if err != nil {
+		return grid.Span{}, 0, 0, err
+	}
+	if int64(cols)*int64(rows) > maxTiles {
+		return grid.Span{}, 0, 0, fmt.Errorf("tiling %dx%d exceeds the %d-tile limit", cols, rows, maxTiles)
+	}
+	return span, cols, rows, nil
 }
 
 func (s *Server) tile(span grid.Span) TileEstimate {
@@ -172,19 +333,43 @@ func parseRegion(g *grid.Grid, r *http.Request) (grid.Span, error) {
 	return span, nil
 }
 
-func posIntParam(r *http.Request, name string) (int, error) {
+// posIntParam parses a positive integer parameter bounded by max.
+func posIntParam(r *http.Request, name string, max int) (int, error) {
 	raw := r.URL.Query().Get(name)
 	v, err := strconv.Atoi(raw)
 	if err != nil || v <= 0 {
 		return 0, fmt.Errorf("parameter %q must be a positive integer, got %q", name, raw)
 	}
+	if v > max {
+		return 0, fmt.Errorf("parameter %q must be at most %d, got %d", name, max, v)
+	}
 	return v, nil
 }
 
+// writeJSON marshals v and writes it with the JSON content type. Encoding
+// failures are a server bug: they are logged and turned into a 500 before
+// any of the response is committed.
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	// The response is assembled in memory; an encode failure here means the
-	// client went away, which the server cannot act on.
-	_ = enc.Encode(v)
+	data, err := json.Marshal(v)
+	if err != nil {
+		logf("geobrowse: encoding %T: %v", v, err)
+		http.Error(w, "internal error", http.StatusInternalServerError)
+		return
+	}
+	writeJSONBytes(w, data)
 }
+
+// writeJSONBytes writes pre-marshaled JSON, setting the content type
+// before the status code is committed. Write errors mean the client went
+// away; they are logged for observability but cannot change the response.
+func writeJSONBytes(w http.ResponseWriter, data []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(data); err != nil {
+		logf("geobrowse: writing response: %v", err)
+	}
+}
+
+// unboundedParam is the bound for parameters that are semantically
+// unlimited counts (e.g. drill hot thresholds).
+const unboundedParam = math.MaxInt

@@ -66,6 +66,39 @@ func (s *Sum2D) at(i, j int) int64 {
 	return s.p[i*s.ny+j]
 }
 
+// PrefixAt returns the prefix value P(i, j) = Σ src[0..i][0..j] with the
+// same boundary conventions RangeSum applies to its corners: negative
+// coordinates yield 0 and coordinates past the array edge are clamped to
+// it. It lets batch kernels gather the corner values of many ranges once
+// and reuse them, instead of paying four at() lookups per range.
+func (s *Sum2D) PrefixAt(i, j int) int64 {
+	if i < 0 || j < 0 {
+		return 0
+	}
+	if i >= s.nx {
+		i = s.nx - 1
+	}
+	if j >= s.ny {
+		j = s.ny - 1
+	}
+	return s.p[i*s.ny+j]
+}
+
+// Row returns the prefix row P(i, ·) as a read-only slice, applying the
+// same boundary conventions PrefixAt applies to i: a coordinate past the
+// array edge is clamped to it and a negative coordinate returns nil (every
+// prefix value of a negative row is zero). Batch kernels use it to hoist
+// the row lookup and clamping out of their per-corner gather loops.
+func (s *Sum2D) Row(i int) []int64 {
+	if i < 0 {
+		return nil
+	}
+	if i >= s.nx {
+		i = s.nx - 1
+	}
+	return s.p[i*s.ny : (i+1)*s.ny]
+}
+
 // RangeSum returns the sum of src over the inclusive range
 // [i1..i2]×[j1..j2]. Ranges are clamped to the array; an inverted or fully
 // outside range sums to zero, which lets callers pass empty regions (e.g. a

@@ -58,6 +58,37 @@ func QN(g *grid.Grid, n int) (*Set, error) {
 	return s, nil
 }
 
+// Tiling validates a cols×rows equal tiling of region and returns the tile
+// size in cells. It is the shared contract between Browsing (which
+// materializes the tiles) and the batch estimation path (which never
+// does): the region must be a valid span whose width divides by cols and
+// height by rows.
+func Tiling(region grid.Span, cols, rows int) (tw, th int, err error) {
+	if cols <= 0 || rows <= 0 {
+		return 0, 0, fmt.Errorf("query: non-positive tiling %dx%d", cols, rows)
+	}
+	if !region.Valid() {
+		return 0, 0, fmt.Errorf("query: invalid region %v", region)
+	}
+	if region.Width()%cols != 0 || region.Height()%rows != 0 {
+		return 0, 0, fmt.Errorf("query: %dx%d tiling does not divide region %v at this resolution",
+			cols, rows, region)
+	}
+	return region.Width() / cols, region.Height() / rows, nil
+}
+
+// RowBand returns the sub-region covering tile rows [r0..r1] of a cols×rows
+// tiling of region — the unit of work when a tile map is split across
+// workers by row. th must be the tile height Tiling reported.
+func RowBand(region grid.Span, th, r0, r1 int) grid.Span {
+	return grid.Span{
+		I1: region.I1,
+		J1: region.J1 + r0*th,
+		I2: region.I2,
+		J2: region.J1 + (r1+1)*th - 1,
+	}
+}
+
 // Browsing partitions a selected region into cols×rows equal tiles, the
 // GeoBrowsing interaction of §1: the user picks a region and the numbers of
 // rows and columns. The region's width in cells must be divisible by cols
@@ -66,18 +97,10 @@ func QN(g *grid.Grid, n int) (*Set, error) {
 // Tiles are ordered row-major from the south-west corner: index
 // row*cols + col.
 func Browsing(region grid.Span, cols, rows int) (*Set, error) {
-	if cols <= 0 || rows <= 0 {
-		return nil, fmt.Errorf("query: non-positive tiling %dx%d", cols, rows)
+	tw, th, err := Tiling(region, cols, rows)
+	if err != nil {
+		return nil, err
 	}
-	if !region.Valid() {
-		return nil, fmt.Errorf("query: invalid region %v", region)
-	}
-	if region.Width()%cols != 0 || region.Height()%rows != 0 {
-		return nil, fmt.Errorf("query: %dx%d tiling does not divide region %v at this resolution",
-			cols, rows, region)
-	}
-	tw := region.Width() / cols
-	th := region.Height() / rows
 	tiles := make([]grid.Span, 0, cols*rows)
 	for row := 0; row < rows; row++ {
 		for col := 0; col < cols; col++ {

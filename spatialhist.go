@@ -178,16 +178,27 @@ func (s *Summary) QuerySpan(q Span) Estimate { return s.est.Estimate(q) }
 // Browse answers a browsing query: region is gridded into cols×rows tiles
 // (row-major from the south-west corner) and every tile is estimated. The
 // region must be grid-aligned and evenly tileable.
+//
+// The whole tile map is answered through the batch path — one sweep over
+// the cumulative lattice per histogram instead of per-tile lookups — with
+// results identical to estimating each tile individually.
 func (s *Summary) Browse(region Rect, cols, rows int) ([]Estimate, error) {
 	span, err := s.g.AlignedSpan(region, 1e-9)
 	if err != nil {
 		return nil, err
 	}
-	qs, err := query.Browsing(span, cols, rows)
+	return core.EstimateGrid(s.est, span, cols, rows)
+}
+
+// BrowseParallel is Browse with the tile rows of large maps fanned across
+// up to workers goroutines (workers <= 0 means GOMAXPROCS). Results are
+// identical to Browse in content and order.
+func (s *Summary) BrowseParallel(region Rect, cols, rows, workers int) ([]Estimate, error) {
+	span, err := s.g.AlignedSpan(region, 1e-9)
 	if err != nil {
 		return nil, err
 	}
-	return core.EstimateSet(s.est, qs.Tiles), nil
+	return core.EstimateGridParallel(s.est, span, cols, rows, workers)
 }
 
 // Builder incrementally constructs an Euler histogram; see FromHistogram.
