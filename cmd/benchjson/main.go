@@ -1,0 +1,65 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, used by CI's bench-regression job to publish
+// BENCH_ci.json as a build artifact. It keeps every run (for -count > 1)
+// and adds a per-benchmark summary (min/median/max ns/op) so a human — or
+// a later tooling PR — can compare artifacts across commits without
+// re-parsing bench text.
+//
+// Usage:
+//
+//	go test -bench . -count 3 | benchjson -out BENCH_ci.json
+//	benchjson -in bench.txt -out BENCH_ci.json
+//
+// benchjson exits non-zero when the input contains no benchmark results,
+// so a CI step cannot silently "pass" on a regex that matched nothing or
+// output swallowed by a build failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	in := flag.String("in", "", "bench output file (default stdin)")
+	out := flag.String("out", "", "JSON output file (default stdout)")
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	report, err := Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(report.Runs) == 0 {
+		log.Fatal("no benchmark results in input")
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d runs of %d benchmarks -> %s\n",
+		len(report.Runs), len(report.Summary), *out)
+}

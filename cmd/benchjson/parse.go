@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Run is one benchmark result line.
+type Run struct {
+	Name        string  `json:"name"`  // without the -P procs suffix
+	Procs       int     `json:"procs"` // GOMAXPROCS suffix, 1 if absent
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+}
+
+// Summary aggregates the runs of one benchmark name.
+type Summary struct {
+	Name       string  `json:"name"`
+	Runs       int     `json:"runs"`
+	MinNsPerOp float64 `json:"min_ns_per_op"`
+	MedNsPerOp float64 `json:"median_ns_per_op"`
+	MaxNsPerOp float64 `json:"max_ns_per_op"`
+}
+
+// Report is the whole document: the bench environment header, every run
+// in input order, and per-benchmark summaries sorted by name.
+type Report struct {
+	Env     map[string]string `json:"env,omitempty"` // goos, goarch, pkg, cpu
+	Runs    []Run             `json:"runs"`
+	Summary []Summary         `json:"summary"`
+}
+
+// Parse reads `go test -bench` text output. Lines it does not recognize
+// (PASS, ok, coverage, test logs) are ignored; a benchmark line it cannot
+// parse is an error, so a malformed artifact fails loudly in CI.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{Env: make(map[string]string)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				rep.Env[key] = v
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		run, err := parseRun(line)
+		if err != nil {
+			return nil, err
+		}
+		rep.Runs = append(rep.Runs, run)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	rep.Summary = summarize(rep.Runs)
+	return rep, nil
+}
+
+func parseRun(line string) (Run, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Run{}, fmt.Errorf("malformed bench line %q", line)
+	}
+	run := Run{Name: f[0], Procs: 1}
+	if i := strings.LastIndex(f[0], "-"); i > 0 {
+		if p, err := strconv.Atoi(f[0][i+1:]); err == nil {
+			run.Name, run.Procs = f[0][:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Run{}, fmt.Errorf("bench line %q: iterations: %v", line, err)
+	}
+	run.Iterations = iters
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Run{}, fmt.Errorf("bench line %q: value %q: %v", line, f[i], err)
+		}
+		switch f[i+1] {
+		case "ns/op":
+			run.NsPerOp = v
+		case "B/op":
+			run.BytesPerOp = v
+		case "allocs/op":
+			run.AllocsPerOp = v
+		case "MB/s":
+			run.MBPerSec = v
+		}
+	}
+	if run.NsPerOp == 0 && run.Iterations == 0 {
+		return Run{}, fmt.Errorf("bench line %q has no ns/op", line)
+	}
+	return run, nil
+}
+
+func summarize(runs []Run) []Summary {
+	byName := make(map[string][]float64)
+	for _, r := range runs {
+		byName[r.Name] = append(byName[r.Name], r.NsPerOp)
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Summary, 0, len(names))
+	for _, n := range names {
+		vs := byName[n]
+		sort.Float64s(vs)
+		out = append(out, Summary{
+			Name:       n,
+			Runs:       len(vs),
+			MinNsPerOp: vs[0],
+			MedNsPerOp: vs[len(vs)/2],
+			MaxNsPerOp: vs[len(vs)-1],
+		})
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: spatialhist
+cpu: Example CPU @ 2.80GHz
+BenchmarkBrowseGrid/per-tile-8         	       3	 101000000 ns/op
+BenchmarkBrowseGrid/per-tile-8         	       3	  99000000 ns/op
+BenchmarkBrowseGrid/per-tile-8         	       3	 100000000 ns/op
+BenchmarkBrowseGrid/batched-8          	       3	  20000000 ns/op
+BenchmarkEstimate/seuler-8             	       3	        45.67 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	spatialhist	12.345s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Env["goos"] != "linux" || rep.Env["cpu"] != "Example CPU @ 2.80GHz" {
+		t.Errorf("env = %v", rep.Env)
+	}
+	if len(rep.Runs) != 5 {
+		t.Fatalf("%d runs, want 5", len(rep.Runs))
+	}
+	r0 := rep.Runs[0]
+	if r0.Name != "BenchmarkBrowseGrid/per-tile" || r0.Procs != 8 ||
+		r0.Iterations != 3 || r0.NsPerOp != 101000000 {
+		t.Errorf("run 0 = %+v", r0)
+	}
+	last := rep.Runs[4]
+	if last.NsPerOp != 45.67 || last.BytesPerOp != 0 || last.AllocsPerOp != 0 {
+		t.Errorf("estimate run = %+v", last)
+	}
+
+	if len(rep.Summary) != 3 {
+		t.Fatalf("%d summaries, want 3: %+v", len(rep.Summary), rep.Summary)
+	}
+	var perTile *Summary
+	for i := range rep.Summary {
+		if rep.Summary[i].Name == "BenchmarkBrowseGrid/per-tile" {
+			perTile = &rep.Summary[i]
+		}
+	}
+	if perTile == nil {
+		t.Fatal("per-tile summary missing")
+	}
+	if perTile.Runs != 3 || perTile.MinNsPerOp != 99000000 ||
+		perTile.MedNsPerOp != 100000000 || perTile.MaxNsPerOp != 101000000 {
+		t.Errorf("per-tile summary = %+v", perTile)
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	rep, err := Parse(strings.NewReader("PASS\nok  \tspatialhist\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 0 {
+		t.Fatalf("%d runs, want 0", len(rep.Runs))
+	}
+}
+
+func TestParseMalformedBenchLine(t *testing.T) {
+	_, err := Parse(strings.NewReader("BenchmarkX-8\tgarbage\tns/op\n"))
+	if err == nil {
+		t.Fatal("malformed bench line must error")
+	}
+}

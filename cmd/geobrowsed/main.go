@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -22,6 +24,7 @@ import (
 	"spatialhist/internal/dataset"
 	"spatialhist/internal/geobrowse"
 	"spatialhist/internal/grid"
+	"spatialhist/internal/telemetry"
 )
 
 func main() {
@@ -39,8 +42,16 @@ func main() {
 		saveSum  = flag.String("save", "", "after building, save the summary to this file")
 		cacheSz  = flag.Int("cache", 0, "browse-response cache entries (0 = default, negative disables)")
 		workers  = flag.Int("workers", 0, "tile-map worker pool size (0 = GOMAXPROCS)")
+		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		report   = flag.Duration("report", time.Minute, "self-report interval (QPS, p50/p99, cache hit rate; 0 disables)")
+		logReq   = flag.Bool("log-requests", false, "log one structured JSON line per API request to stderr")
 	)
 	flag.Parse()
+
+	opts := geobrowse.Options{CacheSize: *cacheSz, Workers: *workers}
+	if *logReq {
+		opts.AccessLog = os.Stderr
+	}
 
 	if *loadSum != "" {
 		sum, err := spatialhist.LoadFile(*loadSum)
@@ -49,7 +60,7 @@ func main() {
 		}
 		log.Printf("loaded summary: %s, %d objects, %d buckets",
 			sum.Algorithm(), sum.Count(), sum.StorageBuckets())
-		serve(*addr, *loadSum, sum.Estimator(), geobrowse.Options{CacheSize: *cacheSz, Workers: *workers})
+		serve(*addr, *loadSum, sum.Estimator(), opts, *pprofOn, *report)
 		return
 	}
 
@@ -83,18 +94,65 @@ func main() {
 		}
 		log.Printf("saved summary to %s", *saveSum)
 	}
-	serve(*addr, d.Name, est, geobrowse.Options{CacheSize: *cacheSz, Workers: *workers})
+	serve(*addr, d.Name, est, opts, *pprofOn, *report)
 }
 
-func serve(addr, name string, est core.Estimator, opts geobrowse.Options) {
+// serve runs the GeoBrowse handler (which exposes Prometheus metrics at
+// /metrics), optionally mounts net/http/pprof, and starts the periodic
+// self-report loop.
+func serve(addr, name string, est core.Estimator, opts geobrowse.Options, pprofOn bool, report time.Duration) {
+	gb := geobrowse.NewServerOpts(name, est, opts)
+	handler := http.Handler(gb)
+	if pprofOn {
+		mux := http.NewServeMux()
+		mux.Handle("/", gb)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("pprof enabled at http://%s/debug/pprof/", addr)
+	}
+	if report > 0 {
+		go selfReport(gb, report)
+	}
 	srv := &http.Server{
 		Addr:         addr,
-		Handler:      geobrowse.NewServerOpts(name, est, opts),
+		Handler:      handler,
 		ReadTimeout:  10 * time.Second,
 		WriteTimeout: 30 * time.Second,
 	}
-	log.Printf("serving GeoBrowse on http://%s/", addr)
+	log.Printf("serving GeoBrowse on http://%s/ (metrics at /metrics)", addr)
 	log.Fatal(srv.ListenAndServe())
+}
+
+// selfReport emits one structured line per interval with the window's
+// request rate, latency quantiles (from the merged per-endpoint latency
+// histograms in telemetry.Default()), and browse-cache hit rate.
+func selfReport(s *geobrowse.Server, every time.Duration) {
+	logger := telemetry.NewLogger(os.Stderr)
+	reg := telemetry.Default()
+	prev := reg.FamilySnapshot("geobrowse_http_request_seconds")
+	prevHits, prevMisses := s.CacheStats()
+	for range time.Tick(every) {
+		snap := reg.FamilySnapshot("geobrowse_http_request_seconds")
+		delta := snap.Sub(prev)
+		hits, misses := s.CacheStats()
+		dh, dm := hits-prevHits, misses-prevMisses
+		hitRate := 0.0
+		if dh+dm > 0 {
+			hitRate = float64(dh) / float64(dh+dm)
+		}
+		logger.Log("self-report",
+			"requests", delta.Count,
+			"qps", float64(delta.Count)/every.Seconds(),
+			"p50_ms", delta.Quantile(0.50)*1000,
+			"p99_ms", delta.Quantile(0.99)*1000,
+			"cache_hit_rate", hitRate,
+		)
+		prev, prevHits, prevMisses = snap, hits, misses
+	}
 }
 
 func buildEstimator(algo, areasArg string, g *grid.Grid, d *dataset.Dataset) (core.Estimator, error) {

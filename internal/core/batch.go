@@ -10,6 +10,7 @@ package core
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"spatialhist/internal/grid"
 	"spatialhist/internal/query"
@@ -28,7 +29,21 @@ type BatchEstimator interface {
 // EstimateGrid answers every tile of the cols×rows tiling of region using
 // est's batch path when it has one and a per-tile fallback otherwise, so
 // callers can serve tile maps through one entry point for any Estimator.
+// Each successful call records one sweep (tile count, duration) into
+// telemetry.Default() under the estimator's name.
 func EstimateGrid(est Estimator, region grid.Span, cols, rows int) ([]Estimate, error) {
+	start := time.Now()
+	out, err := estimateGridRaw(est, region, cols, rows)
+	if err == nil {
+		observeSweep(est.Name(), len(out), start)
+	}
+	return out, err
+}
+
+// estimateGridRaw is EstimateGrid without the telemetry, shared by the
+// instrumented entry points so a parallel map is observed once, not once
+// per band.
+func estimateGridRaw(est Estimator, region grid.Span, cols, rows int) ([]Estimate, error) {
 	if be, ok := est.(BatchEstimator); ok {
 		return be.EstimateGrid(region, cols, rows)
 	}
@@ -61,6 +76,8 @@ func EstimateGridParallel(est Estimator, region grid.Span, cols, rows, workers i
 	if workers <= 1 || cols*rows < parallelMinTiles {
 		return EstimateGrid(est, region, cols, rows)
 	}
+	start := time.Now()
+	active := parallelWorkersActive()
 	out := make([]Estimate, cols*rows)
 	band := (rows + workers - 1) / workers
 	var wg sync.WaitGroup
@@ -74,8 +91,10 @@ func EstimateGridParallel(est Estimator, region grid.Span, cols, rows, workers i
 		wg.Add(1)
 		go func(w, r0, r1 int) {
 			defer wg.Done()
+			active.Inc()
+			defer active.Dec()
 			sub := query.RowBand(region, th, r0, r1)
-			part, err := EstimateGrid(est, sub, cols, r1-r0+1)
+			part, err := estimateGridRaw(est, sub, cols, r1-r0+1)
 			if err != nil {
 				errs[w] = err
 				return
@@ -89,6 +108,7 @@ func EstimateGridParallel(est Estimator, region grid.Span, cols, rows, workers i
 			return nil, err
 		}
 	}
+	observeSweep(est.Name(), len(out), start)
 	return out, nil
 }
 

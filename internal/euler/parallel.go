@@ -3,9 +3,11 @@ package euler
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"spatialhist/internal/geom"
 	"spatialhist/internal/grid"
+	"spatialhist/internal/telemetry"
 )
 
 // FromRectsParallel builds an Euler histogram over g using up to workers
@@ -38,6 +40,14 @@ func FromRectsParallel(g *grid.Grid, rects []geom.Rect, workers int) *Histogram 
 	}
 	workers = min(workers, len(rects))
 
+	// Construction telemetry: worker occupancy across both the insertion
+	// and merge fans, plus a build counter and duration histogram, all in
+	// telemetry.Default() (atomic adds per worker, not per object).
+	start := time.Now()
+	reg := telemetry.Default()
+	active := reg.Gauge("euler_build_workers_active",
+		"Histogram-construction workers currently running.")
+
 	builders := make([]*Builder, workers)
 	var wg sync.WaitGroup
 	shard := (len(rects) + workers - 1) / workers
@@ -49,6 +59,8 @@ func FromRectsParallel(g *grid.Grid, rects []geom.Rect, workers int) *Histogram 
 		wg.Add(1)
 		go func(part []geom.Rect) {
 			defer wg.Done()
+			active.Inc()
+			defer active.Dec()
 			b.AddAll(part)
 		}(rects[lo:hi])
 	}
@@ -71,6 +83,8 @@ func FromRectsParallel(g *grid.Grid, rects []geom.Rect, workers int) *Histogram 
 		merge.Add(1)
 		go func(lo, hi int) {
 			defer merge.Done()
+			active.Inc()
+			defer active.Dec()
 			dst := root.diff[lo:hi]
 			for _, b := range builders[1:] {
 				src := b.diff[lo:hi]
@@ -85,5 +99,11 @@ func FromRectsParallel(g *grid.Grid, rects []geom.Rect, workers int) *Histogram 
 		root.n += b.n
 		root.rects += b.rects
 	}
-	return root.Build()
+	h := root.Build()
+	reg.Counter("euler_parallel_builds_total",
+		"Parallel histogram constructions completed.").Inc()
+	reg.Histogram("euler_build_seconds",
+		"Parallel histogram construction duration in seconds.", nil).
+		ObserveDuration(time.Since(start))
+	return h
 }

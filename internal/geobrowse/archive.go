@@ -33,6 +33,7 @@ type ArchiveServer struct {
 	mux   *http.ServeMux
 	cache *browseCache
 	sem   chan struct{}
+	pool  *poolMetrics
 }
 
 // NewArchiveServer creates an ArchiveServer for a named archive with
@@ -49,11 +50,17 @@ func NewArchiveServerOpts(name string, a *archive.Archive, opts Options) *Archiv
 		name:  name,
 		a:     a,
 		mux:   http.NewServeMux(),
-		cache: newBrowseCache(opts.CacheSize),
+		cache: newBrowseCache(opts.CacheSize, opts.Telemetry),
 		sem:   make(chan struct{}, opts.Workers),
+		pool:  newPoolMetrics(opts.Telemetry, opts.Workers),
 	}
-	s.mux.HandleFunc("GET /api/info", s.handleInfo)
-	s.mux.HandleFunc("GET /api/browse", s.handleBrowse)
+	// The facet endpoints run behind the same telemetry middleware as the
+	// plain Server's, so archive traffic shows up in the identical metric
+	// families.
+	m := newHTTPMetrics(opts.Telemetry, opts.accessLogger())
+	s.mux.HandleFunc("GET /api/info", m.wrap("/api/info", s.handleInfo))
+	s.mux.HandleFunc("GET /api/browse", m.wrap("/api/browse", s.handleBrowse))
+	s.mux.Handle("GET /metrics", opts.Telemetry.Handler())
 	return s
 }
 
@@ -145,7 +152,7 @@ func (s *ArchiveServer) handleBrowse(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		ests, err := rowParallel(s.sem, span, cols, rows, func(sub grid.Span, subRows int) ([]core.Estimate, error) {
+		ests, err := rowParallel(s.sem, s.pool, span, cols, rows, func(sub grid.Span, subRows int) ([]core.Estimate, error) {
 			return s.a.Browse(f, sub, cols, subRows)
 		})
 		if err != nil {

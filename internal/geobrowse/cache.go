@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+
+	"spatialhist/internal/telemetry"
 )
 
 // browseCache is a small LRU of marshaled browse responses with
@@ -23,6 +25,13 @@ type browseCache struct {
 	inflight map[string]*flight
 
 	hits, misses atomic.Int64
+
+	// Telemetry counters, created once at construction so the hot path
+	// pays one atomic add, not a registry lookup. mHits counts stored-
+	// response hits only; single-flight followers are mDedup (Stats keeps
+	// its historical hits-include-dedup semantics for callers).
+	mHits, mMisses, mDedup, mEvictions *telemetry.Counter
+	mEntries                           *telemetry.Gauge
 }
 
 type cacheEntry struct {
@@ -40,12 +49,26 @@ type flight struct {
 
 // newBrowseCache returns a cache holding up to capacity responses;
 // capacity <= 0 disables storage but keeps single-flight deduplication.
-func newBrowseCache(capacity int) *browseCache {
+// Cache events are recorded into reg (nil means telemetry.Default()).
+func newBrowseCache(capacity int, reg *telemetry.Registry) *browseCache {
+	if reg == nil {
+		reg = telemetry.Default()
+	}
 	return &browseCache{
 		capacity: capacity,
 		ll:       list.New(),
 		entries:  make(map[string]*list.Element),
 		inflight: make(map[string]*flight),
+		mHits: reg.Counter("geobrowse_cache_hits_total",
+			"Browse requests served from a stored response."),
+		mMisses: reg.Counter("geobrowse_cache_misses_total",
+			"Browse requests that computed their response."),
+		mDedup: reg.Counter("geobrowse_cache_dedup_total",
+			"Browse requests that waited on an identical in-flight computation."),
+		mEvictions: reg.Counter("geobrowse_cache_evictions_total",
+			"Stored responses evicted by the LRU bound."),
+		mEntries: reg.Gauge("geobrowse_cache_entries",
+			"Stored responses currently in the cache."),
 	}
 }
 
@@ -60,11 +83,13 @@ func (c *browseCache) Do(key string, compute func() ([]byte, error)) ([]byte, er
 		val := el.Value.(*cacheEntry).val
 		c.mu.Unlock()
 		c.hits.Add(1)
+		c.mHits.Inc()
 		return val, nil
 	}
 	if f, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
 		<-f.done
+		c.mDedup.Inc()
 		// A deduplicated follower is neither a recomputation nor a store
 		// hit; count it as a hit since the work was shared.
 		if f.err == nil {
@@ -77,6 +102,7 @@ func (c *browseCache) Do(key string, compute func() ([]byte, error)) ([]byte, er
 	c.mu.Unlock()
 
 	c.misses.Add(1)
+	c.mMisses.Inc()
 	f.val, f.err = compute()
 
 	c.mu.Lock()
@@ -87,7 +113,9 @@ func (c *browseCache) Do(key string, compute func() ([]byte, error)) ([]byte, er
 			oldest := c.ll.Back()
 			c.ll.Remove(oldest)
 			delete(c.entries, oldest.Value.(*cacheEntry).key)
+			c.mEvictions.Inc()
 		}
+		c.mEntries.Set(int64(c.ll.Len()))
 	}
 	c.mu.Unlock()
 	close(f.done)

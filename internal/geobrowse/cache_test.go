@@ -15,10 +15,11 @@ import (
 	"spatialhist/internal/euler"
 	"spatialhist/internal/geom"
 	"spatialhist/internal/grid"
+	"spatialhist/internal/telemetry"
 )
 
 func TestBrowseCacheLRU(t *testing.T) {
-	c := newBrowseCache(2)
+	c := newBrowseCache(2, telemetry.NewRegistry())
 	calls := 0
 	get := func(key string) []byte {
 		t.Helper()
@@ -58,7 +59,7 @@ func TestBrowseCacheLRU(t *testing.T) {
 }
 
 func TestBrowseCacheErrorNotCached(t *testing.T) {
-	c := newBrowseCache(4)
+	c := newBrowseCache(4, telemetry.NewRegistry())
 	boom := errors.New("boom")
 	calls := 0
 	for i := 0; i < 3; i++ {
@@ -76,7 +77,7 @@ func TestBrowseCacheErrorNotCached(t *testing.T) {
 }
 
 func TestBrowseCacheSingleFlight(t *testing.T) {
-	c := newBrowseCache(4)
+	c := newBrowseCache(4, telemetry.NewRegistry())
 	var calls atomic.Int64
 	release := make(chan struct{})
 	started := make(chan struct{})

@@ -25,6 +25,7 @@ package geobrowse
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"net/http"
@@ -36,6 +37,7 @@ import (
 	"spatialhist/internal/geom"
 	"spatialhist/internal/grid"
 	"spatialhist/internal/query"
+	"spatialhist/internal/telemetry"
 )
 
 // logf reports server-side I/O and encoding problems; a variable so tests
@@ -60,6 +62,12 @@ type Options struct {
 	// Workers bounds the pool that large tile maps are fanned across,
 	// shared by all in-flight requests. 0 means GOMAXPROCS.
 	Workers int
+	// Telemetry receives the server's runtime metrics and backs its
+	// /metrics endpoint. nil means telemetry.Default().
+	Telemetry *telemetry.Registry
+	// AccessLog, when non-nil, receives one structured JSON line per API
+	// request (endpoint, status, bytes, duration).
+	AccessLog io.Writer
 }
 
 func (o Options) withDefaults() Options {
@@ -72,7 +80,36 @@ func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	if o.Telemetry == nil {
+		o.Telemetry = telemetry.Default()
+	}
 	return o
+}
+
+// accessLogger builds the optional request logger.
+func (o Options) accessLogger() *telemetry.Logger {
+	if o.AccessLog == nil {
+		return nil
+	}
+	return telemetry.NewLogger(o.AccessLog)
+}
+
+// poolMetrics observes the shared tile-row worker pool: how many slots are
+// in use and how many row bands have been dispatched.
+type poolMetrics struct {
+	active *telemetry.Gauge
+	bands  *telemetry.Counter
+}
+
+func newPoolMetrics(reg *telemetry.Registry, capacity int) *poolMetrics {
+	reg.Gauge("geobrowse_pool_capacity",
+		"Size of the shared tile-row worker pool.").Set(int64(capacity))
+	return &poolMetrics{
+		active: reg.Gauge("geobrowse_pool_active_workers",
+			"Tile-row workers currently holding a pool slot."),
+		bands: reg.Counter("geobrowse_pool_bands_total",
+			"Tile-row bands dispatched to the worker pool."),
+	}
 }
 
 // Server answers browsing queries over one summarized dataset.
@@ -82,6 +119,7 @@ type Server struct {
 	mux   *http.ServeMux
 	cache *browseCache
 	sem   chan struct{} // bounded tile-row worker pool
+	pool  *poolMetrics
 }
 
 // NewServer creates a Server for a named dataset summarized by est, with
@@ -97,14 +135,17 @@ func NewServerOpts(name string, est core.Estimator, opts Options) *Server {
 		name:  name,
 		est:   est,
 		mux:   http.NewServeMux(),
-		cache: newBrowseCache(opts.CacheSize),
+		cache: newBrowseCache(opts.CacheSize, opts.Telemetry),
 		sem:   make(chan struct{}, opts.Workers),
+		pool:  newPoolMetrics(opts.Telemetry, opts.Workers),
 	}
-	s.mux.HandleFunc("GET /api/info", s.handleInfo)
-	s.mux.HandleFunc("GET /api/query", s.handleQuery)
-	s.mux.HandleFunc("GET /api/browse", s.handleBrowse)
-	s.mux.HandleFunc("GET /api/drill", s.handleDrill)
-	s.mux.HandleFunc("GET /{$}", s.handleIndex)
+	m := newHTTPMetrics(opts.Telemetry, opts.accessLogger())
+	s.mux.HandleFunc("GET /api/info", m.wrap("/api/info", s.handleInfo))
+	s.mux.HandleFunc("GET /api/query", m.wrap("/api/query", s.handleQuery))
+	s.mux.HandleFunc("GET /api/browse", m.wrap("/api/browse", s.handleBrowse))
+	s.mux.HandleFunc("GET /api/drill", m.wrap("/api/drill", s.handleDrill))
+	s.mux.HandleFunc("GET /{$}", m.wrap("/", s.handleIndex))
+	s.mux.Handle("GET /metrics", opts.Telemetry.Handler())
 	return s
 }
 
@@ -190,7 +231,7 @@ func (s *Server) handleBrowse(w http.ResponseWriter, r *http.Request) {
 // estimateTiles answers a tile map with the batch path, fanning tile rows
 // of large maps across the server's bounded worker pool.
 func (s *Server) estimateTiles(region grid.Span, cols, rows int) ([]core.Estimate, error) {
-	return rowParallel(s.sem, region, cols, rows, func(sub grid.Span, subRows int) ([]core.Estimate, error) {
+	return rowParallel(s.sem, s.pool, region, cols, rows, func(sub grid.Span, subRows int) ([]core.Estimate, error) {
 		return core.EstimateGrid(s.est, sub, cols, subRows)
 	})
 }
@@ -200,8 +241,9 @@ func (s *Server) estimateTiles(region grid.Span, cols, rows int) ([]core.Estimat
 // by all in-flight requests). Every band keeps its row-major order and
 // lands in its slice of the result, so the output is identical to a single
 // sweep. estimate answers one band: a sub-region spanning subRows tile
-// rows at the map's column count.
-func rowParallel(sem chan struct{}, region grid.Span, cols, rows int,
+// rows at the map's column count. pm observes slot occupancy while bands
+// hold the pool.
+func rowParallel(sem chan struct{}, pm *poolMetrics, region grid.Span, cols, rows int,
 	estimate func(sub grid.Span, subRows int) ([]core.Estimate, error)) ([]core.Estimate, error) {
 	_, th, err := query.Tiling(region, cols, rows)
 	if err != nil {
@@ -226,6 +268,9 @@ func rowParallel(sem chan struct{}, region grid.Span, cols, rows int,
 			defer wg.Done()
 			sem <- struct{}{} // acquire a pool slot
 			defer func() { <-sem }()
+			pm.bands.Inc()
+			pm.active.Inc()
+			defer pm.active.Dec()
 			part, err := estimate(query.RowBand(region, th, r0, r1), r1-r0+1)
 			if err != nil {
 				errs[w] = err
@@ -347,12 +392,16 @@ func posIntParam(r *http.Request, name string, max int) (int, error) {
 }
 
 // writeJSON marshals v and writes it with the JSON content type. Encoding
-// failures are a server bug: they are logged and turned into a 500 before
-// any of the response is committed.
+// failures are a server bug: they are logged, counted (via the middleware's
+// metricsWriter), and turned into a 500 before any of the response is
+// committed.
 func writeJSON(w http.ResponseWriter, v any) {
 	data, err := json.Marshal(v)
 	if err != nil {
 		logf("geobrowse: encoding %T: %v", v, err)
+		if mw, ok := w.(interface{ countEncodeError() }); ok {
+			mw.countEncodeError()
+		}
 		http.Error(w, "internal error", http.StatusInternalServerError)
 		return
 	}
@@ -361,7 +410,10 @@ func writeJSON(w http.ResponseWriter, v any) {
 
 // writeJSONBytes writes pre-marshaled JSON, setting the content type
 // before the status code is committed. Write errors mean the client went
-// away; they are logged for observability but cannot change the response.
+// away; they are logged, and because every handler runs behind the
+// telemetry middleware, the bytes written and the error also land in the
+// geobrowse_http_response_bytes_total and geobrowse_http_write_errors_total
+// counters through the metricsWriter this writes to.
 func writeJSONBytes(w http.ResponseWriter, data []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)

@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name with HELP
+// (when registered) and TYPE headers, series sorted by label suffix, and
+// histograms expanded into cumulative _bucket series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	byFamily := make(map[string][]*series)
+	for _, s := range r.series {
+		byFamily[s.family] = append(byFamily[s.family], s)
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.RUnlock()
+
+	families := make([]string, 0, len(byFamily))
+	for f := range byFamily {
+		families = append(families, f)
+	}
+	sort.Strings(families)
+
+	for _, fam := range families {
+		ss := byFamily[fam]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].labels < ss[j].labels })
+		if h := help[fam]; h != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, h); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, ss[0].kind()); err != nil {
+			return err
+		}
+		for _, s := range ss {
+			if err := s.write(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (s *series) kind() string {
+	switch {
+	case s.c != nil:
+		return "counter"
+	case s.g != nil:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+func (s *series) write(w io.Writer) error {
+	switch {
+	case s.c != nil:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", s.family, s.labels, s.c.Value())
+		return err
+	case s.g != nil:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", s.family, s.labels, s.g.Value())
+		return err
+	}
+	snap := s.h.Snapshot()
+	var cum uint64
+	for i, c := range snap.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(snap.Buckets) {
+			le = formatFloat(snap.Buckets[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			s.family, withLabel(s.labels, "le", le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.family, s.labels, formatFloat(snap.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.family, s.labels, snap.Count)
+	return err
+}
+
+// withLabel appends one more label pair to an already-rendered label
+// suffix.
+func withLabel(labels, k, v string) string {
+	pair := k + `="` + escapeLabel(v) + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// format, suitable for mounting at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

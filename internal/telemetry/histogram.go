@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets are the default latency buckets in seconds: 100µs to 10s,
+// roughly geometric, matching the range from a cached browse hit to a
+// worst-case cold sweep of a large tile map.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram of float64 observations
+// (conventionally seconds). Buckets are upper bounds, inclusive, in
+// ascending order; observations above the last bound land in an implicit
+// +Inf bucket. All operations are lock-free atomic updates, so Observe is
+// safe and cheap on hot paths.
+type Histogram struct {
+	bounds []float64       // upper bounds, ascending, excluding +Inf
+	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, updated by CAS
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic("telemetry: histogram buckets must be ascending")
+		}
+	}
+	bounds := make([]float64, len(buckets))
+	copy(bounds, buckets)
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	idx := len(h.bounds)
+	for i, b := range h.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// HistSnapshot is a point-in-time copy of a histogram: per-bucket
+// (non-cumulative) counts aligned with Buckets, the total count, and the
+// sum of observations. Buckets excludes +Inf; Counts has one extra slot
+// for it.
+type HistSnapshot struct {
+	Buckets []float64
+	Counts  []uint64
+	Count   uint64
+	Sum     float64
+}
+
+// Snapshot copies the histogram's current state. Concurrent Observes may
+// land between field reads; the skew is at most a few in-flight
+// observations, which is fine for reporting.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Buckets: h.bounds,
+		Counts:  make([]uint64, len(h.counts)),
+		Count:   h.count.Load(),
+		Sum:     math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Sub returns the windowed delta s − prev, for rate and quantile
+// computations over a reporting interval. prev must come from the same
+// histogram (same bucket layout); a mismatched or zero prev returns s
+// unchanged.
+func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	if !sameBuckets(s.Buckets, prev.Buckets) || len(s.Counts) != len(prev.Counts) {
+		return s
+	}
+	out := HistSnapshot{
+		Buckets: s.Buckets,
+		Counts:  make([]uint64, len(s.Counts)),
+		Count:   s.Count - prev.Count,
+		Sum:     s.Sum - prev.Sum,
+	}
+	for i := range s.Counts {
+		out.Counts[i] = s.Counts[i] - prev.Counts[i]
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the observations by
+// linear interpolation inside the bucket holding the target rank, the
+// standard Prometheus histogram_quantile estimate. It returns 0 for an
+// empty snapshot; targets in the +Inf bucket clamp to the highest finite
+// bound.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i >= len(s.Buckets) { // +Inf bucket
+			return s.Buckets[len(s.Buckets)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Buckets[i-1]
+		}
+		hi := s.Buckets[i]
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-prev)/float64(c)
+	}
+	return s.Buckets[len(s.Buckets)-1]
+}

@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Logger writes structured JSON-lines events: one object per line with a
+// timestamp, an event name, and alternating key/value fields in call
+// order. It is safe for concurrent use; each Log is one Write, so lines
+// from concurrent requests do not interleave.
+//
+// It is deliberately minimal — no levels, no sampling — because its two
+// jobs here are per-request access logging and the server's periodic
+// self-report line, both of which are flat key/value records.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time // injectable for golden tests
+}
+
+// NewLogger returns a Logger writing to w.
+func NewLogger(w io.Writer) *Logger {
+	return &Logger{w: w, now: time.Now}
+}
+
+// Log writes one event line. fields alternate key, value; values are
+// JSON-marshaled (unmarshalable values render as their error string, so a
+// log call can never fail the request it is recording). A dangling key
+// gets a null value.
+func (l *Logger) Log(event string, fields ...any) {
+	var b bytes.Buffer
+	b.WriteString(`{"ts":`)
+	writeJSONValue(&b, l.now().UTC().Format(time.RFC3339Nano))
+	b.WriteString(`,"event":`)
+	writeJSONValue(&b, event)
+	for i := 0; i < len(fields); i += 2 {
+		key, ok := fields[i].(string)
+		if !ok {
+			key = "arg"
+		}
+		b.WriteByte(',')
+		writeJSONValue(&b, key)
+		b.WriteByte(':')
+		if i+1 < len(fields) {
+			writeJSONValue(&b, fields[i+1])
+		} else {
+			b.WriteString("null")
+		}
+	}
+	b.WriteString("}\n")
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, _ = l.w.Write(b.Bytes())
+}
+
+func writeJSONValue(b *bytes.Buffer, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data, _ = json.Marshal(err.Error())
+	}
+	b.Write(data)
+}

@@ -1,0 +1,252 @@
+// Package telemetry is the repository's dependency-free runtime
+// observability layer: a registry of atomic counters, gauges and
+// fixed-bucket latency histograms with Prometheus text exposition, plus a
+// lightweight structured (JSON lines) logger for request and self-report
+// logging.
+//
+// It is deliberately tiny — standard library only — so every layer of the
+// stack (serving, core estimators, histogram construction) can record into
+// it without dependency or import-cycle concerns. Metrics are identified by
+// a family name plus optional label pairs; getting a metric is
+// get-or-create, so call sites can fetch by name on the hot path without
+// holding references (a map read under RLock) or pre-create the metric once
+// and keep the pointer (an atomic add per event).
+//
+// The package-level Default registry mirrors the expvar model: library code
+// (internal/core, internal/euler) records there, and servers expose it; a
+// test that needs isolation constructs its own Registry and injects it
+// where the API accepts one.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; n must not be negative (counters only go up).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("telemetry: negative Counter.Add")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value that can go up and down, e.g. the
+// number of active workers in a pool.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// series is one registered metric: a family name, its canonical label
+// suffix, and exactly one of the typed values.
+type series struct {
+	family string
+	labels string // canonical rendered label pairs, "" when unlabeled
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds named metrics and renders them in Prometheus text format.
+// The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu     sync.RWMutex
+	series map[string]*series // keyed by family + rendered labels
+	help   map[string]string  // per family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		series: make(map[string]*series),
+		help:   make(map[string]string),
+	}
+}
+
+// defaultRegistry is the process-wide registry used by library
+// instrumentation (see the package comment).
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the counter for name and label pairs, creating it on
+// first use. labels alternate key, value; pairs are canonicalized by key,
+// so label order at the call site does not split a series. help is kept for
+// the family's HELP line (first non-empty wins).
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	s := r.get(name, help, labels, func() *series { return &series{c: &Counter{}} })
+	if s.c == nil {
+		panic(fmt.Sprintf("telemetry: %s registered as a different type", name))
+	}
+	return s.c
+}
+
+// Gauge returns the gauge for name and label pairs, creating it on first
+// use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	s := r.get(name, help, labels, func() *series { return &series{g: &Gauge{}} })
+	if s.g == nil {
+		panic(fmt.Sprintf("telemetry: %s registered as a different type", name))
+	}
+	return s.g
+}
+
+// Histogram returns the histogram for name and label pairs, creating it
+// with the given bucket upper bounds on first use (nil means DefBuckets).
+// Later calls return the existing histogram regardless of buckets, so one
+// family keeps one layout.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	s := r.get(name, help, labels, func() *series { return &series{h: newHistogram(buckets)} })
+	if s.h == nil {
+		panic(fmt.Sprintf("telemetry: %s registered as a different type", name))
+	}
+	return s.h
+}
+
+// get is the shared get-or-create: a read-locked fast path, then a full
+// lock to create.
+func (r *Registry) get(name, help string, labels []string, make func() *series) *series {
+	key := name + renderLabels(labels)
+	r.mu.RLock()
+	s := r.series[key]
+	r.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s = r.series[key]; s != nil {
+		return s
+	}
+	s = make()
+	s.family = name
+	s.labels = key[len(name):]
+	r.series[key] = s
+	if help != "" && r.help[name] == "" {
+		r.help[name] = help
+	}
+	return s
+}
+
+// renderLabels canonicalizes alternating key, value pairs into a
+// Prometheus label suffix: {a="x",b="y"} sorted by key, or "" for none.
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("telemetry: odd label list %q", labels))
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// FamilySnapshot merges the snapshots of every histogram in a family
+// (i.e. across its label variants), for aggregate quantiles such as a
+// server-wide p99 over per-endpoint latency histograms. Histograms whose
+// bucket layout differs from the first one seen are skipped; an empty
+// snapshot is returned when the family has no histograms.
+func (r *Registry) FamilySnapshot(name string) HistSnapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out HistSnapshot
+	for _, s := range r.series {
+		if s.h == nil || s.family != name {
+			continue
+		}
+		snap := s.h.Snapshot()
+		if out.Buckets == nil {
+			out = snap
+			continue
+		}
+		if !sameBuckets(out.Buckets, snap.Buckets) {
+			continue
+		}
+		for i := range out.Counts {
+			out.Counts[i] += snap.Counts[i]
+		}
+		out.Count += snap.Count
+		out.Sum += snap.Sum
+	}
+	return out
+}
+
+func sameBuckets(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
