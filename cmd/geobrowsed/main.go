@@ -6,17 +6,28 @@
 //
 //	geobrowsed -dataset adl -n 500000 -algo meuler -addr :8080
 //	geobrowsed -file ca_road.bin -algo seuler
+//	geobrowsed -live -wal store.wal -rebuild-every 1024
+//
+// With -live the service fronts a mutable ingestion store instead of a
+// fixed summary: POST /api/ingest and /api/delete mutate it, every
+// mutation is journaled to the -wal file (replayed on restart), and
+// browse traffic reads generational snapshots published by the rebuild
+// policy. SIGINT/SIGTERM shut down gracefully, syncing the journal and
+// writing the -checkpoint file if one is configured.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"spatialhist"
@@ -24,6 +35,7 @@ import (
 	"spatialhist/internal/dataset"
 	"spatialhist/internal/geobrowse"
 	"spatialhist/internal/grid"
+	"spatialhist/internal/live"
 	"spatialhist/internal/telemetry"
 )
 
@@ -45,12 +57,23 @@ func main() {
 		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		report   = flag.Duration("report", time.Minute, "self-report interval (QPS, p50/p99, cache hit rate; 0 disables)")
 		logReq   = flag.Bool("log-requests", false, "log one structured JSON line per API request to stderr")
+
+		liveMode  = flag.Bool("live", false, "serve a mutable ingestion store (POST /api/ingest, /api/delete) instead of a fixed summary")
+		walPath   = flag.String("wal", "", "live mode: write-ahead log file (empty = in-memory, no durability)")
+		ckptPath  = flag.String("checkpoint", "", "live mode: checkpoint file written on shutdown and loaded on start")
+		rebuildN  = flag.Int("rebuild-every", live.DefaultRebuildEvery, "live mode: publish a snapshot every N mutations (negative disables)")
+		rebuildT  = flag.Duration("rebuild-interval", 0, "live mode: also publish a snapshot at this interval when mutations are pending (0 disables)")
+		syncEvery = flag.Int("sync-every", 0, "live mode: fsync the WAL every N mutations (0 = on flush/checkpoint/shutdown only)")
 	)
 	flag.Parse()
 
 	opts := geobrowse.Options{CacheSize: *cacheSz, Workers: *workers}
 	if *logReq {
 		opts.AccessLog = os.Stderr
+	}
+
+	if *liveMode && *loadSum != "" {
+		log.Fatal("geobrowsed: -live builds its own store; it cannot serve a -load summary")
 	}
 
 	if *loadSum != "" {
@@ -77,6 +100,39 @@ func main() {
 	log.Printf("loaded %v", d)
 
 	g := grid.New(d.Extent, *gridW, *gridH)
+
+	if *liveMode {
+		algoV, err := live.ParseAlgo(*algo)
+		if err != nil {
+			log.Fatalf("geobrowsed: %v", err)
+		}
+		cfg := live.Config{
+			Grid:            g,
+			Algo:            algoV,
+			Seed:            d.Rects,
+			WALPath:         *walPath,
+			CheckpointPath:  *ckptPath,
+			RebuildEvery:    *rebuildN,
+			RebuildInterval: *rebuildT,
+			SyncEvery:       *syncEvery,
+		}
+		if algoV == live.AlgoMEuler {
+			if cfg.Areas, err = parseAreas(*areasArg); err != nil {
+				log.Fatalf("geobrowsed: %v", err)
+			}
+		}
+		start := time.Now()
+		store, err := live.Open(cfg)
+		if err != nil {
+			log.Fatalf("geobrowsed: %v", err)
+		}
+		st := store.Status()
+		log.Printf("live store open in %v: %s, %d objects, generation %d, %d replayed mutations (wal %q, %d bytes)",
+			time.Since(start).Round(time.Millisecond), st.Algorithm, st.LiveObjects, st.Generation, st.Mutations, *walPath, st.WALBytes)
+		run(*addr, geobrowse.NewLiveServer(d.Name, store, opts), *pprofOn, *report, store)
+		return
+	}
+
 	start := time.Now()
 	est, err := buildEstimator(*algo, *areasArg, g, d)
 	if err != nil {
@@ -97,11 +153,17 @@ func main() {
 	serve(*addr, d.Name, est, opts, *pprofOn, *report)
 }
 
-// serve runs the GeoBrowse handler (which exposes Prometheus metrics at
-// /metrics), optionally mounts net/http/pprof, and starts the periodic
-// self-report loop.
+// serve runs the GeoBrowse handler over a fixed estimator.
 func serve(addr, name string, est core.Estimator, opts geobrowse.Options, pprofOn bool, report time.Duration) {
-	gb := geobrowse.NewServerOpts(name, est, opts)
+	run(addr, geobrowse.NewServerOpts(name, est, opts), pprofOn, report, nil)
+}
+
+// run serves gb (which exposes Prometheus metrics at /metrics), optionally
+// mounts net/http/pprof, and starts the periodic self-report loop. On
+// SIGINT/SIGTERM it drains in-flight requests and, when fronting a live
+// store, closes it — syncing the journal and writing the checkpoint — so a
+// clean shutdown never loses acknowledged mutations.
+func run(addr string, gb *geobrowse.Server, pprofOn bool, report time.Duration, store *live.Store) {
 	handler := http.Handler(gb)
 	if pprofOn {
 		mux := http.NewServeMux()
@@ -123,8 +185,30 @@ func serve(addr, name string, est core.Estimator, opts geobrowse.Options, pprofO
 		ReadTimeout:  10 * time.Second,
 		WriteTimeout: 30 * time.Second,
 	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("serving GeoBrowse on http://%s/ (metrics at /metrics)", addr)
-	log.Fatal(srv.ListenAndServe())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case got := <-sig:
+		log.Printf("received %v, shutting down", got)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("geobrowsed: draining requests: %v", err)
+		}
+		if store != nil {
+			st := store.Status()
+			if err := store.Close(); err != nil {
+				log.Fatalf("geobrowsed: closing live store: %v", err)
+			}
+			log.Printf("live store closed at generation %d (%d mutations journaled)", st.Generation, st.Mutations)
+		}
+	}
 }
 
 // selfReport emits one structured line per interval with the window's
@@ -162,15 +246,23 @@ func buildEstimator(algo, areasArg string, g *grid.Grid, d *dataset.Dataset) (co
 	case "euler":
 		return core.EulerFromRects(g, d.Rects), nil
 	case "meuler":
-		var areas []float64
-		for _, p := range strings.Split(areasArg, ",") {
-			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
-			if err != nil {
-				return nil, fmt.Errorf("area list %q: %v", areasArg, err)
-			}
-			areas = append(areas, v)
+		areas, err := parseAreas(areasArg)
+		if err != nil {
+			return nil, err
 		}
 		return core.NewMEuler(g, areas, d.Rects)
 	}
 	return nil, fmt.Errorf("unknown algorithm %q (want seuler, euler or meuler)", algo)
+}
+
+func parseAreas(areasArg string) ([]float64, error) {
+	var areas []float64
+	for _, p := range strings.Split(areasArg, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("area list %q: %v", areasArg, err)
+		}
+		areas = append(areas, v)
+	}
+	return areas, nil
 }

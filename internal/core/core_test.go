@@ -249,6 +249,46 @@ func TestMEulerGrouping(t *testing.T) {
 	}
 }
 
+func TestAreaGroupRouting(t *testing.T) {
+	areas := []float64{1, 9, 100}
+	cases := []struct {
+		a    float64
+		want int
+	}{
+		{0.2, 0}, {1, 0}, {2, 0}, {8.99, 0},
+		{9, 1}, {50, 1}, {99.99, 1},
+		{100, 2}, {1e6, 2},
+	}
+	for _, c := range cases {
+		if got := AreaGroup(areas, c.a); got != c.want {
+			t.Errorf("AreaGroup(%v, %g) = %d, want %d", areas, c.a, got, c.want)
+		}
+	}
+
+	// ObjectAreaGroup must agree with how NewMEuler assigned the objects of
+	// TestMEulerGrouping, and reject objects outside the space.
+	g := grid.NewUnit(20, 20)
+	rects := []struct {
+		r    geom.Rect
+		want int
+	}{
+		{geom.NewRect(0.1, 0.1, 0.5, 0.5), 0},
+		{geom.NewRect(1, 1, 3, 2), 0},
+		{geom.NewRect(5, 5, 8, 8), 1},
+		{geom.NewRect(0, 0, 10, 10), 2},
+		{geom.NewRect(0, 0, 20, 20), 2},
+	}
+	for _, c := range rects {
+		got, ok := ObjectAreaGroup(g, areas, c.r)
+		if !ok || got != c.want {
+			t.Errorf("ObjectAreaGroup(%v) = %d,%v, want %d,true", c.r, got, ok, c.want)
+		}
+	}
+	if _, ok := ObjectAreaGroup(g, areas, geom.NewRect(30, 30, 40, 40)); ok {
+		t.Error("object outside the space must route nowhere")
+	}
+}
+
 func TestMEulerBeatsSEulerOnLargeObjects(t *testing.T) {
 	// The headline M-EulerApprox result (Fig 17/18): on size-skewed data the
 	// multi-histogram contains-estimate is far more accurate than the

@@ -63,14 +63,12 @@ func NewMEuler(g *grid.Grid, areas []float64, rects []geom.Rect) (*MEuler, error
 	for i := range builders {
 		builders[i] = euler.NewBuilder(g)
 	}
-	cellArea := g.CellArea()
 	for _, r := range rects {
-		clipped, ok := r.Clip(g.Extent())
+		gi, ok := ObjectAreaGroup(g, areas, r)
 		if !ok {
 			continue
 		}
-		a := clipped.Area() / cellArea
-		builders[m.groupOf(a)].Add(r)
+		builders[gi].Add(r)
 	}
 	m.hists = make([]*euler.Histogram, len(builders))
 	m.seuler = make([]*SEuler, len(builders))
@@ -121,18 +119,38 @@ func MEulerFromHistograms(areas []float64, hists []*euler.Histogram) (*MEuler, e
 }
 
 // groupOf returns the histogram index for an object of the given area (in
-// unit cells): the largest i with areas[i] <= a, and 0 for sub-cell
-// objects.
-func (m *MEuler) groupOf(a float64) int {
+// unit cells).
+func (m *MEuler) groupOf(a float64) int { return AreaGroup(m.areas, a) }
+
+// AreaGroup returns the M-EulerApprox partition index for an object of
+// area a (in unit cells) under ascending thresholds areas: the largest i
+// with areas[i] <= a, and 0 for sub-cell objects. It is the single routing
+// rule shared by NewMEuler and by mutable stores that must insert and
+// later delete an object into the same partition — and that must re-route
+// an object whose area class changes on update.
+func AreaGroup(areas []float64, a float64) int {
 	// sort.SearchFloat64s returns the first index with areas[i] >= a.
-	i := sort.SearchFloat64s(m.areas, a)
-	if i < len(m.areas) && m.areas[i] == a {
+	i := sort.SearchFloat64s(areas, a)
+	if i < len(areas) && areas[i] == a {
 		return i
 	}
 	if i == 0 {
 		return 0
 	}
 	return i - 1
+}
+
+// ObjectAreaGroup routes one object MBR to its M-EulerApprox partition
+// over g: the object is clipped to the data space and its area expressed
+// in unit cells, exactly as NewMEuler assigns objects at construction. ok
+// is false for objects entirely outside the space, which belong to no
+// partition.
+func ObjectAreaGroup(g *grid.Grid, areas []float64, r geom.Rect) (group int, ok bool) {
+	clipped, ok := r.Clip(g.Extent())
+	if !ok {
+		return 0, false
+	}
+	return AreaGroup(areas, clipped.Area()/g.CellArea()), true
 }
 
 // Name implements Estimator.

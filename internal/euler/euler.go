@@ -81,17 +81,21 @@ func (b *Builder) AddSpan(s grid.Span) {
 }
 
 // RemoveSpan deletes one previously inserted object span, supporting
-// archives that mutate between rebuilds of the cumulative form. The caller
-// must only remove spans that were actually inserted: the histogram has no
-// per-object record, so removing a foreign span silently corrupts bucket
-// counts (the Σ buckets == count invariant still holds and cannot catch
-// it).
-func (b *Builder) RemoveSpan(s grid.Span) {
+// archives and live stores that mutate between rebuilds of the cumulative
+// form. It reports whether the span was applied, mirroring Add: spans
+// outside the grid and removals from an empty builder (which would
+// underflow the object count) are rejected rather than applied — a live
+// ingestion path must survive a stray delete without corrupting state.
+// The caller must only remove spans that were actually inserted: the
+// histogram has no per-object record, so removing a foreign span silently
+// corrupts bucket counts (the Σ buckets == count invariant still holds and
+// cannot catch it).
+func (b *Builder) RemoveSpan(s grid.Span) bool {
 	if !s.Valid() || s.I1 < 0 || s.J1 < 0 || s.I2 >= b.g.NX() || s.J2 >= b.g.NY() {
-		panic(fmt.Sprintf("euler: span %v outside %v", s, b.g))
+		return false
 	}
 	if b.n == 0 {
-		panic("euler: RemoveSpan on empty builder")
+		return false
 	}
 	u1, v1 := 2*s.I1, 2*s.J1
 	u2, v2 := 2*s.I2, 2*s.J2
@@ -101,18 +105,18 @@ func (b *Builder) RemoveSpan(s grid.Span) {
 	b.diff[(u2+1)*w+v1]++
 	b.diff[(u2+1)*w+v2+1]--
 	b.n--
+	return true
 }
 
 // Remove snaps the object MBR and deletes it, reporting whether the object
-// was inside the data space (objects outside were never inserted). The
-// same caller contract as RemoveSpan applies.
+// was inside the data space (objects outside were never inserted) and the
+// removal was applied. The same caller contract as RemoveSpan applies.
 func (b *Builder) Remove(r geom.Rect) bool {
 	s, ok := b.g.Snap(r)
 	if !ok {
 		return false
 	}
-	b.RemoveSpan(s)
-	return true
+	return b.RemoveSpan(s)
 }
 
 // Add snaps the object MBR to the grid and inserts it. It reports whether
@@ -142,6 +146,39 @@ func (b *Builder) AddAll(rs []geom.Rect) int {
 
 // Count returns the number of objects inserted so far.
 func (b *Builder) Count() int64 { return b.n }
+
+// BuilderFromHistogram reconstructs a Builder whose state reproduces h:
+// the inverse of Build, obtained by 2-d backward differencing of the raw
+// (sign-restored) bucket counts. It lets a checkpointed or deserialized
+// histogram resume accepting mutations — Build on the returned builder is
+// bit-identical to h, and further Add/Remove calls behave exactly as if
+// the original builder had never been finalized. The skipped-object
+// counter is not part of a histogram and restarts at zero.
+func BuilderFromHistogram(h *Histogram) *Builder {
+	b := NewBuilder(h.g)
+	// raw unsigned count at (u,v): edge buckets carry inverted sign in h.
+	at := func(u, v int) int64 {
+		if u < 0 || v < 0 {
+			return 0
+		}
+		c := h.h[u*h.ly+v]
+		if (u^v)&1 == 1 {
+			c = -c
+		}
+		return c
+	}
+	w := b.ly + 1
+	for u := 0; u < b.lx; u++ {
+		for v := 0; v < b.ly; v++ {
+			b.diff[u*w+v] = at(u, v) - at(u-1, v) - at(u, v-1) + at(u-1, v-1)
+		}
+	}
+	// Entries in the diff array's closing row/column (u = lx or v = ly)
+	// only ever cancel increments and are never read by Build; zero is
+	// consistent with the reconstructed interior.
+	b.n = h.n
+	return b
+}
 
 // Skipped returns the number of objects rejected because they lie entirely
 // outside the data space.

@@ -142,26 +142,86 @@ func TestRemoveRect(t *testing.T) {
 	}
 }
 
-func TestRemovePanics(t *testing.T) {
+func TestRemoveSpanRejected(t *testing.T) {
 	g := grid.NewUnit(4, 4)
-	for name, f := range map[string]func(){
-		"empty builder": func() {
-			NewBuilder(g).RemoveSpan(grid.Span{I1: 0, J1: 0, I2: 0, J2: 0})
-		},
-		"span outside": func() {
-			b := NewBuilder(g)
-			b.AddSpan(grid.Span{})
-			b.RemoveSpan(grid.Span{I1: 0, J1: 0, I2: 9, J2: 0})
-		},
+
+	// Underflow guard: removing from an empty builder is rejected, the
+	// count stays at zero and the builder remains usable.
+	b := NewBuilder(g)
+	if b.RemoveSpan(grid.Span{I1: 0, J1: 0, I2: 0, J2: 0}) {
+		t.Error("RemoveSpan on empty builder must report false")
+	}
+	if b.Count() != 0 {
+		t.Fatalf("count underflowed to %d", b.Count())
+	}
+	if got := b.Build().Total(); got != 0 {
+		t.Fatalf("rejected removal mutated buckets: total %d", got)
+	}
+
+	// Out-of-grid and invalid spans are rejected without touching state.
+	b.AddSpan(grid.Span{})
+	for name, s := range map[string]grid.Span{
+		"outside":  {I1: 0, J1: 0, I2: 9, J2: 0},
+		"negative": {I1: -1, J1: 0, I2: 0, J2: 0},
+		"unsorted": {I1: 2, J1: 0, I2: 1, J2: 0},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s: must panic", name)
-				}
-			}()
-			f()
-		}()
+		if b.RemoveSpan(s) {
+			t.Errorf("%s: RemoveSpan(%v) must report false", name, s)
+		}
+	}
+	if b.Count() != 1 {
+		t.Fatalf("rejected removals changed count to %d", b.Count())
+	}
+	h := b.Build()
+	if h.Total() != 1 {
+		t.Fatalf("rejected removals corrupted buckets: total %d", h.Total())
+	}
+}
+
+func TestBuilderFromHistogram(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	g := grid.NewUnit(9, 7)
+	orig := NewBuilder(g)
+	for k := 0; k < 200; k++ {
+		i1, j1 := r.Intn(9), r.Intn(7)
+		orig.AddSpan(grid.Span{I1: i1, J1: j1, I2: i1 + r.Intn(9-i1), J2: j1 + r.Intn(7-j1)})
+	}
+	h := orig.Build()
+
+	// Round trip: the reconstructed builder rebuilds bit-identically.
+	re := BuilderFromHistogram(h)
+	if re.Count() != h.Count() {
+		t.Fatalf("count %d, want %d", re.Count(), h.Count())
+	}
+	h2 := re.Build()
+	lx, ly := h.Buckets()
+	for u := 0; u < lx; u++ {
+		for v := 0; v < ly; v++ {
+			if h.Bucket(u, v) != h2.Bucket(u, v) {
+				t.Fatalf("bucket (%d,%d) = %d after reconstruction, want %d",
+					u, v, h2.Bucket(u, v), h.Bucket(u, v))
+			}
+		}
+	}
+
+	// Resumed mutations behave exactly as on the never-finalized builder:
+	// add and remove the same spans on both and compare.
+	extra := grid.Span{I1: 2, J1: 2, I2: 6, J2: 5}
+	orig.AddSpan(extra)
+	re.AddSpan(extra)
+	gone := grid.Span{I1: 0, J1: 0, I2: 3, J2: 3}
+	orig.RemoveSpan(gone)
+	re.RemoveSpan(gone)
+	want, got := orig.Build(), re.Build()
+	if want.Count() != got.Count() {
+		t.Fatalf("resumed counts diverge: %d vs %d", got.Count(), want.Count())
+	}
+	for u := 0; u < lx; u++ {
+		for v := 0; v < ly; v++ {
+			if want.Bucket(u, v) != got.Bucket(u, v) {
+				t.Fatalf("bucket (%d,%d) diverges after resumed mutations", u, v)
+			}
+		}
 	}
 }
 

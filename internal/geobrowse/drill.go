@@ -45,7 +45,8 @@ func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	leaves, err := core.Drilldown(s.est, span, core.DrillOptions{
+	est, _ := s.src.CurrentEstimator()
+	leaves, err := core.Drilldown(est, span, core.DrillOptions{
 		Relation:     rel,
 		HotThreshold: int64(hot),
 		MaxDepth:     depth,
@@ -57,7 +58,7 @@ func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := DrillResponse{Relation: rel.String(), Tiles: make([]DrillTile, 0, len(leaves))}
 	for _, l := range leaves {
-		resp.Tiles = append(resp.Tiles, DrillTile{TileEstimate: s.tile(l.Span), Depth: l.Depth})
+		resp.Tiles = append(resp.Tiles, DrillTile{TileEstimate: tileFor(est, l.Span), Depth: l.Depth})
 	}
 	writeJSON(w, resp)
 }

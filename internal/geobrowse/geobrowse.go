@@ -112,10 +112,15 @@ func newPoolMetrics(reg *telemetry.Registry, capacity int) *poolMetrics {
 	}
 }
 
-// Server answers browsing queries over one summarized dataset.
+// Server answers browsing queries over one summarized dataset. The
+// estimator is resolved per request through an EstimatorSource, so a
+// Server can front either a fixed summary (the source always returns the
+// same estimator at generation 0) or a live ingestion store whose
+// snapshots advance generations.
 type Server struct {
 	name  string
-	est   core.Estimator
+	src   EstimatorSource
+	g     *grid.Grid // constant across generations
 	mux   *http.ServeMux
 	cache *browseCache
 	sem   chan struct{} // bounded tile-row worker pool
@@ -130,10 +135,21 @@ func NewServer(name string, est core.Estimator) *Server {
 
 // NewServerOpts creates a Server with explicit serving options.
 func NewServerOpts(name string, est core.Estimator, opts Options) *Server {
+	return NewSourceServer(name, StaticSource(est), opts)
+}
+
+// NewSourceServer creates a Server whose estimator is resolved per request
+// from src. Each handler resolves the estimator once, so a snapshot swap
+// mid-request is invisible to that request; the browse cache tags its keys
+// with the generation, so a swap invalidates exactly the stale entries
+// (fresh keys miss, old entries age out of the LRU untouched).
+func NewSourceServer(name string, src EstimatorSource, opts Options) *Server {
 	opts = opts.withDefaults()
+	est, _ := src.CurrentEstimator()
 	s := &Server{
 		name:  name,
-		est:   est,
+		src:   src,
+		g:     est.Grid(),
 		mux:   http.NewServeMux(),
 		cache: newBrowseCache(opts.CacheSize, opts.Telemetry),
 		sem:   make(chan struct{}, opts.Workers),
@@ -165,6 +181,7 @@ type Info struct {
 	Extent         [4]float64 `json:"extent"` // x1,y1,x2,y2
 	GridNX         int        `json:"gridNX"`
 	GridNY         int        `json:"gridNY"`
+	Generation     uint64     `json:"generation"` // 0 for fixed summaries
 }
 
 // TileEstimate is one tile of a /api/browse response.
@@ -184,16 +201,17 @@ type BrowseResponse struct {
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
-	g := s.est.Grid()
-	ext := g.Extent()
+	est, gen := s.src.CurrentEstimator()
+	ext := s.g.Extent()
 	writeJSON(w, Info{
 		Dataset:        s.name,
-		Algorithm:      s.est.Name(),
-		Objects:        s.est.Count(),
-		StorageBuckets: s.est.StorageBuckets(),
+		Algorithm:      est.Name(),
+		Objects:        est.Count(),
+		StorageBuckets: est.StorageBuckets(),
 		Extent:         [4]float64{ext.XMin, ext.YMin, ext.XMax, ext.YMax},
-		GridNX:         g.NX(),
-		GridNY:         g.NY(),
+		GridNX:         s.g.NX(),
+		GridNY:         s.g.NY(),
+		Generation:     gen,
 	})
 }
 
@@ -203,22 +221,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	writeJSON(w, s.tile(span))
+	est, _ := s.src.CurrentEstimator()
+	writeJSON(w, tileFor(est, span))
 }
 
 func (s *Server) handleBrowse(w http.ResponseWriter, r *http.Request) {
-	span, cols, rows, err := parseBrowse(s.est.Grid(), r)
+	span, cols, rows, err := parseBrowse(s.g, r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	key := browseKey(span, cols, rows, "")
+	// Resolve the snapshot once: key and computation use the same
+	// generation, so a swap mid-request cannot cache a mixed result.
+	est, gen := s.src.CurrentEstimator()
+	key := browseKey(gen, span, cols, rows, "")
 	data, err := s.cache.Do(key, func() ([]byte, error) {
-		ests, err := s.estimateTiles(span, cols, rows)
+		ests, err := s.estimateTiles(est, span, cols, rows)
 		if err != nil {
 			return nil, err
 		}
-		resp := BrowseResponse{Cols: cols, Rows: rows, Tiles: tileEstimates(s.est.Grid(), span, cols, rows, ests)}
+		resp := BrowseResponse{Cols: cols, Rows: rows, Tiles: tileEstimates(s.g, span, cols, rows, ests)}
 		return json.Marshal(resp)
 	})
 	if err != nil {
@@ -230,9 +252,9 @@ func (s *Server) handleBrowse(w http.ResponseWriter, r *http.Request) {
 
 // estimateTiles answers a tile map with the batch path, fanning tile rows
 // of large maps across the server's bounded worker pool.
-func (s *Server) estimateTiles(region grid.Span, cols, rows int) ([]core.Estimate, error) {
+func (s *Server) estimateTiles(est core.Estimator, region grid.Span, cols, rows int) ([]core.Estimate, error) {
 	return rowParallel(s.sem, s.pool, region, cols, rows, func(sub grid.Span, subRows int) ([]core.Estimate, error) {
-		return core.EstimateGrid(s.est, sub, cols, subRows)
+		return core.EstimateGrid(est, sub, cols, subRows)
 	})
 }
 
@@ -311,10 +333,14 @@ func tileEstimates(g *grid.Grid, region grid.Span, cols, rows int, ests []core.E
 	return tiles
 }
 
-// browseKey identifies one browse computation; facets distinguishes
-// faceted (archive) requests over the same region.
-func browseKey(span grid.Span, cols, rows int, facets string) string {
-	return fmt.Sprintf("%d,%d,%d,%d/%dx%d;%s", span.I1, span.J1, span.I2, span.J2, cols, rows, facets)
+// browseKey identifies one browse computation. gen is the snapshot
+// generation the response was computed against (0 for fixed summaries), so
+// publishing a new generation invalidates exactly the stale entries:
+// fresh requests form new keys and miss, while entries for other
+// generations are left to age out of the LRU rather than being flushed.
+// facets distinguishes faceted (archive) requests over the same region.
+func browseKey(gen uint64, span grid.Span, cols, rows int, facets string) string {
+	return fmt.Sprintf("g%d:%d,%d,%d,%d/%dx%d;%s", gen, span.I1, span.J1, span.I2, span.J2, cols, rows, facets)
 }
 
 // parseBrowse reads the region and tiling of a browse request, bounding
@@ -339,22 +365,22 @@ func parseBrowse(g *grid.Grid, r *http.Request) (span grid.Span, cols, rows int,
 	return span, cols, rows, nil
 }
 
-func (s *Server) tile(span grid.Span) TileEstimate {
-	g := s.est.Grid()
+func tileFor(est core.Estimator, span grid.Span) TileEstimate {
+	g := est.Grid()
 	rect := g.SpanRect(span)
-	est := s.est.Estimate(span).Clamped()
+	e := est.Estimate(span).Clamped()
 	return TileEstimate{
 		Rect:      [4]float64{rect.XMin, rect.YMin, rect.XMax, rect.YMax},
-		Disjoint:  est.Disjoint,
-		Contains:  est.Contains,
-		Contained: est.Contained,
-		Overlap:   est.Overlap,
+		Disjoint:  e.Disjoint,
+		Contains:  e.Contains,
+		Contained: e.Contained,
+		Overlap:   e.Overlap,
 	}
 }
 
 // parseRegion reads x1..y2 and converts them to a grid-aligned span.
 func (s *Server) parseRegion(r *http.Request) (grid.Span, error) {
-	return parseRegion(s.est.Grid(), r)
+	return parseRegion(s.g, r)
 }
 
 func parseRegion(g *grid.Grid, r *http.Request) (grid.Span, error) {

@@ -1,0 +1,123 @@
+package geobrowse
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"spatialhist/internal/core"
+	"spatialhist/internal/geom"
+	"spatialhist/internal/live"
+)
+
+// EstimatorSource supplies the estimator a request is answered with,
+// together with the generation it belongs to. Fixed summaries are always
+// generation 0; a live store advances the generation at every snapshot
+// swap, which is what keys browse-cache invalidation.
+//
+// Implementations must be safe for concurrent use and must return
+// estimators that never change after being returned (the live store's
+// snapshots are immutable by construction).
+type EstimatorSource interface {
+	CurrentEstimator() (core.Estimator, uint64)
+}
+
+// StaticSource adapts a fixed estimator to the EstimatorSource contract at
+// generation 0.
+func StaticSource(est core.Estimator) EstimatorSource { return staticSource{est} }
+
+type staticSource struct{ est core.Estimator }
+
+func (s staticSource) CurrentEstimator() (core.Estimator, uint64) { return s.est, 0 }
+
+// maxMutationRects bounds one ingestion request body.
+const maxMutationRects = 100_000
+
+// NewLiveServer creates a Server over a live ingestion store: the browse
+// endpoints read the store's current snapshot, and three extra endpoints
+// mutate and observe it:
+//
+//	POST /api/ingest        insert object MBRs ({"rects":[[x1,y1,x2,y2],...]})
+//	POST /api/delete        delete previously inserted MBRs (same body)
+//	GET  /api/store/status  generation, staleness and journal size
+//
+// Mutations become visible when the store's rebuild policy publishes the
+// next snapshot (or immediately with ?flush=1); until then browse traffic
+// keeps reading the current generation, and the generation-tagged cache
+// keys guarantee a swap is never served from a stale entry.
+func NewLiveServer(name string, store *live.Store, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := NewSourceServer(name, store, opts)
+	m := newHTTPMetrics(opts.Telemetry, opts.accessLogger())
+	s.mux.HandleFunc("POST /api/ingest", m.wrap("/api/ingest", func(w http.ResponseWriter, r *http.Request) {
+		s.handleMutation(w, r, store, store.Insert)
+	}))
+	s.mux.HandleFunc("POST /api/delete", m.wrap("/api/delete", func(w http.ResponseWriter, r *http.Request) {
+		s.handleMutation(w, r, store, store.Delete)
+	}))
+	s.mux.HandleFunc("GET /api/store/status", m.wrap("/api/store/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, store.Status())
+	}))
+	return s
+}
+
+// MutationRequest is the body of POST /api/ingest and /api/delete.
+type MutationRequest struct {
+	// Rects are object MBRs as [x1,y1,x2,y2] quadruples.
+	Rects [][4]float64 `json:"rects"`
+}
+
+// MutationResponse reports what an ingestion request did.
+type MutationResponse struct {
+	// Applied counts mutations that changed the store.
+	Applied int `json:"applied"`
+	// Rejected counts mutations that did not (outside the data space, or a
+	// delete with nothing to remove). They are journaled regardless.
+	Rejected int `json:"rejected"`
+	// Generation is the published generation after the request (only past
+	// this generation are the mutations visible to browsing).
+	Generation uint64 `json:"generation"`
+}
+
+// handleMutation decodes a mutation body and feeds every MBR through op.
+func (s *Server) handleMutation(w http.ResponseWriter, r *http.Request,
+	store *live.Store, op func(geom.Rect) (bool, error)) {
+	var req MutationRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("decoding body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Rects) == 0 {
+		http.Error(w, "body must carry at least one rect", http.StatusBadRequest)
+		return
+	}
+	if len(req.Rects) > maxMutationRects {
+		http.Error(w, fmt.Sprintf("at most %d rects per request, got %d", maxMutationRects, len(req.Rects)),
+			http.StatusBadRequest)
+		return
+	}
+	var resp MutationResponse
+	for _, q := range req.Rects {
+		ok, err := op(geom.NewRect(q[0], q[1], q[2], q[3]))
+		switch {
+		case err != nil:
+			// The store is closed or its journal failed; nothing later in
+			// the batch can succeed.
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		case ok:
+			resp.Applied++
+		default:
+			resp.Rejected++
+		}
+	}
+	if r.URL.Query().Get("flush") == "1" {
+		if err := store.Flush(); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+	}
+	_, resp.Generation = store.CurrentEstimator()
+	writeJSON(w, resp)
+}

@@ -1,0 +1,144 @@
+package live
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"spatialhist/internal/euler"
+)
+
+// Checkpoint format: the store's builder state at a known WAL position,
+// so a restart replays only the journal tail instead of the full history:
+//
+//	magic    [8]byte "SPCKPT01"
+//	header   the store's config-pinning header (same bytes as the WAL's)
+//	walOff   uint64  journal bytes consumed by this checkpoint
+//	applied  uint64  mutations folded in (for status continuity)
+//	hists    one euler histogram payload per partition
+//
+// The builders are reconstructed from the histograms with
+// euler.BuilderFromHistogram — the exact inverse of Build — so a
+// checkpointed store resumes mutating as if it had never stopped.
+// Checkpoints are written to a temp file and renamed into place; a crash
+// mid-write leaves the previous checkpoint intact.
+
+var ckptMagic = [8]byte{'S', 'P', 'C', 'K', 'P', 'T', '0', '1'}
+
+// errNoCheckpoint distinguishes "first start" from a real load failure.
+var errNoCheckpoint = errors.New("live: no checkpoint")
+
+// Checkpoint writes the store's current state to the configured
+// CheckpointPath and makes the journal durable up to the recorded offset.
+func (s *Store) Checkpoint() error {
+	if s.cfg.CheckpointPath == "" {
+		return errors.New("live: no CheckpointPath configured")
+	}
+	return s.writeCheckpoint(s.cfg.CheckpointPath)
+}
+
+func (s *Store) writeCheckpoint(path string) error {
+	s.mu.Lock()
+	// The recorded offset is only meaningful if every byte below it is on
+	// disk, so sync before capturing it.
+	var walOff int64
+	if s.wal != nil {
+		if err := s.wal.sync(); err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("live: syncing WAL before checkpoint: %w", err)
+		}
+		walOff = s.wal.size
+	}
+	hists := make([]*euler.Histogram, len(s.builders))
+	for i, b := range s.builders {
+		hists[i] = b.Build()
+	}
+	applied := s.applied
+	s.mu.Unlock()
+
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	if _, err := bw.Write(ckptMagic[:]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(s.header); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(walOff)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(applied)); err != nil {
+		return err
+	}
+	for _, h := range hists {
+		if err := h.Write(bw); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// loadCheckpoint reads a checkpoint written for the given header and
+// reconstructs the per-partition builders. A missing file returns
+// errNoCheckpoint; anything else wrong (foreign config, truncation,
+// corrupt histograms) is a hard error — silently starting from the seed
+// would fork history.
+func loadCheckpoint(path string, header []byte, groups int) (builders []*euler.Builder, walOff int64, applied int64, err error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, 0, errNoCheckpoint
+	}
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, 0, 0, fmt.Errorf("live: reading checkpoint magic: %w", err)
+	}
+	if magic != ckptMagic {
+		return nil, 0, 0, fmt.Errorf("live: %s is not a checkpoint (magic %q)", path, magic)
+	}
+	got := make([]byte, len(header))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, 0, 0, fmt.Errorf("live: reading checkpoint header: %w", err)
+	}
+	if !bytes.Equal(got, header) {
+		return nil, 0, 0, fmt.Errorf("live: checkpoint %s was written for a different store configuration", path)
+	}
+	var off, app uint64
+	if err := binary.Read(br, binary.LittleEndian, &off); err != nil {
+		return nil, 0, 0, fmt.Errorf("live: reading checkpoint WAL offset: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &app); err != nil {
+		return nil, 0, 0, fmt.Errorf("live: reading checkpoint mutation count: %w", err)
+	}
+	builders = make([]*euler.Builder, groups)
+	for i := range builders {
+		h, err := euler.Read(br)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("live: checkpoint partition %d: %w", i, err)
+		}
+		builders[i] = euler.BuilderFromHistogram(h)
+	}
+	return builders, int64(off), int64(app), nil
+}

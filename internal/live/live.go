@@ -1,0 +1,557 @@
+// Package live is the ingestion subsystem between the histogram builders
+// and the serving path: a mutable Euler-histogram store that accepts
+// streaming inserts, deletes and updates of object MBRs while browse
+// traffic keeps reading immutable snapshots.
+//
+// The paper builds its histograms once over a static dataset; a production
+// browsing service sees objects arrive and disappear continuously. The
+// store exploits the O(1) incremental Add/Remove of euler.Builder's
+// difference array: every mutation is journaled to a write-ahead log
+// (crash recovery), applied to the per-partition builders, and made
+// visible by the rebuild policy, which finalizes the builders into a fresh
+// generation — raw lattice → cumulative form → core estimator — published
+// by atomic pointer swap. Readers never lock: they grab the current
+// Snapshot and query it; a snapshot is exactly as stale as the mutations
+// applied since its generation was built, which Status reports.
+//
+// Rebuilds are triggered every RebuildEvery mutations, every
+// RebuildInterval of wall time, or by an explicit Flush. For
+// M-EulerApprox stores, mutations are routed to the area partition by the
+// same rule NewMEuler uses (core.ObjectAreaGroup), so deletes find the
+// partition their insert chose and an Update whose area class changes
+// re-routes the object between histograms in one atomic journal record.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spatialhist/internal/core"
+	"spatialhist/internal/euler"
+	"spatialhist/internal/geom"
+	"spatialhist/internal/grid"
+	"spatialhist/internal/telemetry"
+)
+
+// Algo selects which estimator snapshots are rebuilt into. The values
+// match the on-disk tags of the summary and WAL formats.
+type Algo uint8
+
+// The three paper algorithms.
+const (
+	AlgoSEuler Algo = 1
+	AlgoEuler  Algo = 2
+	AlgoMEuler Algo = 3
+)
+
+// String implements fmt.Stringer.
+func (a Algo) String() string {
+	switch a {
+	case AlgoSEuler:
+		return "seuler"
+	case AlgoEuler:
+		return "euler"
+	case AlgoMEuler:
+		return "meuler"
+	}
+	return fmt.Sprintf("algo(%d)", uint8(a))
+}
+
+// ParseAlgo converts the flag-style name to an Algo.
+func ParseAlgo(s string) (Algo, error) {
+	switch s {
+	case "seuler":
+		return AlgoSEuler, nil
+	case "euler":
+		return AlgoEuler, nil
+	case "meuler":
+		return AlgoMEuler, nil
+	}
+	return 0, fmt.Errorf("live: unknown algorithm %q (want seuler, euler or meuler)", s)
+}
+
+// DefaultRebuildEvery is the mutation count between snapshot rebuilds when
+// Config.RebuildEvery is zero.
+const DefaultRebuildEvery = 4096
+
+// ErrClosed is returned by mutations on a closed store.
+var ErrClosed = errors.New("live: store is closed")
+
+// Config configures Open.
+type Config struct {
+	// Grid fixes the resolution; required.
+	Grid *grid.Grid
+	// Algo selects the estimator rebuilt at each generation; required.
+	Algo Algo
+	// Areas are the M-EulerApprox area thresholds (unit cells, ascending,
+	// starting at 1); required iff Algo == AlgoMEuler.
+	Areas []float64
+	// Seed are the base objects inserted before any journaled mutation.
+	// They are NOT journaled: recovery replays the WAL over the same seed
+	// (or over a checkpoint, which supersedes the seed).
+	Seed []geom.Rect
+	// WALPath is the journal file, created if absent and replayed if
+	// present. Empty disables durability (a purely in-memory store).
+	WALPath string
+	// CheckpointPath, when set, is loaded at Open (if present) in place of
+	// Seed, with only the WAL tail past the checkpoint replayed; Close and
+	// Checkpoint write it.
+	CheckpointPath string
+	// RebuildEvery triggers a snapshot rebuild every K applied mutations.
+	// 0 means DefaultRebuildEvery; negative disables count-based rebuilds.
+	RebuildEvery int
+	// RebuildInterval triggers a rebuild whenever mutations are pending
+	// and this much time has passed since the last one. 0 disables.
+	RebuildInterval time.Duration
+	// SyncEvery fsyncs the WAL every N records. 0 defers durability to
+	// Flush/Checkpoint/Close (fastest; a crash may lose buffered records —
+	// never corrupt the store). 1 makes every mutation durable.
+	SyncEvery int
+	// Telemetry receives the store's metrics; nil means telemetry.Default().
+	Telemetry *telemetry.Registry
+}
+
+func (c Config) validate() error {
+	if c.Grid == nil {
+		return errors.New("live: Config.Grid is required")
+	}
+	switch c.Algo {
+	case AlgoSEuler, AlgoEuler:
+		if len(c.Areas) != 0 {
+			return fmt.Errorf("live: area thresholds are only for meuler, got %v", c.Areas)
+		}
+	case AlgoMEuler:
+		if len(c.Areas) == 0 {
+			return errors.New("live: meuler needs area thresholds")
+		}
+		if c.Areas[0] != 1 {
+			return fmt.Errorf("live: area(H_0) must be the unit cell (1), got %g", c.Areas[0])
+		}
+		for i := 1; i < len(c.Areas); i++ {
+			if c.Areas[i] <= c.Areas[i-1] {
+				return fmt.Errorf("live: area thresholds %v not strictly ascending", c.Areas)
+			}
+		}
+	default:
+		return fmt.Errorf("live: unknown algorithm %v", c.Algo)
+	}
+	return nil
+}
+
+// groups returns how many builders the config partitions objects into.
+func (c Config) groups() int {
+	if c.Algo == AlgoMEuler {
+		return len(c.Areas)
+	}
+	return 1
+}
+
+// Snapshot is one immutable generation of the store: a finalized estimator
+// plus its provenance. Snapshots are safe for unlimited concurrent queries
+// and never change after publication.
+type Snapshot struct {
+	// Gen is the generation number, strictly increasing from 1.
+	Gen uint64
+	// Est answers queries at this generation.
+	Est core.Estimator
+	// Count is the number of live objects in this generation.
+	Count int64
+	// Mutations is how many journal mutations (including replayed ones)
+	// were folded in when the generation was built.
+	Mutations int64
+	// BuiltAt is when the generation was published.
+	BuiltAt time.Time
+}
+
+// Store is a WAL-backed mutable histogram store with generational
+// snapshots. All methods are safe for concurrent use.
+type Store struct {
+	cfg    Config
+	header []byte // config-pinning WAL/checkpoint header
+
+	mu       sync.Mutex // guards builders, wal appends, applied, closed
+	builders []*euler.Builder
+	wal      *wal
+	applied  int64 // mutations applied to the builders (incl. replayed)
+	closed   bool
+
+	rebuildMu sync.Mutex // serializes rebuilds so generations publish in order
+	snap      atomic.Pointer[Snapshot]
+	gen       atomic.Uint64
+	pending   atomic.Int64 // mutations applied since the last rebuild
+
+	rejected atomic.Int64
+
+	stop chan struct{} // closes the interval-rebuild goroutine
+	done chan struct{}
+
+	m *metrics
+}
+
+// Open builds (or recovers) a store. The sequence is: start from the
+// checkpoint if one is configured and present, else from Seed; then replay
+// the WAL tail (everything past the checkpoint's offset, or the whole log)
+// through the identical apply path as a live mutation; then publish
+// generation 1 and start the rebuild timer. Replay is deterministic, so a
+// recovered store's estimates are bit-identical to an uninterrupted one's.
+func Open(cfg Config) (*Store, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		cfg:    cfg,
+		header: encodeHeader(uint8(cfg.Algo), cfg.Grid, cfg.Areas),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		m:      newMetrics(cfg.Telemetry),
+	}
+
+	var walOff int64
+	seeded := false
+	if cfg.CheckpointPath != "" {
+		builders, off, applied, err := loadCheckpoint(cfg.CheckpointPath, s.header, cfg.groups())
+		switch {
+		case err == nil:
+			s.builders, walOff, s.applied = builders, off, applied
+			seeded = true
+		case errors.Is(err, errNoCheckpoint):
+			// First start: fall through to the seed.
+		default:
+			return nil, err
+		}
+	}
+	if !seeded {
+		s.builders = make([]*euler.Builder, cfg.groups())
+		for i := range s.builders {
+			s.builders[i] = euler.NewBuilder(cfg.Grid)
+		}
+		for _, r := range cfg.Seed {
+			s.applyInsert(r)
+		}
+	}
+
+	if cfg.WALPath != "" {
+		w, tail, torn, err := openWAL(cfg.WALPath, s.header, walOff, cfg.SyncEvery)
+		if err != nil {
+			return nil, err
+		}
+		s.wal = w
+		if torn {
+			s.m.tornTails.Inc()
+		}
+		for _, rec := range tail {
+			if !s.apply(rec) {
+				s.rejected.Add(1)
+			}
+			s.applied++
+		}
+		s.m.walBytes.Add(w.size)
+	}
+
+	s.rebuild()
+	if cfg.RebuildInterval > 0 {
+		go s.rebuildLoop(cfg.RebuildInterval)
+	} else {
+		close(s.done)
+	}
+	return s, nil
+}
+
+// Grid returns the store's resolution; constant across generations.
+func (s *Store) Grid() *grid.Grid { return s.cfg.Grid }
+
+// Algo returns the configured estimator algorithm.
+func (s *Store) Algo() Algo { return s.cfg.Algo }
+
+// Insert adds one object MBR. It reports whether the object landed inside
+// the data space (objects entirely outside are journaled but rejected,
+// exactly as a batch build skips them).
+func (s *Store) Insert(r geom.Rect) (bool, error) {
+	return s.mutate(walRecord{op: opInsert, r: r})
+}
+
+// Delete removes one previously inserted object MBR. It reports whether
+// the delete was applied: deletes of objects outside the space, or against
+// an empty partition (which would underflow its count), are rejected.
+func (s *Store) Delete(r geom.Rect) (bool, error) {
+	return s.mutate(walRecord{op: opDelete, r: r})
+}
+
+// Update replaces an object's MBR in one atomic journal record. When the
+// object's area class changes, it is re-routed between M-EulerApprox
+// partitions: removed from the partition its old MBR mapped to and
+// inserted into the partition of the new one.
+func (s *Store) Update(old, new geom.Rect) (bool, error) {
+	return s.mutate(walRecord{op: opUpdate, old: old, r: new})
+}
+
+// mutate journals rec (write-ahead), applies it to the builders, and
+// triggers the count-based rebuild policy.
+func (s *Store) mutate(rec walRecord) (bool, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false, ErrClosed
+	}
+	if s.wal != nil {
+		n, err := s.wal.append(rec)
+		if err != nil {
+			s.mu.Unlock()
+			return false, fmt.Errorf("live: journaling mutation: %w", err)
+		}
+		s.m.walBytes.Add(n)
+	}
+	ok := s.apply(rec)
+	s.applied++
+	s.mu.Unlock()
+
+	s.m.mutation(rec.op)
+	if !ok {
+		s.rejected.Add(1)
+		s.m.rejected.Inc()
+	}
+	p := s.pending.Add(1)
+	s.m.pendingG.Set(p)
+	if every := s.rebuildEvery(); every > 0 && p >= int64(every) {
+		s.rebuild()
+	}
+	return ok, nil
+}
+
+func (s *Store) rebuildEvery() int {
+	switch {
+	case s.cfg.RebuildEvery > 0:
+		return s.cfg.RebuildEvery
+	case s.cfg.RebuildEvery == 0:
+		return DefaultRebuildEvery
+	}
+	return 0
+}
+
+// apply routes one journal record into the builders. Called with mu held;
+// the identical code path serves live mutations and WAL replay, which is
+// what makes recovery bit-identical.
+func (s *Store) apply(rec walRecord) bool {
+	switch rec.op {
+	case opInsert:
+		return s.applyInsert(rec.r)
+	case opDelete:
+		return s.applyDelete(rec.r)
+	case opUpdate:
+		removed := s.applyDelete(rec.old)
+		added := s.applyInsert(rec.r)
+		return removed || added
+	}
+	return false
+}
+
+func (s *Store) applyInsert(r geom.Rect) bool {
+	b, ok := s.route(r)
+	if !ok {
+		return false
+	}
+	return b.Add(r)
+}
+
+func (s *Store) applyDelete(r geom.Rect) bool {
+	b, ok := s.route(r)
+	if !ok {
+		return false
+	}
+	return b.Remove(r)
+}
+
+// route picks the builder for an object MBR: the single builder for the
+// one-histogram algorithms, or the M-EulerApprox area partition chosen by
+// the same rule NewMEuler applies at batch construction.
+func (s *Store) route(r geom.Rect) (*euler.Builder, bool) {
+	if len(s.builders) == 1 {
+		return s.builders[0], true
+	}
+	gi, ok := core.ObjectAreaGroup(s.cfg.Grid, s.cfg.Areas, r)
+	if !ok {
+		return nil, false
+	}
+	return s.builders[gi], true
+}
+
+// rebuild finalizes the builders into a new generation and publishes it.
+func (s *Store) rebuild() {
+	s.rebuildMu.Lock()
+	defer s.rebuildMu.Unlock()
+	start := time.Now()
+
+	s.mu.Lock()
+	hists := make([]*euler.Histogram, len(s.builders))
+	for i, b := range s.builders {
+		hists[i] = b.Build()
+	}
+	applied := s.applied
+	s.mu.Unlock()
+
+	est := s.estimatorFor(hists)
+	snap := &Snapshot{
+		Gen:       s.gen.Add(1),
+		Est:       est,
+		Count:     est.Count(),
+		Mutations: applied,
+		BuiltAt:   time.Now(),
+	}
+	s.snap.Store(snap)
+	s.pending.Store(0)
+
+	s.m.rebuilds.ObserveDuration(time.Since(start))
+	s.m.generation.Set(int64(snap.Gen))
+	s.m.objects.Set(snap.Count)
+	s.m.pendingG.Set(0)
+	s.m.lastRebuild.Set(snap.BuiltAt.Unix())
+}
+
+// estimatorFor assembles the configured estimator from finalized
+// histograms. The config was validated at Open and every histogram shares
+// the store's grid, so assembly cannot fail.
+func (s *Store) estimatorFor(hists []*euler.Histogram) core.Estimator {
+	switch s.cfg.Algo {
+	case AlgoSEuler:
+		return core.NewSEuler(hists[0])
+	case AlgoEuler:
+		return core.NewEuler(hists[0])
+	default:
+		m, err := core.MEulerFromHistograms(s.cfg.Areas, hists)
+		if err != nil {
+			panic(fmt.Sprintf("live: rebuilding validated config: %v", err))
+		}
+		return m
+	}
+}
+
+// rebuildLoop is the interval half of the rebuild policy: whenever
+// mutations are pending at a tick, publish a generation.
+func (s *Store) rebuildLoop(every time.Duration) {
+	defer close(s.done)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			if s.pending.Load() > 0 {
+				s.rebuild()
+			}
+		}
+	}
+}
+
+// Snapshot returns the current generation. It never blocks on writers.
+func (s *Store) Snapshot() *Snapshot { return s.snap.Load() }
+
+// CurrentEstimator returns the current generation's estimator and number,
+// the geobrowse.EstimatorSource contract: browse caches tag their keys
+// with the generation so a snapshot swap invalidates exactly the stale
+// entries.
+func (s *Store) CurrentEstimator() (core.Estimator, uint64) {
+	snap := s.snap.Load()
+	return snap.Est, snap.Gen
+}
+
+// Flush forces a rebuild and makes every journaled mutation durable. The
+// published snapshot includes every mutation applied before the call.
+func (s *Store) Flush() error {
+	s.rebuild()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		return s.wal.sync()
+	}
+	return nil
+}
+
+// Status is a point-in-time view of the store for operators — the
+// /api/store/status payload.
+type Status struct {
+	Algorithm       string  `json:"algorithm"`
+	Generation      uint64  `json:"generation"`
+	Objects         int64   `json:"objects"`     // in the current snapshot
+	LiveObjects     int64   `json:"liveObjects"` // including pending mutations
+	Mutations       int64   `json:"mutations"`   // applied, incl. replayed
+	Rejected        int64   `json:"rejected"`
+	Pending         int64   `json:"pendingMutations"`
+	WALBytes        int64   `json:"walBytes"`
+	SnapshotAge     float64 `json:"snapshotAgeSeconds"`
+	RebuildEvery    int     `json:"rebuildEvery"`
+	RebuildInterval float64 `json:"rebuildIntervalSeconds"`
+	SnapshotBuiltAt string  `json:"snapshotBuiltAt"`
+	SnapshotSwapped int64   `json:"snapshotMutations"`
+	GridNX          int     `json:"gridNX"`
+	GridNY          int     `json:"gridNY"`
+}
+
+// Status reports the store's current generation, staleness and journal
+// size.
+func (s *Store) Status() Status {
+	snap := s.snap.Load()
+	s.mu.Lock()
+	var live int64
+	for _, b := range s.builders {
+		live += b.Count()
+	}
+	applied := s.applied
+	var walBytes int64
+	if s.wal != nil {
+		walBytes = s.wal.size
+	}
+	s.mu.Unlock()
+	return Status{
+		Algorithm:       snap.Est.Name(),
+		Generation:      snap.Gen,
+		Objects:         snap.Count,
+		LiveObjects:     live,
+		Mutations:       applied,
+		Rejected:        s.rejected.Load(),
+		Pending:         s.pending.Load(),
+		WALBytes:        walBytes,
+		SnapshotAge:     time.Since(snap.BuiltAt).Seconds(),
+		RebuildEvery:    s.rebuildEvery(),
+		RebuildInterval: s.cfg.RebuildInterval.Seconds(),
+		SnapshotBuiltAt: snap.BuiltAt.UTC().Format(time.RFC3339Nano),
+		SnapshotSwapped: snap.Mutations,
+		GridNX:          s.cfg.Grid.NX(),
+		GridNY:          s.cfg.Grid.NY(),
+	}
+}
+
+// Close stops the rebuild timer, writes a checkpoint if one is configured,
+// and syncs and closes the WAL. The store rejects mutations afterwards;
+// the last snapshot remains queryable.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	close(s.stop)
+	<-s.done
+
+	var firstErr error
+	if s.cfg.CheckpointPath != "" {
+		if err := s.writeCheckpoint(s.cfg.CheckpointPath); err != nil {
+			firstErr = err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		if err := s.wal.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		s.wal = nil
+	}
+	return firstErr
+}

@@ -1,0 +1,619 @@
+package live
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"spatialhist/internal/core"
+	"spatialhist/internal/geom"
+	"spatialhist/internal/grid"
+	"spatialhist/internal/telemetry"
+)
+
+// testGrid is small enough that full query sweeps stay fast.
+func testGrid() *grid.Grid { return grid.NewUnit(16, 12) }
+
+// randRect returns a random MBR inside (and occasionally straddling) the
+// unit test space.
+func randRect(r *rand.Rand) geom.Rect {
+	x1 := r.Float64() * 16
+	y1 := r.Float64() * 12
+	return geom.NewRect(x1, y1, x1+r.Float64()*6, y1+r.Float64()*5)
+}
+
+// sweep compares two estimators bit-identically over every aligned span of
+// a coarse sweep of the grid.
+func sweep(t *testing.T, got, want core.Estimator) {
+	t.Helper()
+	g := want.Grid()
+	if got.Count() != want.Count() {
+		t.Fatalf("counts diverge: got %d, want %d", got.Count(), want.Count())
+	}
+	for i1 := 0; i1 < g.NX(); i1 += 3 {
+		for j1 := 0; j1 < g.NY(); j1 += 3 {
+			for i2 := i1; i2 < g.NX(); i2 += 4 {
+				for j2 := j1; j2 < g.NY(); j2 += 4 {
+					q := grid.Span{I1: i1, J1: j1, I2: i2, J2: j2}
+					if a, b := got.Estimate(q), want.Estimate(q); a != b {
+						t.Fatalf("estimate at %v diverges: got %v, want %v", q, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+// mutationScript returns a deterministic mix of inserts, deletes and
+// updates over the given seed objects.
+func mutationScript(seed []geom.Rect, n int) []walRecord {
+	r := rand.New(rand.NewSource(7))
+	live := append([]geom.Rect(nil), seed...)
+	recs := make([]walRecord, 0, n)
+	for len(recs) < n {
+		switch {
+		case len(live) > 4 && r.Intn(4) == 0:
+			k := r.Intn(len(live))
+			recs = append(recs, walRecord{op: opDelete, r: live[k]})
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+		case len(live) > 4 && r.Intn(4) == 0:
+			k := r.Intn(len(live))
+			nr := randRect(r)
+			recs = append(recs, walRecord{op: opUpdate, old: live[k], r: nr})
+			live[k] = nr
+		default:
+			nr := randRect(r)
+			recs = append(recs, walRecord{op: opInsert, r: nr})
+			live = append(live, nr)
+		}
+	}
+	return recs
+}
+
+// play feeds a mutation script through the store's public API.
+func play(t *testing.T, s *Store, recs []walRecord) {
+	t.Helper()
+	for _, rec := range recs {
+		var err error
+		switch rec.op {
+		case opInsert:
+			_, err = s.Insert(rec.r)
+		case opDelete:
+			_, err = s.Delete(rec.r)
+		case opUpdate:
+			_, err = s.Update(rec.old, rec.r)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func seedRects(n int) []geom.Rect {
+	r := rand.New(rand.NewSource(3))
+	out := make([]geom.Rect, n)
+	for i := range out {
+		out[i] = randRect(r)
+	}
+	return out
+}
+
+func openTestStore(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestWALReplayRoundTrip(t *testing.T) {
+	for _, algo := range []struct {
+		name  string
+		algo  Algo
+		areas []float64
+	}{
+		{"seuler", AlgoSEuler, nil},
+		{"euler", AlgoEuler, nil},
+		{"meuler", AlgoMEuler, []float64{1, 9, 40}},
+	} {
+		t.Run(algo.name, func(t *testing.T) {
+			dir := t.TempDir()
+			walPath := filepath.Join(dir, "store.wal")
+			seed := seedRects(50)
+			cfg := Config{Grid: testGrid(), Algo: algo.algo, Areas: algo.areas,
+				Seed: seed, WALPath: walPath, RebuildEvery: -1}
+
+			a := openTestStore(t, cfg)
+			play(t, a, mutationScript(seed, 300))
+			if err := a.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			estA, genA := a.CurrentEstimator()
+			if genA < 2 {
+				t.Fatalf("flush did not publish a new generation (gen %d)", genA)
+			}
+			if err := a.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// A restart over the same seed and journal reconstructs the
+			// store bit-identically.
+			b := openTestStore(t, cfg)
+			estB, _ := b.CurrentEstimator()
+			sweep(t, estB, estA)
+			if got, want := b.Status().Mutations, int64(300); got != want {
+				t.Fatalf("replayed mutation count %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+// TestCrashRecovery kills the store after N journaled mutations (by
+// copying the durable WAL prefix, as a crash would leave it) and verifies
+// the recovered store's estimates are bit-identical to an uninterrupted
+// store that applied exactly the same prefix of mutations.
+func TestCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "store.wal")
+	seed := seedRects(40)
+	recs := mutationScript(seed, 200)
+	cfg := Config{Grid: testGrid(), Algo: AlgoMEuler, Areas: []float64{1, 9, 40},
+		Seed: seed, WALPath: walPath, RebuildEvery: -1, SyncEvery: 1}
+
+	s := openTestStore(t, cfg)
+	play(t, s, recs)
+
+	// Byte length of the journal after the header and the first n records.
+	lenAfter := func(n int) int64 {
+		off := int64(len(s.header))
+		for _, rec := range recs[:n] {
+			if rec.op == opUpdate {
+				off += updateRecordBytes
+			} else {
+				off += recordBytes
+			}
+		}
+		return off
+	}
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(raw)) != lenAfter(len(recs)) {
+		t.Fatalf("journal is %d bytes, want %d", len(raw), lenAfter(len(recs)))
+	}
+
+	for _, n := range []int{0, 1, 37, 200} {
+		// The crash artifact: only the first n records survived.
+		crashed := filepath.Join(dir, "crashed.wal")
+		if err := os.WriteFile(crashed, raw[:lenAfter(n)], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rcfg := cfg
+		rcfg.WALPath = crashed
+		recovered := openTestStore(t, rcfg)
+
+		// The uninterrupted reference: same seed, same first n mutations,
+		// no journal, no crash.
+		ref := openTestStore(t, Config{Grid: testGrid(), Algo: cfg.Algo,
+			Areas: cfg.Areas, Seed: seed, RebuildEvery: -1})
+		play(t, ref, recs[:n])
+		if err := ref.Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		gotEst, _ := recovered.CurrentEstimator()
+		wantEst, _ := ref.CurrentEstimator()
+		sweep(t, gotEst, wantEst)
+		recovered.Close()
+		ref.Close()
+	}
+}
+
+// TestTornTailRecovery corrupts the journal the way crashes do — a partial
+// final record, then garbage — and verifies recovery truncates to the
+// valid prefix and keeps serving.
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "store.wal")
+	seed := seedRects(30)
+	recs := mutationScript(seed, 50)
+	cfg := Config{Grid: testGrid(), Algo: AlgoEuler, Seed: seed,
+		WALPath: walPath, RebuildEvery: -1, SyncEvery: 1}
+	s := openTestStore(t, cfg)
+	play(t, s, recs)
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	reg := telemetry.NewRegistry()
+	for name, mangle := range map[string]func([]byte) []byte{
+		"partial record": func(b []byte) []byte { return b[:len(b)-5] },
+		"flipped payload": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)-10] ^= 0xff
+			return c
+		},
+		"garbage appended": func(b []byte) []byte { return append(append([]byte(nil), b...), 0xde, 0xad, 0xbe) },
+	} {
+		torn := filepath.Join(dir, "torn.wal")
+		if err := os.WriteFile(torn, mangle(raw), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rcfg := cfg
+		rcfg.WALPath = torn
+		rcfg.Telemetry = reg
+		recovered, err := Open(rcfg)
+		if err != nil {
+			t.Fatalf("%s: recovery failed: %v", name, err)
+		}
+		st := recovered.Status()
+		if st.Mutations >= int64(len(recs))+1 || st.Mutations < int64(len(recs))-1 {
+			t.Fatalf("%s: recovered %d mutations, want ~%d", name, st.Mutations, len(recs))
+		}
+		// The truncated journal must accept appends again.
+		if _, err := recovered.Insert(geom.NewRect(1, 1, 2, 2)); err != nil {
+			t.Fatalf("%s: append after recovery: %v", name, err)
+		}
+		recovered.Close()
+	}
+	if reg.Counter("live_wal_torn_tails_total", "").Value() == 0 {
+		t.Error("torn-tail recoveries were not counted")
+	}
+}
+
+// TestLiveMatchesBatchBuild drives the store through churn and verifies
+// the final snapshot is bit-identical to a batch build over the surviving
+// objects — including M-EulerApprox partition routing, where an Update
+// that changes an object's area class must re-route it.
+func TestLiveMatchesBatchBuild(t *testing.T) {
+	g := testGrid()
+	areas := []float64{1, 9, 40}
+	seed := seedRects(60)
+	s := openTestStore(t, Config{Grid: g, Algo: AlgoMEuler, Areas: areas,
+		Seed: seed, RebuildEvery: -1})
+
+	live := append([]geom.Rect(nil), seed...)
+	// A small object re-routed to the largest area class and back.
+	small := geom.NewRect(3.2, 3.2, 3.6, 3.6)
+	big := geom.NewRect(1, 1, 12, 9)
+	if _, err := s.Insert(small); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := s.Update(small, big); !ok || err != nil {
+		t.Fatalf("update small→big: %v %v", ok, err)
+	}
+	if ok, err := s.Update(big, small); !ok || err != nil {
+		t.Fatalf("update big→small: %v %v", ok, err)
+	}
+	live = append(live, small)
+
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 150; i++ {
+		if len(live) > 10 && i%3 == 0 {
+			k := r.Intn(len(live))
+			if ok, err := s.Delete(live[k]); !ok || err != nil {
+				t.Fatalf("delete %v: %v %v", live[k], ok, err)
+			}
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		nr := randRect(r)
+		if _, err := s.Insert(nr); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, nr)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	batch, err := core.NewMEuler(g, areas, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, _ := s.CurrentEstimator()
+	sweep(t, est, batch)
+}
+
+func TestRebuildPolicyCount(t *testing.T) {
+	s := openTestStore(t, Config{Grid: testGrid(), Algo: AlgoSEuler, RebuildEvery: 4})
+	_, gen0 := s.CurrentEstimator()
+	if gen0 != 1 {
+		t.Fatalf("initial generation %d, want 1", gen0)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := s.Insert(geom.NewRect(1, 1, 2, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est, gen := s.CurrentEstimator()
+	if gen != 2 {
+		t.Fatalf("generation after 4 mutations = %d, want 2", gen)
+	}
+	if est.Count() != 4 {
+		t.Fatalf("snapshot count %d, want 4", est.Count())
+	}
+	if p := s.Status().Pending; p != 0 {
+		t.Fatalf("pending after policy rebuild = %d", p)
+	}
+
+	// Three more mutations stay pending: the stale snapshot still serves.
+	for i := 0; i < 3; i++ {
+		if _, err := s.Insert(geom.NewRect(2, 2, 3, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, gen := s.CurrentEstimator(); gen != 2 {
+		t.Fatalf("generation advanced early to %d", gen)
+	}
+	if p := s.Status().Pending; p != 3 {
+		t.Fatalf("pending = %d, want 3", p)
+	}
+}
+
+func TestRebuildPolicyInterval(t *testing.T) {
+	s := openTestStore(t, Config{Grid: testGrid(), Algo: AlgoSEuler,
+		RebuildEvery: -1, RebuildInterval: 5 * time.Millisecond})
+	if _, err := s.Insert(geom.NewRect(1, 1, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, gen := s.CurrentEstimator(); gen >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("interval rebuild never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	est, _ := s.CurrentEstimator()
+	if est.Count() != 1 {
+		t.Fatalf("interval snapshot count %d, want 1", est.Count())
+	}
+}
+
+func TestCheckpointRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Grid: testGrid(), Algo: AlgoMEuler, Areas: []float64{1, 9, 40},
+		Seed:    seedRects(40),
+		WALPath: filepath.Join(dir, "store.wal"), CheckpointPath: filepath.Join(dir, "store.ckpt"),
+		RebuildEvery: -1}
+	recs := mutationScript(cfg.Seed, 120)
+
+	s := openTestStore(t, cfg)
+	play(t, s, recs[:70])
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	play(t, s, recs[70:])
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := s.CurrentEstimator()
+	if err := s.Close(); err != nil { // re-checkpoints at the final state
+		t.Fatal(err)
+	}
+
+	// Restart: checkpoint supersedes the seed; only the WAL tail past it
+	// is replayed. An empty seed proves the checkpoint carries the state.
+	rcfg := cfg
+	rcfg.Seed = nil
+	restarted := openTestStore(t, rcfg)
+	got, _ := restarted.CurrentEstimator()
+	sweep(t, got, want)
+	if m := restarted.Status().Mutations; m != int64(len(recs)) {
+		t.Fatalf("restarted mutation count %d, want %d", m, len(recs))
+	}
+
+	// And the restarted store keeps accepting mutations.
+	if ok, err := restarted.Insert(geom.NewRect(5, 5, 6, 6)); !ok || err != nil {
+		t.Fatalf("insert after restart: %v %v", ok, err)
+	}
+}
+
+// TestCheckpointMidCrash checkpoints mid-stream, keeps mutating, then
+// "crashes": recovery must start from the checkpoint and replay only the
+// tail, landing bit-identical to the uninterrupted store.
+func TestCheckpointMidCrash(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Grid: testGrid(), Algo: AlgoEuler, Seed: seedRects(30),
+		WALPath: filepath.Join(dir, "store.wal"), CheckpointPath: filepath.Join(dir, "store.ckpt"),
+		RebuildEvery: -1, SyncEvery: 1}
+	recs := mutationScript(cfg.Seed, 100)
+
+	s := openTestStore(t, cfg)
+	play(t, s, recs[:60])
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	play(t, s, recs[60:])
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := s.CurrentEstimator()
+
+	// Crash: copy the WAL and checkpoint as the dead process left them —
+	// no Close, so the checkpoint still points at record 60.
+	for _, f := range []string{"store.wal", "store.ckpt"} {
+		b, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "crash-"+f), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rcfg := cfg
+	rcfg.Seed = nil
+	rcfg.WALPath = filepath.Join(dir, "crash-store.wal")
+	rcfg.CheckpointPath = filepath.Join(dir, "crash-store.ckpt")
+	recovered := openTestStore(t, rcfg)
+	got, _ := recovered.CurrentEstimator()
+	sweep(t, got, want)
+}
+
+func TestConfigMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "store.wal")
+	s := openTestStore(t, Config{Grid: testGrid(), Algo: AlgoSEuler, WALPath: walPath})
+	if _, err := s.Insert(geom.NewRect(1, 1, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	cases := map[string]Config{
+		"different grid": {Grid: grid.NewUnit(8, 8), Algo: AlgoSEuler, WALPath: walPath},
+		"different algo": {Grid: testGrid(), Algo: AlgoEuler, WALPath: walPath},
+		"meuler areas":   {Grid: testGrid(), Algo: AlgoMEuler, Areas: []float64{1, 9}, WALPath: walPath},
+	}
+	for name, cfg := range cases {
+		cfg.Telemetry = telemetry.NewRegistry()
+		if _, err := Open(cfg); err == nil {
+			t.Errorf("%s: Open must reject a foreign WAL", name)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := map[string]Config{
+		"no grid":        {Algo: AlgoSEuler},
+		"no algo":        {Grid: testGrid()},
+		"meuler no area": {Grid: testGrid(), Algo: AlgoMEuler},
+		"areas not unit": {Grid: testGrid(), Algo: AlgoMEuler, Areas: []float64{2, 4}},
+		"areas unsorted": {Grid: testGrid(), Algo: AlgoMEuler, Areas: []float64{1, 9, 4}},
+		"seuler w/areas": {Grid: testGrid(), Algo: AlgoSEuler, Areas: []float64{1, 4}},
+	}
+	for name, cfg := range cases {
+		cfg.Telemetry = telemetry.NewRegistry()
+		if _, err := Open(cfg); err == nil {
+			t.Errorf("%s: Open must reject the config", name)
+		}
+	}
+}
+
+func TestRejectedMutations(t *testing.T) {
+	s := openTestStore(t, Config{Grid: testGrid(), Algo: AlgoSEuler, RebuildEvery: -1})
+	// Deleting from an empty store must not underflow anything.
+	if ok, err := s.Delete(geom.NewRect(1, 1, 2, 2)); ok || err != nil {
+		t.Fatalf("delete on empty store: %v %v", ok, err)
+	}
+	// Inserting outside the space is journal-visible but rejected.
+	if ok, err := s.Insert(geom.NewRect(100, 100, 110, 110)); ok || err != nil {
+		t.Fatalf("insert outside space: %v %v", ok, err)
+	}
+	st := s.Status()
+	if st.Rejected != 2 || st.LiveObjects != 0 {
+		t.Fatalf("status = %+v, want 2 rejected, 0 live", st)
+	}
+}
+
+func TestClosedStore(t *testing.T) {
+	s := openTestStore(t, Config{Grid: testGrid(), Algo: AlgoSEuler})
+	if _, err := s.Insert(geom.NewRect(1, 1, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(geom.NewRect(1, 1, 2, 2)); err != ErrClosed {
+		t.Fatalf("insert after close: %v, want ErrClosed", err)
+	}
+	// The last snapshot keeps serving reads.
+	est, _ := s.CurrentEstimator()
+	if est == nil {
+		t.Fatal("snapshot gone after close")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+// TestConcurrentIngestAndQuery hammers the store from writer and reader
+// goroutines; run under -race this is the store's data-race gate. Readers
+// verify the structural invariant on whatever snapshot they observe: the
+// four relation counts of the whole-space query sum to the snapshot's
+// object count.
+func TestConcurrentIngestAndQuery(t *testing.T) {
+	s := openTestStore(t, Config{Grid: testGrid(), Algo: AlgoMEuler,
+		Areas: []float64{1, 9, 40}, Seed: seedRects(50), RebuildEvery: 16,
+		WALPath: filepath.Join(t.TempDir(), "store.wal")})
+
+	const writers, readers, perWriter = 4, 4, 200
+	var wwg, rwg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wwg.Add(1)
+		go func(seed int64) {
+			defer wwg.Done()
+			r := rand.New(rand.NewSource(seed))
+			var mine []geom.Rect
+			for i := 0; i < perWriter; i++ {
+				if len(mine) > 0 && r.Intn(3) == 0 {
+					k := r.Intn(len(mine))
+					if _, err := s.Delete(mine[k]); err != nil {
+						t.Error(err)
+						return
+					}
+					mine[k] = mine[len(mine)-1]
+					mine = mine[:len(mine)-1]
+					continue
+				}
+				nr := randRect(r)
+				if _, err := s.Insert(nr); err != nil {
+					t.Error(err)
+					return
+				}
+				mine = append(mine, nr)
+			}
+		}(int64(w))
+	}
+	stop := make(chan struct{})
+	for rd := 0; rd < readers; rd++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			g := s.Grid()
+			whole := grid.Span{I1: 0, J1: 0, I2: g.NX() - 1, J2: g.NY() - 1}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				est, gen := s.CurrentEstimator()
+				if gen == 0 {
+					t.Error("observed unpublished snapshot")
+					return
+				}
+				if got := est.Estimate(whole).Total(); got != est.Count() {
+					t.Errorf("gen %d: estimate total %d != count %d", gen, got, est.Count())
+					return
+				}
+				s.Status()
+			}
+		}()
+	}
+	wwg.Wait()
+	close(stop)
+	rwg.Wait()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	_, gen := s.CurrentEstimator()
+	if gen < 2 {
+		t.Fatalf("no rebuilds under concurrent load (gen %d)", gen)
+	}
+}

@@ -1,0 +1,76 @@
+package live
+
+import "spatialhist/internal/telemetry"
+
+// metrics are the store's telemetry series, created once at Open so the
+// mutation hot path pays one atomic add per event, never a registry
+// lookup. Names are part of the observable API and documented in
+// README.md:
+//
+//	live_mutations_total{op}        applied+rejected mutations by opcode
+//	live_mutations_rejected_total   mutations that did not change the store
+//	live_wal_bytes_total            journal bytes written (incl. header)
+//	live_wal_torn_tails_total       torn/corrupt tails truncated at open
+//	live_rebuild_seconds            snapshot rebuild latency histogram
+//	live_generation                 current published generation
+//	live_store_objects              objects in the current snapshot
+//	live_pending_mutations          mutations not yet in a snapshot
+//	live_last_rebuild_unix_seconds  when the current snapshot was built
+type metrics struct {
+	inserts, deletes, updates *telemetry.Counter
+	rejected                  *telemetry.Counter
+	walBytes                  *telemetry.Counter
+	tornTails                 *telemetry.Counter
+	rebuilds                  *telemetry.Histogram
+	generation                *telemetry.Gauge
+	objects                   *telemetry.Gauge
+	pendingG                  *telemetry.Gauge
+	lastRebuild               *telemetry.Gauge
+}
+
+// rebuildBuckets span one sweep of a small lattice (~100µs) to a full
+// multi-partition rebuild over a large grid.
+var rebuildBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+func newMetrics(reg *telemetry.Registry) *metrics {
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	const mutHelp = "Live-store mutations received, by operation."
+	return &metrics{
+		inserts: reg.Counter("live_mutations_total", mutHelp, "op", "insert"),
+		deletes: reg.Counter("live_mutations_total", mutHelp, "op", "delete"),
+		updates: reg.Counter("live_mutations_total", mutHelp, "op", "update"),
+		rejected: reg.Counter("live_mutations_rejected_total",
+			"Mutations journaled but not applied (outside the space, or an underflowing delete)."),
+		walBytes: reg.Counter("live_wal_bytes_total",
+			"Bytes written to the write-ahead log, including the header."),
+		tornTails: reg.Counter("live_wal_torn_tails_total",
+			"Torn or corrupt WAL tails truncated during recovery."),
+		rebuilds: reg.Histogram("live_rebuild_seconds",
+			"Snapshot rebuild latency in seconds.", rebuildBuckets),
+		generation: reg.Gauge("live_generation",
+			"Generation number of the published snapshot."),
+		objects: reg.Gauge("live_store_objects",
+			"Objects in the published snapshot."),
+		pendingG: reg.Gauge("live_pending_mutations",
+			"Mutations applied since the published snapshot was built."),
+		lastRebuild: reg.Gauge("live_last_rebuild_unix_seconds",
+			"Unix time the published snapshot was built."),
+	}
+}
+
+// mutation counts one received mutation by opcode.
+func (m *metrics) mutation(op byte) {
+	switch op {
+	case opInsert:
+		m.inserts.Inc()
+	case opDelete:
+		m.deletes.Inc()
+	case opUpdate:
+		m.updates.Inc()
+	}
+}

@@ -1,0 +1,263 @@
+package live
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"spatialhist/internal/geom"
+	"spatialhist/internal/grid"
+)
+
+// Write-ahead log format. The header pins the store configuration so a log
+// can never be replayed into a store with a different grid, algorithm or
+// area partitioning (which would silently corrupt every bucket):
+//
+//	magic   [8]byte "SPWAL001"
+//	algo    uint8   (1 = S-EulerApprox, 2 = EulerApprox, 3 = M-EulerApprox)
+//	extent  4 × float64
+//	nx, ny  uint32
+//	m       uint32  (number of area thresholds; 0 unless M-EulerApprox)
+//	areas   m × float64
+//
+// followed by fixed-size records, each independently checksummed:
+//
+//	op      uint8   (1 = insert, 2 = delete, 3 = update)
+//	rects   4 × float64 (insert/delete) or 8 × float64 (update: old, new)
+//	crc     uint32  CRC-32 (IEEE) of the op byte and the rect payload
+//
+// Little-endian throughout. Records are journaled before they are applied,
+// so after a crash the builders are reconstructed exactly by replaying the
+// log over the seed objects (or over the latest checkpoint). A torn or
+// corrupt tail — the expected shape of a crash mid-append — is detected by
+// the per-record CRC and truncated on open; everything after the first bad
+// byte is untrusted by design.
+
+var walMagic = [8]byte{'S', 'P', 'W', 'A', 'L', '0', '0', '1'}
+
+// Mutation opcodes. Update is one record so a delete+insert pair that
+// re-routes an object between area partitions is atomic in the journal.
+const (
+	opInsert byte = 1
+	opDelete byte = 2
+	opUpdate byte = 3
+)
+
+const (
+	rectBytes         = 4 * 8
+	recordBytes       = 1 + rectBytes + 4   // op + one rect + crc
+	updateRecordBytes = 1 + 2*rectBytes + 4 // op + two rects + crc
+)
+
+// walRecord is one decoded mutation.
+type walRecord struct {
+	op     byte
+	r, old geom.Rect // old is set only for opUpdate (the pre-image)
+}
+
+// encodeHeader renders the config-pinning header; openWAL compares it
+// byte-for-byte, so configuration equality is exactly header equality.
+func encodeHeader(algo uint8, g *grid.Grid, areas []float64) []byte {
+	var b bytes.Buffer
+	b.Write(walMagic[:])
+	b.WriteByte(algo)
+	ext := g.Extent()
+	for _, v := range [4]float64{ext.XMin, ext.YMin, ext.XMax, ext.YMax} {
+		binary.Write(&b, binary.LittleEndian, v)
+	}
+	binary.Write(&b, binary.LittleEndian, uint32(g.NX()))
+	binary.Write(&b, binary.LittleEndian, uint32(g.NY()))
+	binary.Write(&b, binary.LittleEndian, uint32(len(areas)))
+	for _, a := range areas {
+		binary.Write(&b, binary.LittleEndian, a)
+	}
+	return b.Bytes()
+}
+
+func putRect(buf []byte, r geom.Rect) {
+	binary.LittleEndian.PutUint64(buf[0:], math.Float64bits(r.XMin))
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(r.YMin))
+	binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(r.XMax))
+	binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(r.YMax))
+}
+
+func getRect(buf []byte) geom.Rect {
+	return geom.Rect{
+		XMin: math.Float64frombits(binary.LittleEndian.Uint64(buf[0:])),
+		YMin: math.Float64frombits(binary.LittleEndian.Uint64(buf[8:])),
+		XMax: math.Float64frombits(binary.LittleEndian.Uint64(buf[16:])),
+		YMax: math.Float64frombits(binary.LittleEndian.Uint64(buf[24:])),
+	}
+}
+
+// encodeRecord appends the wire form of rec to dst and returns it.
+func encodeRecord(dst []byte, rec walRecord) []byte {
+	start := len(dst)
+	dst = append(dst, rec.op)
+	var payload [2 * rectBytes]byte
+	n := rectBytes
+	if rec.op == opUpdate {
+		putRect(payload[:], rec.old)
+		putRect(payload[rectBytes:], rec.r)
+		n = 2 * rectBytes
+	} else {
+		putRect(payload[:], rec.r)
+	}
+	dst = append(dst, payload[:n]...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(dst[start:]))
+	return append(dst, crc[:]...)
+}
+
+// wal is the append side of an open journal. All methods are called with
+// the store mutex held, so the type itself is not concurrency-safe.
+type wal struct {
+	f         *os.File
+	w         *bufio.Writer
+	size      int64 // logical length: header plus every appended record
+	syncEvery int   // fsync after this many records; <=0 defers to sync()
+	unsynced  int
+	buf       []byte // scratch encoding buffer
+}
+
+// openWAL opens (or creates) the journal at path, validates its header
+// against the expected one, replays the records from byte offset `from`
+// (0 means just past the header), truncates any torn or corrupt tail, and
+// returns the handle positioned for append together with the replayed
+// tail and whether a tail had to be dropped.
+func openWAL(path string, header []byte, from int64, syncEvery int) (w *wal, tail []walRecord, torn bool, err error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+		}
+	}()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, false, err
+	}
+	headerLen := int64(len(header))
+	if from == 0 {
+		from = headerLen
+	}
+	if st.Size() == 0 {
+		if from != headerLen {
+			return nil, nil, false, fmt.Errorf("live: checkpoint expects %d bytes of WAL but %s is empty", from, path)
+		}
+		if _, err := f.Write(header); err != nil {
+			return nil, nil, false, fmt.Errorf("live: writing WAL header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return nil, nil, false, err
+		}
+		return &wal{f: f, w: bufio.NewWriterSize(f, 1<<16), size: headerLen, syncEvery: syncEvery}, nil, false, nil
+	}
+	got := make([]byte, headerLen)
+	if _, err := io.ReadFull(f, got); err != nil {
+		return nil, nil, false, fmt.Errorf("live: WAL %s shorter than its header: %w", path, err)
+	}
+	if !bytes.Equal(got, header) {
+		return nil, nil, false, fmt.Errorf("live: WAL %s was written for a different store configuration (grid, algorithm or area partitioning)", path)
+	}
+	if from < headerLen || from > st.Size() {
+		return nil, nil, false, fmt.Errorf("live: checkpoint expects %d bytes of WAL but %s has %d", from, path, st.Size())
+	}
+	if _, err := f.Seek(from, io.SeekStart); err != nil {
+		return nil, nil, false, err
+	}
+	tail, consumed, torn := scanRecords(f)
+	valid := from + consumed
+	if valid < st.Size() {
+		if err := f.Truncate(valid); err != nil {
+			return nil, nil, false, fmt.Errorf("live: truncating torn WAL tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		return nil, nil, false, err
+	}
+	return &wal{f: f, w: bufio.NewWriterSize(f, 1<<16), size: valid, syncEvery: syncEvery}, tail, torn, nil
+}
+
+// scanRecords decodes records until EOF or the first corruption, returning
+// the valid records, how many bytes they span, and whether scanning
+// stopped because of a torn or corrupt tail (rather than a clean EOF).
+func scanRecords(r io.Reader) (recs []walRecord, consumed int64, torn bool) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var head [1]byte
+	for {
+		if _, err := io.ReadFull(br, head[:]); err != nil {
+			return recs, consumed, false // clean end
+		}
+		op := head[0]
+		var plen int
+		switch op {
+		case opInsert, opDelete:
+			plen = rectBytes
+		case opUpdate:
+			plen = 2 * rectBytes
+		default:
+			return recs, consumed, true // unknown opcode: corrupt
+		}
+		body := make([]byte, plen+4)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return recs, consumed, true // torn mid-record
+		}
+		sum := crc32.ChecksumIEEE(append([]byte{op}, body[:plen]...))
+		if sum != binary.LittleEndian.Uint32(body[plen:]) {
+			return recs, consumed, true // payload corrupt
+		}
+		rec := walRecord{op: op}
+		if op == opUpdate {
+			rec.old = getRect(body[:rectBytes])
+			rec.r = getRect(body[rectBytes : 2*rectBytes])
+		} else {
+			rec.r = getRect(body[:rectBytes])
+		}
+		recs = append(recs, rec)
+		consumed += int64(1 + plen + 4)
+	}
+}
+
+// append journals one record. Durability follows the sync policy: with
+// syncEvery <= 0 the record is buffered until sync() (a Flush, checkpoint
+// or Close); with syncEvery N every Nth append fsyncs.
+func (w *wal) append(rec walRecord) (int64, error) {
+	w.buf = encodeRecord(w.buf[:0], rec)
+	if _, err := w.w.Write(w.buf); err != nil {
+		return 0, err
+	}
+	n := int64(len(w.buf))
+	w.size += n
+	w.unsynced++
+	if w.syncEvery > 0 && w.unsynced >= w.syncEvery {
+		return n, w.sync()
+	}
+	return n, nil
+}
+
+// sync flushes buffered records and fsyncs the file.
+func (w *wal) sync() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	w.unsynced = 0
+	return w.f.Sync()
+}
+
+// close syncs and closes the journal.
+func (w *wal) close() error {
+	serr := w.sync()
+	cerr := w.f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -3,6 +3,7 @@ package spatialhist
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -82,6 +83,16 @@ func Load(r io.Reader) (*Summary, error) {
 	if err := binary.Read(br, binary.LittleEndian, &algo); err != nil {
 		return nil, fmt.Errorf("spatialhist: reading algorithm: %w", err)
 	}
+	// Validate the tag before trusting anything downstream of it: an
+	// unknown byte here means the rest of the stream cannot be interpreted,
+	// so failing late (after parsing megabytes of histograms) would bury
+	// the actual problem under a misleading decode error.
+	switch algo {
+	case algoSEuler, algoEuler, algoMEuler:
+	default:
+		return nil, fmt.Errorf("spatialhist: unknown algorithm tag %d (want %d=S-EulerApprox, %d=EulerApprox or %d=M-EulerApprox)",
+			algo, algoSEuler, algoEuler, algoMEuler)
+	}
 	var count uint32
 	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
 		return nil, fmt.Errorf("spatialhist: reading histogram count: %w", err)
@@ -98,6 +109,9 @@ func Load(r io.Reader) (*Summary, error) {
 		areas = make([]float64, count)
 		for i := range areas {
 			if err := binary.Read(br, binary.LittleEndian, &areas[i]); err != nil {
+				if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+					return nil, fmt.Errorf("spatialhist: M-EulerApprox area table truncated: header promises %d thresholds, stream ends after %d", count, i)
+				}
 				return nil, fmt.Errorf("spatialhist: reading area threshold %d: %w", i, err)
 			}
 			if math.IsNaN(areas[i]) || math.IsInf(areas[i], 0) {

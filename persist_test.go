@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math/rand"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"spatialhist/internal/dataset"
@@ -93,6 +94,74 @@ func TestLoadRejectsGarbage(t *testing.T) {
 }
 
 func cp(b []byte) []byte { return append([]byte(nil), b...) }
+
+// TestLoadCorruptedHeader pins down the error messages of header-level
+// corruption: each failure must be detected at the header field it
+// corrupts — before any histogram parsing — and name the actual problem.
+func TestLoadCorruptedHeader(t *testing.T) {
+	d := dataset.SpSkew(100, 2)
+	g := NewGrid(d.Extent, 36, 18)
+	me, err := NewMEuler(g, []float64{1, 4, 25}, d.Rects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := me.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Layout: magic [0,8), algo byte 8, histogram count [9,13),
+	// area thresholds [13, 13+8m).
+	cases := map[string]struct {
+		mutate  func([]byte) []byte
+		wantErr string
+	}{
+		"unknown algo tag": {
+			func(b []byte) []byte { c := cp(b); c[8] = 42; return c },
+			"unknown algorithm tag 42",
+		},
+		"zero algo tag": {
+			func(b []byte) []byte { c := cp(b); c[8] = 0; return c },
+			"unknown algorithm tag 0",
+		},
+		"zero histograms": {
+			func(b []byte) []byte { c := cp(b); c[9], c[10], c[11], c[12] = 0, 0, 0, 0; return c },
+			"unreasonable histogram count 0",
+		},
+		"absurd histogram count": {
+			func(b []byte) []byte { c := cp(b); c[9], c[10], c[11], c[12] = 0xff, 0xff, 0xff, 0xff; return c },
+			"unreasonable histogram count",
+		},
+		"area table cut mid-threshold": {
+			func(b []byte) []byte { return cp(b)[:13+8*2+3] },
+			"area table truncated: header promises 3 thresholds, stream ends after 2",
+		},
+		"area table missing entirely": {
+			func(b []byte) []byte { return cp(b)[:13] },
+			"area table truncated: header promises 3 thresholds, stream ends after 0",
+		},
+		"NaN area threshold": {
+			func(b []byte) []byte {
+				c := cp(b)
+				for i := 13; i < 21; i++ {
+					c[i] = 0xff
+				}
+				return c
+			},
+			"invalid area threshold",
+		},
+	}
+	for name, tc := range cases {
+		_, err := Load(bytes.NewReader(tc.mutate(raw)))
+		if err == nil {
+			t.Errorf("%s: Load must error", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.wantErr)
+		}
+	}
+}
 
 func TestSummaryOf(t *testing.T) {
 	d := dataset.SpSkew(200, 4)
