@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Delta is one benchmark compared against its baseline median ns/op.
+type Delta struct {
+	Name    string  // benchmark name
+	Base    float64 // baseline median ns/op
+	Current float64 // current median ns/op
+	Ratio   float64 // current / base
+}
+
+// loadReport reads a benchjson JSON document back from disk.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &rep, nil
+}
+
+// Compare matches the current report's summaries against a baseline by
+// benchmark name and returns the deltas sorted worst-first. Benchmarks
+// present on only one side are skipped: a baseline committed by an
+// earlier PR cannot know about benchmarks added later, and a renamed
+// benchmark should not read as a 100% regression.
+func Compare(cur, base *Report) []Delta {
+	baseMed := make(map[string]float64, len(base.Summary))
+	for _, s := range base.Summary {
+		baseMed[s.Name] = s.MedNsPerOp
+	}
+	var out []Delta
+	for _, s := range cur.Summary {
+		b, ok := baseMed[s.Name]
+		if !ok || b == 0 {
+			continue
+		}
+		out = append(out, Delta{Name: s.Name, Base: b, Current: s.MedNsPerOp, Ratio: s.MedNsPerOp / b})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ratio > out[j].Ratio })
+	return out
+}
+
+// writeComparison prints one GitHub workflow annotation per compared
+// benchmark: ::warning for a slowdown beyond tolerance, ::notice
+// otherwise. The job stays green either way — machine variance on shared
+// CI runners makes a hard gate flakier than it is protective; the
+// annotation puts the number in front of the reviewer instead.
+func writeComparison(w io.Writer, deltas []Delta, tolerance float64) {
+	if len(deltas) == 0 {
+		fmt.Fprintln(w, "::notice::benchjson: no benchmarks in common with the baseline")
+		return
+	}
+	for _, d := range deltas {
+		pct := (d.Ratio - 1) * 100
+		switch {
+		case d.Ratio > 1+tolerance:
+			fmt.Fprintf(w, "::warning::%s regressed %+.1f%% vs baseline (%.0f -> %.0f ns/op)\n",
+				d.Name, pct, d.Base, d.Current)
+		case d.Ratio < 1-tolerance:
+			fmt.Fprintf(w, "::notice::%s improved %+.1f%% vs baseline (%.0f -> %.0f ns/op)\n",
+				d.Name, pct, d.Base, d.Current)
+		default:
+			fmt.Fprintf(w, "::notice::%s within tolerance (%+.1f%%, %.0f -> %.0f ns/op)\n",
+				d.Name, pct, d.Base, d.Current)
+		}
+	}
+}

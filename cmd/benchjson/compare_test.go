@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func report(meds map[string]float64) *Report {
+	rep := &Report{}
+	for name, med := range meds {
+		rep.Summary = append(rep.Summary, Summary{Name: name, Runs: 1,
+			MinNsPerOp: med, MedNsPerOp: med, MaxNsPerOp: med})
+	}
+	return rep
+}
+
+func TestCompare(t *testing.T) {
+	base := report(map[string]float64{
+		"BenchmarkRebuildFull":        50_000_000,
+		"BenchmarkRebuildIncremental": 1_500_000,
+		"BenchmarkRemoved":            100,
+	})
+	cur := report(map[string]float64{
+		"BenchmarkRebuildFull":        80_000_000, // +60%: regression
+		"BenchmarkRebuildIncremental": 1_000_000,  // -33%: improvement
+		"BenchmarkAdded":              42,         // no baseline: skipped
+	})
+	deltas := Compare(cur, base)
+	if len(deltas) != 2 {
+		t.Fatalf("Compare matched %d benchmarks, want 2: %+v", len(deltas), deltas)
+	}
+	if deltas[0].Name != "BenchmarkRebuildFull" {
+		t.Fatalf("deltas not sorted worst-first: %+v", deltas)
+	}
+
+	var sb strings.Builder
+	writeComparison(&sb, deltas, 0.20)
+	out := sb.String()
+	if !strings.Contains(out, "::warning::BenchmarkRebuildFull regressed +60.0%") {
+		t.Errorf("missing regression warning in:\n%s", out)
+	}
+	if !strings.Contains(out, "::notice::BenchmarkRebuildIncremental improved -33.3%") {
+		t.Errorf("missing improvement notice in:\n%s", out)
+	}
+	if strings.Contains(out, "BenchmarkAdded") || strings.Contains(out, "BenchmarkRemoved") {
+		t.Errorf("unmatched benchmarks should be skipped:\n%s", out)
+	}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	base := report(map[string]float64{"BenchmarkX": 1000})
+	cur := report(map[string]float64{"BenchmarkX": 1100})
+	var sb strings.Builder
+	writeComparison(&sb, Compare(cur, base), 0.20)
+	if !strings.Contains(sb.String(), "::notice::BenchmarkX within tolerance (+10.0%") {
+		t.Errorf("want within-tolerance notice, got:\n%s", sb.String())
+	}
+}
+
+func TestCompareNoOverlap(t *testing.T) {
+	var sb strings.Builder
+	writeComparison(&sb, Compare(report(map[string]float64{"BenchmarkA": 1}),
+		report(map[string]float64{"BenchmarkB": 1})), 0.20)
+	if !strings.Contains(sb.String(), "no benchmarks in common") {
+		t.Errorf("want no-overlap notice, got:\n%s", sb.String())
+	}
+}

@@ -13,6 +13,13 @@
 // benchjson exits non-zero when the input contains no benchmark results,
 // so a CI step cannot silently "pass" on a regex that matched nothing or
 // output swallowed by a build failure.
+//
+// With -baseline it additionally compares the current medians against a
+// committed benchjson document and emits one GitHub workflow annotation
+// per benchmark (::warning beyond -tolerance, ::notice otherwise). The
+// comparison is informational: it never changes the exit status.
+//
+//	go test -bench 'Rebuild' | benchjson -out BENCH_ci.json -baseline BENCH_pr4.json -tolerance 0.20
 package main
 
 import (
@@ -29,6 +36,8 @@ func main() {
 	log.SetPrefix("benchjson: ")
 	in := flag.String("in", "", "bench output file (default stdin)")
 	out := flag.String("out", "", "JSON output file (default stdout)")
+	baseline := flag.String("baseline", "", "benchjson document to compare medians against (informational, never fails)")
+	tolerance := flag.Float64("tolerance", 0.20, "fractional ns/op change beyond which a comparison becomes a ::warning")
 	flag.Parse()
 
 	src := io.Reader(os.Stdin)
@@ -46,6 +55,14 @@ func main() {
 	}
 	if len(report.Runs) == 0 {
 		log.Fatal("no benchmark results in input")
+	}
+
+	if *baseline != "" {
+		base, err := loadReport(*baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeComparison(os.Stdout, Compare(report, base), *tolerance)
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")

@@ -64,6 +64,7 @@ func main() {
 		rebuildN  = flag.Int("rebuild-every", live.DefaultRebuildEvery, "live mode: publish a snapshot every N mutations (negative disables)")
 		rebuildT  = flag.Duration("rebuild-interval", 0, "live mode: also publish a snapshot at this interval when mutations are pending (0 disables)")
 		syncEvery = flag.Int("sync-every", 0, "live mode: fsync the WAL every N mutations (0 = on flush/checkpoint/shutdown only)")
+		crossover = flag.Float64("rebuild-crossover", 0, "live mode: dirty-fraction cost threshold above which a rebuild falls back to a full pass (0 = tuned default, negative = always repair)")
 	)
 	flag.Parse()
 
@@ -107,14 +108,15 @@ func main() {
 			log.Fatalf("geobrowsed: %v", err)
 		}
 		cfg := live.Config{
-			Grid:            g,
-			Algo:            algoV,
-			Seed:            d.Rects,
-			WALPath:         *walPath,
-			CheckpointPath:  *ckptPath,
-			RebuildEvery:    *rebuildN,
-			RebuildInterval: *rebuildT,
-			SyncEvery:       *syncEvery,
+			Grid:             g,
+			Algo:             algoV,
+			Seed:             d.Rects,
+			WALPath:          *walPath,
+			CheckpointPath:   *ckptPath,
+			RebuildEvery:     *rebuildN,
+			RebuildInterval:  *rebuildT,
+			SyncEvery:        *syncEvery,
+			RebuildCrossover: *crossover,
 		}
 		if algoV == live.AlgoMEuler {
 			if cfg.Areas, err = parseAreas(*areasArg); err != nil {
@@ -177,7 +179,7 @@ func run(addr string, gb *geobrowse.Server, pprofOn bool, report time.Duration, 
 		log.Printf("pprof enabled at http://%s/debug/pprof/", addr)
 	}
 	if report > 0 {
-		go selfReport(gb, report)
+		go selfReport(gb, report, store)
 	}
 	srv := &http.Server{
 		Addr:         addr,
@@ -213,11 +215,17 @@ func run(addr string, gb *geobrowse.Server, pprofOn bool, report time.Duration, 
 
 // selfReport emits one structured line per interval with the window's
 // request rate, latency quantiles (from the merged per-endpoint latency
-// histograms in telemetry.Default()), and browse-cache hit rate.
-func selfReport(s *geobrowse.Server, every time.Duration) {
+// histograms in telemetry.Default()), and browse-cache hit rate. When
+// fronting a live store it appends a rebuild line: publish latency
+// p50/p99 and the mean dirty lattice fraction over the window, so an
+// operator can see at a glance whether ingestion is being absorbed by
+// dirty-region repair or falling back to full passes.
+func selfReport(s *geobrowse.Server, every time.Duration, store *live.Store) {
 	logger := telemetry.NewLogger(os.Stderr)
 	reg := telemetry.Default()
 	prev := reg.FamilySnapshot("geobrowse_http_request_seconds")
+	prevRebuild := reg.FamilySnapshot("live_rebuild_seconds")
+	prevDirty := reg.FamilySnapshot("live_rebuild_dirty_frac")
 	prevHits, prevMisses := s.CacheStats()
 	for range time.Tick(every) {
 		snap := reg.FamilySnapshot("geobrowse_http_request_seconds")
@@ -236,6 +244,26 @@ func selfReport(s *geobrowse.Server, every time.Duration) {
 			"cache_hit_rate", hitRate,
 		)
 		prev, prevHits, prevMisses = snap, hits, misses
+
+		if store == nil {
+			continue
+		}
+		rebuild := reg.FamilySnapshot("live_rebuild_seconds")
+		dirty := reg.FamilySnapshot("live_rebuild_dirty_frac")
+		rd := rebuild.Sub(prevRebuild)
+		dd := dirty.Sub(prevDirty)
+		meanDirty := 0.0
+		if dd.Count > 0 {
+			meanDirty = dd.Sum / float64(dd.Count)
+		}
+		logger.Log("rebuild-report",
+			"rebuilds", rd.Count,
+			"rebuild_p50_ms", rd.Quantile(0.50)*1000,
+			"rebuild_p99_ms", rd.Quantile(0.99)*1000,
+			"dirty_frac_mean", meanDirty,
+			"generation", store.Generation(),
+		)
+		prevRebuild, prevDirty = rebuild, dirty
 	}
 }
 

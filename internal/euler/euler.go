@@ -45,6 +45,7 @@ type Builder struct {
 	diff   []int64 // (lx+1)×(ly+1) difference array
 	n      int64
 	rects  int64 // objects rejected as outside the space
+	dirty  DirtyRegion
 }
 
 // NewBuilder returns a Builder for the Euler histogram of g.
@@ -52,10 +53,11 @@ func NewBuilder(g *grid.Grid) *Builder {
 	lx := 2*g.NX() - 1
 	ly := 2*g.NY() - 1
 	return &Builder{
-		g:    g,
-		lx:   lx,
-		ly:   ly,
-		diff: make([]int64, (lx+1)*(ly+1)),
+		g:     g,
+		lx:    lx,
+		ly:    ly,
+		diff:  make([]int64, (lx+1)*(ly+1)),
+		dirty: EmptyRegion(),
 	}
 }
 
@@ -78,6 +80,9 @@ func (b *Builder) AddSpan(s grid.Span) {
 	b.diff[(u2+1)*w+v1]--
 	b.diff[(u2+1)*w+v2+1]++
 	b.n++
+	// A difference-array rectangle update changes the raw prefix only
+	// inside [u1..u2]×[v1..v2]: the four corners cancel everywhere else.
+	b.dirty = b.dirty.Union(DirtyRegion{U1: u1, V1: v1, U2: u2, V2: v2})
 }
 
 // RemoveSpan deletes one previously inserted object span, supporting
@@ -105,6 +110,7 @@ func (b *Builder) RemoveSpan(s grid.Span) bool {
 	b.diff[(u2+1)*w+v1]++
 	b.diff[(u2+1)*w+v2+1]--
 	b.n--
+	b.dirty = b.dirty.Union(DirtyRegion{U1: u1, V1: v1, U2: u2, V2: v2})
 	return true
 }
 
@@ -187,33 +193,95 @@ func (b *Builder) Skipped() int64 { return b.rects }
 // Build finalizes the difference array into the signed bucket values,
 // computes the cumulative (prefix-sum) form H_c of §5.2, and returns the
 // immutable histogram. The Builder remains usable: further Adds followed by
-// another Build produce a histogram over the enlarged dataset.
+// another Build produce a histogram over the enlarged dataset. Build resets
+// the dirty region: the returned histogram is a faithful baseline for a
+// later BuildFrom.
 func (b *Builder) Build() *Histogram {
-	w := b.ly + 1
-	raw := make([]int64, b.lx*b.ly)
-	// 2-d prefix over the difference array materializes per-bucket raw
-	// counts; we stream row by row keeping one running column accumulator.
-	colAcc := make([]int64, b.ly)
-	for u := 0; u < b.lx; u++ {
-		var rowAcc int64
-		for v := 0; v < b.ly; v++ {
-			rowAcc += b.diff[u*w+v]
-			colAcc[v] += rowAcc
-			c := colAcc[v]
-			if (u^v)&1 == 1 { // edge bucket: invert
-				c = -c
-			}
-			raw[u*b.ly+v] = c
-		}
+	return b.buildInto(nil, nil, 1)
+}
+
+// BuildParallel is Build with the two cumulative passes (raw
+// materialization and prefix-sum construction) fanned across up to workers
+// goroutines. The result is bit-identical to Build.
+func (b *Builder) BuildParallel(workers int) *Histogram {
+	return b.buildInto(nil, nil, workers)
+}
+
+// buildInto materializes the signed buckets into raw (allocated when nil)
+// and the cumulative form into hc (rebuilt in place when non-nil, so
+// recycled generation buffers avoid the O(lattice) allocation), using up to
+// workers goroutines for both passes.
+func (b *Builder) buildInto(raw []int64, hc *prefixsum.Sum2D, workers int) *Histogram {
+	if raw == nil {
+		raw = make([]int64, b.lx*b.ly)
 	}
+	b.rawInto(raw, workers)
+	if hc == nil {
+		hc = prefixsum.NewSum2DParallel(raw, b.lx, b.ly, workers)
+	} else {
+		hc.Rebuild(raw, workers)
+	}
+	b.dirty = EmptyRegion()
 	return &Histogram{
 		g:  b.g,
 		lx: b.lx,
 		ly: b.ly,
 		h:  raw,
-		hc: prefixsum.NewSum2D(raw, b.lx, b.ly),
+		hc: hc,
 		n:  b.n,
 	}
+}
+
+// rawInto computes the signed bucket values from the difference array. The
+// serial path streams row by row with one running column accumulator; the
+// parallel path splits the same 2-d prefix into a per-row pass (independent
+// rows) and a per-column accumulation pass (independent column chunks),
+// which is bit-identical because int64 addition is exact and
+// order-independent.
+func (b *Builder) rawInto(raw []int64, workers int) {
+	w := b.ly + 1
+	if workers <= 1 || b.lx*b.ly < 1<<16 {
+		colAcc := make([]int64, b.ly)
+		for u := 0; u < b.lx; u++ {
+			var rowAcc int64
+			for v := 0; v < b.ly; v++ {
+				rowAcc += b.diff[u*w+v]
+				colAcc[v] += rowAcc
+				c := colAcc[v]
+				if (u^v)&1 == 1 { // edge bucket: invert
+					c = -c
+				}
+				raw[u*b.ly+v] = c
+			}
+		}
+		return
+	}
+	// Pass A: prefix each diff row along v (rows are independent).
+	fanLatticeChunks(b.lx, workers, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			var rowAcc int64
+			for v := 0; v < b.ly; v++ {
+				rowAcc += b.diff[u*w+v]
+				raw[u*b.ly+v] = rowAcc
+			}
+		}
+	})
+	// Pass B: accumulate down each column and fold in the edge-bucket sign
+	// (columns are independent).
+	fanLatticeChunks(b.ly, workers, func(vlo, vhi int) {
+		acc := make([]int64, vhi-vlo)
+		for u := 0; u < b.lx; u++ {
+			row := raw[u*b.ly : (u+1)*b.ly]
+			for v := vlo; v < vhi; v++ {
+				s := acc[v-vlo] + row[v]
+				acc[v-vlo] = s
+				if (u^v)&1 == 1 {
+					s = -s
+				}
+				row[v] = s
+			}
+		}
+	})
 }
 
 // Histogram is an immutable Euler histogram with its cumulative form. All

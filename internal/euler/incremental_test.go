@@ -1,0 +1,274 @@
+package euler
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatialhist/internal/grid"
+)
+
+// assertIdentical checks bit-identity of two histograms: buckets,
+// cumulative sums and count.
+func assertIdentical(t *testing.T, want, got *Histogram) {
+	t.Helper()
+	if want.lx != got.lx || want.ly != got.ly {
+		t.Fatalf("lattice differs: %dx%d vs %dx%d", want.lx, want.ly, got.lx, got.ly)
+	}
+	if want.n != got.n {
+		t.Fatalf("count = %d, want %d", got.n, want.n)
+	}
+	for i, v := range want.h {
+		if got.h[i] != v {
+			t.Fatalf("bucket[%d] = %d, want %d", i, got.h[i], v)
+		}
+	}
+	for u := -1; u < want.lx; u += 1 + want.lx/7 {
+		for v := -1; v < want.ly; v += 1 + want.ly/7 {
+			if w, g := want.hc.PrefixAt(u, v), got.hc.PrefixAt(u, v); w != g {
+				t.Fatalf("cumulative(%d,%d) = %d, want %d", u, v, g, w)
+			}
+		}
+	}
+}
+
+func randSpan(r *rand.Rand, g *grid.Grid) grid.Span {
+	i1, j1 := r.Intn(g.NX()), r.Intn(g.NY())
+	return spanOf(i1, j1, i1+r.Intn(g.NX()-i1), j1+r.Intn(g.NY()-j1))
+}
+
+func TestDirtyRegion(t *testing.T) {
+	e := EmptyRegion()
+	if !e.Empty() || e.Area() != 0 {
+		t.Fatal("EmptyRegion not empty")
+	}
+	a := DirtyRegion{U1: 2, V1: 3, U2: 4, V2: 5}
+	if got := e.Union(a); got != a {
+		t.Fatalf("empty ∪ a = %+v, want %+v", got, a)
+	}
+	if got := a.Union(e); got != a {
+		t.Fatalf("a ∪ empty = %+v, want %+v", got, a)
+	}
+	b := DirtyRegion{U1: 0, V1: 4, U2: 3, V2: 9}
+	want := DirtyRegion{U1: 0, V1: 3, U2: 4, V2: 9}
+	if got := a.Union(b); got != want {
+		t.Fatalf("a ∪ b = %+v, want %+v", got, want)
+	}
+	if a.Area() != 9 {
+		t.Fatalf("Area = %d, want 9", a.Area())
+	}
+}
+
+func TestBuilderDirtyTracking(t *testing.T) {
+	g := grid.NewUnit(8, 8)
+	b := NewBuilder(g)
+	if !b.Dirty().Empty() {
+		t.Fatal("fresh builder has non-empty dirty region")
+	}
+	b.AddSpan(spanOf(1, 2, 3, 4))
+	want := DirtyRegion{U1: 2, V1: 4, U2: 6, V2: 8}
+	if b.Dirty() != want {
+		t.Fatalf("dirty = %+v, want %+v", b.Dirty(), want)
+	}
+	b.RemoveSpan(spanOf(5, 0, 6, 1))
+	want = DirtyRegion{U1: 2, V1: 0, U2: 12, V2: 8}
+	if b.Dirty() != want {
+		t.Fatalf("dirty after remove = %+v, want %+v", b.Dirty(), want)
+	}
+	b.Build()
+	if !b.Dirty().Empty() {
+		t.Fatal("Build did not reset the dirty region")
+	}
+	b.MarkDirty(want)
+	if b.Dirty() != want {
+		t.Fatalf("MarkDirty = %+v, want %+v", b.Dirty(), want)
+	}
+}
+
+func TestBuildParallelMatchesBuild(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for _, dim := range [][2]int{{1, 1}, {3, 17}, {40, 40}, {200, 130}} {
+		g := grid.NewUnit(dim[0], dim[1])
+		b := NewBuilder(g)
+		for k := 0; k < 200; k++ {
+			b.AddSpan(randSpan(r, g))
+		}
+		want := b.Build()
+		for _, workers := range []int{2, 4, 9} {
+			assertIdentical(t, want, b.BuildParallel(workers))
+		}
+	}
+}
+
+// applyScript drives a builder and a shadow span multiset through a random
+// add/remove script and returns the spans currently present.
+func applyScript(r *rand.Rand, b *Builder, present []grid.Span, ops int) []grid.Span {
+	for k := 0; k < ops; k++ {
+		if len(present) > 0 && r.Intn(3) == 0 {
+			i := r.Intn(len(present))
+			if b.RemoveSpan(present[i]) {
+				present[i] = present[len(present)-1]
+				present = present[:len(present)-1]
+			}
+		} else {
+			s := randSpan(r, b.Grid())
+			b.AddSpan(s)
+			present = append(present, s)
+		}
+	}
+	return present
+}
+
+func freshBuild(g *grid.Grid, present []grid.Span) *Histogram {
+	fresh := NewBuilder(g)
+	for _, s := range present {
+		fresh.AddSpan(s)
+	}
+	return fresh.Build()
+}
+
+func TestBuildFromMatchesFreshBuild(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 30; trial++ {
+		g := grid.NewUnit(1+r.Intn(30), 1+r.Intn(30))
+		b := NewBuilder(g)
+		var present []grid.Span
+		present = applyScript(r, b, present, 30)
+		prev := b.Build()
+		crossover := []float64{-1, 0, 1}[trial%3] // always-repair, default, generous
+		for round := 0; round < 4; round++ {
+			present = applyScript(r, b, present, 1+r.Intn(10))
+			h, stats := b.BuildFrom(prev, BuildFromOpts{Crossover: crossover})
+			assertIdentical(t, freshBuild(g, present), h)
+			if !b.Dirty().Empty() {
+				t.Fatal("BuildFrom did not reset the dirty region")
+			}
+			if crossover < 0 && !stats.Incremental {
+				t.Fatal("negative crossover must force the incremental path")
+			}
+			prev = h
+		}
+	}
+}
+
+func TestBuildFromEmptyDirtySharesPrev(t *testing.T) {
+	g := grid.NewUnit(10, 10)
+	b := NewBuilder(g)
+	b.AddSpan(spanOf(1, 1, 4, 4))
+	prev := b.Build()
+	h, stats := b.BuildFrom(prev, BuildFromOpts{})
+	if h != prev {
+		t.Fatal("BuildFrom with no mutations must return prev itself")
+	}
+	if !stats.Incremental || stats.DirtyFrac != 0 {
+		t.Fatalf("stats = %+v, want incremental with zero dirty fraction", stats)
+	}
+}
+
+func TestBuildFromNilPrevIsFullBuild(t *testing.T) {
+	g := grid.NewUnit(6, 6)
+	b := NewBuilder(g)
+	b.AddSpan(spanOf(0, 0, 5, 5))
+	h, stats := b.BuildFrom(nil, BuildFromOpts{})
+	if stats.Incremental {
+		t.Fatal("nil prev cannot take the incremental path")
+	}
+	assertIdentical(t, freshBuild(g, []grid.Span{spanOf(0, 0, 5, 5)}), h)
+}
+
+func TestBuildFromScratchReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	g := grid.NewUnit(25, 25)
+	b := NewBuilder(g)
+	var present []grid.Span
+	present = applyScript(r, b, present, 40)
+	prev := b.Build()
+
+	// Retire a snapshot to serve as scratch, then track the damage it
+	// accumulates relative to each published generation, the way the live
+	// arena does.
+	present = applyScript(r, b, present, 8)
+	gen1, stats1 := b.BuildFrom(prev, BuildFromOpts{Crossover: -1})
+	assertIdentical(t, freshBuild(g, present), gen1)
+
+	// prev is now retired; its content lags gen1 by stats1.Dirty.
+	stale := stats1.Dirty
+	present = applyScript(r, b, present, 8)
+	gen2, stats2 := b.BuildFrom(gen1, BuildFromOpts{Scratch: prev, Stale: stale, Crossover: -1})
+	assertIdentical(t, freshBuild(g, present), gen2)
+	if !stats2.Incremental {
+		t.Fatal("scratch path should be incremental at crossover -1")
+	}
+	if &gen2.h[0] != &prev.h[0] {
+		t.Fatal("BuildFrom did not reuse the scratch raw array")
+	}
+
+	// Next cycle: gen1 is retired, stale vs gen2 is stats2.Dirty.
+	present = applyScript(r, b, present, 8)
+	gen3, _ := b.BuildFrom(gen2, BuildFromOpts{Scratch: gen1, Stale: stats2.Dirty, Crossover: -1})
+	assertIdentical(t, freshBuild(g, present), gen3)
+	if &gen3.h[0] != &gen1.h[0] {
+		t.Fatal("BuildFrom did not reuse the second scratch raw array")
+	}
+}
+
+func TestAutoWorkers(t *testing.T) {
+	if got := AutoWorkers(100, 100); got != 1 {
+		t.Fatalf("tiny build: AutoWorkers = %d, want 1", got)
+	}
+	// A huge lattice must request parallel workers even with no objects —
+	// the regression the policy fix is about. The cap is GOMAXPROCS, so
+	// only assert when more than one core is available.
+	if got := AutoWorkers(16<<20, 0); got == 1 && AutoWorkers(0, 10_000_000) > 1 {
+		t.Fatalf("lattice-dominated build: AutoWorkers = %d, want > 1", got)
+	}
+}
+
+// FuzzIncrementalRebuild drives a builder through an arbitrary interleaving
+// of adds, removes and BuildFrom publishes and asserts every published
+// histogram is bit-identical to a fresh rebuild from the surviving spans.
+func FuzzIncrementalRebuild(f *testing.F) {
+	f.Add(int64(1), uint8(8), uint8(8), []byte{0, 1, 2, 0xFF, 3, 0xFE})
+	f.Add(int64(7), uint8(1), uint8(13), []byte{0xFF, 0xFF, 0, 0xFE, 0xFE})
+	f.Add(int64(42), uint8(30), uint8(2), []byte{1, 1, 1, 0xFD, 2, 2, 0xFF})
+	f.Fuzz(func(t *testing.T, seed int64, nx, ny uint8, script []byte) {
+		if nx == 0 || ny == 0 || nx > 40 || ny > 40 {
+			t.Skip()
+		}
+		r := rand.New(rand.NewSource(seed))
+		g := grid.NewUnit(int(nx), int(ny))
+		b := NewBuilder(g)
+		var present []grid.Span
+		var prev *Histogram
+		var scratch *Histogram
+		stale := EmptyRegion()
+		for _, op := range script {
+			switch {
+			case op == 0xFF: // publish incrementally
+				h, stats := b.BuildFrom(prev, BuildFromOpts{Scratch: scratch, Stale: stale, Crossover: 1})
+				assertIdentical(t, freshBuild(g, present), h)
+				if h != prev && prev != nil {
+					// A real publish consumes any donated scratch and
+					// retires prev, whose content lags h by exactly the
+					// repaired region — the next cycle's scratch.
+					scratch, stale = prev, stats.Dirty
+				}
+				prev = h
+			case op == 0xFE: // full rebuild baseline
+				prev = b.Build()
+				scratch, stale = nil, EmptyRegion()
+			case op == 0xFD && len(present) > 0: // remove
+				i := r.Intn(len(present))
+				if b.RemoveSpan(present[i]) {
+					present[i] = present[len(present)-1]
+					present = present[:len(present)-1]
+				}
+			default: // add
+				s := randSpan(r, g)
+				b.AddSpan(s)
+				present = append(present, s)
+			}
+		}
+		h, _ := b.BuildFrom(prev, BuildFromOpts{Scratch: scratch, Stale: stale})
+		assertIdentical(t, freshBuild(g, present), h)
+	})
+}

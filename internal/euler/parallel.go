@@ -25,19 +25,33 @@ import (
 // insertion speedup (BenchmarkParallelHistogramBuild compares worker
 // counts; on a single-core host all counts converge, which is the
 // correctness floor — extra workers must not cost). The automatic policy
-// stays conservative — one extra worker per 250k objects — since small
-// builds are dominated by the fixed O(lattice) Build pass. An explicit
-// worker count is honored as given; workers <= 0 asks for the automatic
-// policy.
+// is AutoWorkers, which scales with both object count and lattice size. An
+// explicit worker count is honored as given; workers <= 0 asks for the
+// automatic policy.
+// AutoWorkers is the automatic worker policy for histogram construction:
+// one extra worker per 250k objects (insertion is four scattered writes
+// per object) or per 2M lattice buckets (the cumulative pass is a fixed
+// O(lattice) sweep that now parallelizes too), whichever asks for more,
+// capped at GOMAXPROCS. The old policy looked only at the object count, so
+// a sparse dataset on a fine grid — where the Build pass is the entire
+// cost — was pinned to one core.
+func AutoWorkers(latticeBuckets, objects int) int {
+	byObjects := 1 + objects/250_000
+	byLattice := 1 + latticeBuckets/(2<<20)
+	return min(runtime.GOMAXPROCS(0), max(byObjects, byLattice))
+}
+
 func FromRectsParallel(g *grid.Grid, rects []geom.Rect, workers int) *Histogram {
 	if workers <= 0 {
-		// One extra worker per 250k objects: below that the fixed Build
-		// pass dominates and parallelism cannot pay for itself.
-		workers = min(runtime.GOMAXPROCS(0), 1+len(rects)/250_000)
+		workers = AutoWorkers((2*g.NX()-1)*(2*g.NY()-1), len(rects))
 	}
 	if workers == 1 || len(rects) == 0 {
 		return FromRects(g, rects)
 	}
+	// The insertion fan is bounded by the object count, but the final
+	// cumulative pass parallelizes over the lattice regardless of how few
+	// objects there are.
+	buildWorkers := min(workers, runtime.GOMAXPROCS(0))
 	workers = min(workers, len(rects))
 
 	// Construction telemetry: worker occupancy across both the insertion
@@ -99,7 +113,7 @@ func FromRectsParallel(g *grid.Grid, rects []geom.Rect, workers int) *Histogram 
 		root.n += b.n
 		root.rects += b.rects
 	}
-	h := root.Build()
+	h := root.BuildParallel(buildWorkers)
 	reg.Counter("euler_parallel_builds_total",
 		"Parallel histogram constructions completed.").Inc()
 	reg.Histogram("euler_build_seconds",

@@ -45,7 +45,8 @@ func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	est, _ := s.src.CurrentEstimator()
+	est, _, release := acquireEstimator(s.src)
+	defer release()
 	leaves, err := core.Drilldown(est, span, core.DrillOptions{
 		Relation:     rel,
 		HotThreshold: int64(hot),

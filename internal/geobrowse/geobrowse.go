@@ -145,7 +145,8 @@ func NewServerOpts(name string, est core.Estimator, opts Options) *Server {
 // (fresh keys miss, old entries age out of the LRU untouched).
 func NewSourceServer(name string, src EstimatorSource, opts Options) *Server {
 	opts = opts.withDefaults()
-	est, _ := src.CurrentEstimator()
+	est, _, release := acquireEstimator(src)
+	defer release()
 	s := &Server{
 		name:  name,
 		src:   src,
@@ -201,7 +202,8 @@ type BrowseResponse struct {
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
-	est, gen := s.src.CurrentEstimator()
+	est, gen, release := acquireEstimator(s.src)
+	defer release()
 	ext := s.g.Extent()
 	writeJSON(w, Info{
 		Dataset:        s.name,
@@ -221,7 +223,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	est, _ := s.src.CurrentEstimator()
+	est, _, release := acquireEstimator(s.src)
+	defer release()
 	writeJSON(w, tileFor(est, span))
 }
 
@@ -232,8 +235,11 @@ func (s *Server) handleBrowse(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Resolve the snapshot once: key and computation use the same
-	// generation, so a swap mid-request cannot cache a mixed result.
-	est, gen := s.src.CurrentEstimator()
+	// generation, so a swap mid-request cannot cache a mixed result. The
+	// pin spans the cache fill, since the computation reads the
+	// generation's histogram buffers.
+	est, gen, release := acquireEstimator(s.src)
+	defer release()
 	key := browseKey(gen, span, cols, rows, "")
 	data, err := s.cache.Do(key, func() ([]byte, error) {
 		ests, err := s.estimateTiles(est, span, cols, rows)

@@ -22,6 +22,31 @@ type EstimatorSource interface {
 	CurrentEstimator() (core.Estimator, uint64)
 }
 
+// PinnedEstimatorSource is an EstimatorSource whose estimators are pinned
+// for the duration of a request: AcquireEstimator additionally returns a
+// release callback the handler invokes when done, which lets a live store
+// recycle the generation's histogram buffers instead of leaving them to
+// the garbage collector. Sources that cannot pin fall back to
+// CurrentEstimator via acquireEstimator.
+type PinnedEstimatorSource interface {
+	EstimatorSource
+	AcquireEstimator() (core.Estimator, uint64, func())
+}
+
+// acquireEstimator resolves a request's estimator from src, pinning it
+// when the source supports pinning. The returned release is never nil and
+// must be called when the request is done with the estimator.
+func acquireEstimator(src EstimatorSource) (core.Estimator, uint64, func()) {
+	if p, ok := src.(PinnedEstimatorSource); ok {
+		return p.AcquireEstimator()
+	}
+	est, gen := src.CurrentEstimator()
+	return est, gen, func() {}
+}
+
+// The live store is the pinning source the browse stack is built for.
+var _ PinnedEstimatorSource = (*live.Store)(nil)
+
 // StaticSource adapts a fixed estimator to the EstimatorSource contract at
 // generation 0.
 func StaticSource(est core.Estimator) EstimatorSource { return staticSource{est} }
@@ -118,6 +143,6 @@ func (s *Server) handleMutation(w http.ResponseWriter, r *http.Request,
 			return
 		}
 	}
-	_, resp.Generation = store.CurrentEstimator()
+	resp.Generation = store.Generation()
 	writeJSON(w, resp)
 }

@@ -64,7 +64,9 @@ func BenchmarkIngest(b *testing.B) {
 
 // BenchmarkRebuild measures generation publication latency — the pause-free
 // cost a snapshot swap adds while browse traffic keeps reading the old
-// generation.
+// generation. One mutation lands between publishes so every iteration
+// pays a real (dirty-region) rebuild rather than the unchanged-skip path;
+// its allocations are the publish-path number BENCH_pr4.json tracks.
 func BenchmarkRebuild(b *testing.B) {
 	s, err := Open(Config{Grid: grid.NewUnit(50, 50), Algo: AlgoMEuler,
 		Areas: []float64{1, 9, 100}, Seed: benchRects(10000),
@@ -73,9 +75,11 @@ func BenchmarkRebuild(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer s.Close()
+	rects := benchRects(1 << 10)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		s.Insert(rects[i&(1<<10-1)])
 		s.rebuild()
 	}
 }

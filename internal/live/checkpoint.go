@@ -56,7 +56,12 @@ func (s *Store) writeCheckpoint(path string) error {
 	}
 	hists := make([]*euler.Histogram, len(s.builders))
 	for i, b := range s.builders {
+		// Build resets the builder's dirty box, but the incremental
+		// rebuild baseline is the last *published* snapshot, not this
+		// checkpoint — restore the box or a later BuildFrom under-repairs.
+		d := b.Dirty()
 		hists[i] = b.Build()
+		b.MarkDirty(d)
 	}
 	applied := s.applied
 	s.mu.Unlock()

@@ -1,0 +1,242 @@
+package live
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"spatialhist/internal/core"
+	"spatialhist/internal/geom"
+	"spatialhist/internal/grid"
+	"spatialhist/internal/telemetry"
+)
+
+// survivorScript builds a mutation script and the set of objects that
+// survive it, so tests can construct a ground-truth batch estimator.
+func survivorScript(seed []geom.Rect, n int, rngSeed int64) ([]walRecord, []geom.Rect) {
+	r := rand.New(rand.NewSource(rngSeed))
+	live := append([]geom.Rect(nil), seed...)
+	recs := make([]walRecord, 0, n)
+	for len(recs) < n {
+		switch {
+		case len(live) > 4 && r.Intn(4) == 0:
+			k := r.Intn(len(live))
+			recs = append(recs, walRecord{op: opDelete, r: live[k]})
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+		case len(live) > 4 && r.Intn(4) == 0:
+			k := r.Intn(len(live))
+			nr := randRect(r)
+			recs = append(recs, walRecord{op: opUpdate, old: live[k], r: nr})
+			live[k] = nr
+		default:
+			nr := randRect(r)
+			recs = append(recs, walRecord{op: opInsert, r: nr})
+			live = append(live, nr)
+		}
+	}
+	return recs, live
+}
+
+// TestIncrementalPublishMatchesBatch drives stores through many small
+// rebuilds — which exercises dirty-region repair and generation-buffer
+// recycling — and checks the final snapshot against a store built in one
+// shot from the surviving objects, across crossover settings that force
+// the repair path, the full path and the tuned policy.
+func TestIncrementalPublishMatchesBatch(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		crossover float64
+	}{
+		{"always-repair", -1},
+		{"always-full", 1e-12},
+		{"default", 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, algo := range []struct {
+				name  string
+				algo  Algo
+				areas []float64
+			}{
+				{"seuler", AlgoSEuler, nil},
+				{"meuler", AlgoMEuler, []float64{1, 9, 40}},
+			} {
+				t.Run(algo.name, func(t *testing.T) {
+					seed := seedRects(200)
+					recs, survivors := survivorScript(seed, 300, 11)
+					s := openTestStore(t, Config{Grid: testGrid(), Algo: algo.algo, Areas: algo.areas,
+						Seed: seed, RebuildEvery: 16, RebuildCrossover: tc.crossover})
+					play(t, s, recs)
+					if err := s.Flush(); err != nil {
+						t.Fatal(err)
+					}
+					ref := openTestStore(t, Config{Grid: testGrid(), Algo: algo.algo, Areas: algo.areas,
+						Seed: survivors})
+					got, _, release := s.AcquireEstimator()
+					defer release()
+					want, _, refRelease := ref.AcquireEstimator()
+					defer refRelease()
+					sweep(t, got, want)
+				})
+			}
+		})
+	}
+}
+
+// TestPinnedEstimatorStableAcrossRebuilds holds a pin across many
+// publishes and asserts the pinned generation's answers never change:
+// buffer recycling must not touch a generation any reader still holds.
+func TestPinnedEstimatorStableAcrossRebuilds(t *testing.T) {
+	seed := seedRects(300)
+	s := openTestStore(t, Config{Grid: testGrid(), Algo: AlgoSEuler, Seed: seed,
+		RebuildEvery: 8, RebuildCrossover: -1})
+	est, gen, release := s.AcquireEstimator()
+	spans := []grid.Span{
+		{I1: 0, J1: 0, I2: 15, J2: 11},
+		{I1: 2, J1: 3, I2: 9, J2: 7},
+		{I1: 14, J1: 10, I2: 15, J2: 11},
+	}
+	before := make([]core.Estimate, len(spans))
+	for i, q := range spans {
+		before[i] = est.Estimate(q)
+	}
+	r := rand.New(rand.NewSource(13))
+	for round := 0; round < 6; round++ {
+		for k := 0; k < 20; k++ {
+			if _, err := s.Insert(randRect(r)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Generation() == gen {
+		t.Fatal("publishes did not advance the generation")
+	}
+	for i, q := range spans {
+		if got := est.Estimate(q); got != before[i] {
+			t.Fatalf("pinned estimate at %v changed across rebuilds: %v → %v", q, before[i], got)
+		}
+	}
+	release()
+	release() // idempotent
+}
+
+// TestRejectedMutationsSkipGeneration: a flush after nothing but rejected
+// mutations must not publish a new generation (the snapshot is already
+// exact), but must clear the pending counter.
+func TestRejectedMutationsSkipGeneration(t *testing.T) {
+	s := openTestStore(t, Config{Grid: testGrid(), Algo: AlgoSEuler, Seed: seedRects(50),
+		RebuildEvery: -1})
+	gen := s.Generation()
+	outside := geom.NewRect(40, 40, 41, 41)
+	if ok, err := s.Insert(outside); err != nil || ok {
+		t.Fatalf("Insert outside the space = (%v, %v), want rejected", ok, err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Generation(); got != gen {
+		t.Fatalf("generation advanced to %d after rejected-only mutations, want %d", got, gen)
+	}
+	if p := s.Status().Pending; p != 0 {
+		t.Fatalf("pending = %d after flush, want 0", p)
+	}
+}
+
+// TestLeaseListBounded: unpinned Snapshot calls leak generations, which
+// must be dropped from the arena rather than accumulate.
+func TestLeaseListBounded(t *testing.T) {
+	s := openTestStore(t, Config{Grid: testGrid(), Algo: AlgoSEuler, Seed: seedRects(100),
+		RebuildEvery: -1, RebuildCrossover: -1})
+	r := rand.New(rand.NewSource(17))
+	for round := 0; round < 3*maxLeases; round++ {
+		s.Snapshot() // leak every generation
+		if _, err := s.Insert(randRect(r)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.rebuildMu.Lock()
+	defer s.rebuildMu.Unlock()
+	for i, leases := range s.arena.parts {
+		if len(leases) > maxLeases {
+			t.Fatalf("partition %d retains %d leases, want ≤ %d", i, len(leases), maxLeases)
+		}
+	}
+}
+
+// TestRebuildTelemetry checks the new rebuild series: localized churn on a
+// store publishes incrementally and records its dirty fraction.
+func TestRebuildTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := openTestStore(t, Config{Grid: testGrid(), Algo: AlgoSEuler, Seed: seedRects(200),
+		RebuildEvery: -1, RebuildCrossover: -1, Telemetry: reg})
+	r := rand.New(rand.NewSource(19))
+	for k := 0; k < 10; k++ {
+		if _, err := s.Insert(randRect(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("live_rebuild_incremental_total", "").Value(); got < 1 {
+		t.Fatalf("live_rebuild_incremental_total = %d, want ≥ 1", got)
+	}
+	// Open's first publish is a cold full build.
+	if got := reg.Counter("live_rebuild_full_total", "").Value(); got != 1 {
+		t.Fatalf("live_rebuild_full_total = %d, want 1", got)
+	}
+	if snap := reg.FamilySnapshot("live_rebuild_dirty_frac"); snap.Count < 2 {
+		t.Fatalf("live_rebuild_dirty_frac count = %d, want ≥ 2", snap.Count)
+	}
+}
+
+// TestConcurrentPinnedBrowse hammers pins, mutations and rebuilds together;
+// run under -race this is the memory-safety gate for buffer recycling.
+func TestConcurrentPinnedBrowse(t *testing.T) {
+	s := openTestStore(t, Config{Grid: testGrid(), Algo: AlgoMEuler, Areas: []float64{1, 9, 40},
+		Seed: seedRects(200), RebuildEvery: 4, RebuildCrossover: -1})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			q := grid.Span{I1: 1, J1: 1, I2: 12, J2: 9}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				est, _, release := s.AcquireEstimator()
+				_ = est.Estimate(q)
+				_ = r
+				release()
+			}
+		}(int64(100 + w))
+	}
+	r := rand.New(rand.NewSource(23))
+	for k := 0; k < 400; k++ {
+		var err error
+		if k%3 == 0 {
+			_, err = s.Update(randRect(r), randRect(r))
+		} else {
+			_, err = s.Insert(randRect(r))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -110,6 +110,10 @@ type Config struct {
 	// Flush/Checkpoint/Close (fastest; a crash may lose buffered records —
 	// never corrupt the store). 1 makes every mutation durable.
 	SyncEvery int
+	// RebuildCrossover is the repair-cost fraction above which a rebuild
+	// falls back to a full cumulative pass instead of dirty-region repair.
+	// 0 means euler.DefaultCrossover; negative always repairs.
+	RebuildCrossover float64
 	// Telemetry receives the store's metrics; nil means telemetry.Default().
 	Telemetry *telemetry.Registry
 }
@@ -164,6 +168,14 @@ type Snapshot struct {
 	Mutations int64
 	// BuiltAt is when the generation was published.
 	BuiltAt time.Time
+
+	// refs pins the generation's histogram buffers against arena reuse:
+	// initialized to 1 (the published ref, dropped on retirement), raised
+	// by pinned readers, terminal at 0. leaked marks that the snapshot
+	// escaped through an unpinned accessor, disqualifying its buffers from
+	// reuse forever.
+	refs   atomic.Int64
+	leaked atomic.Bool
 }
 
 // Store is a WAL-backed mutable histogram store with generational
@@ -179,6 +191,8 @@ type Store struct {
 	closed   bool
 
 	rebuildMu sync.Mutex // serializes rebuilds so generations publish in order
+	lastHists []*euler.Histogram
+	arena     *genArena
 	snap      atomic.Pointer[Snapshot]
 	gen       atomic.Uint64
 	pending   atomic.Int64 // mutations applied since the last rebuild
@@ -202,11 +216,13 @@ func Open(cfg Config) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{
-		cfg:    cfg,
-		header: encodeHeader(uint8(cfg.Algo), cfg.Grid, cfg.Areas),
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
-		m:      newMetrics(cfg.Telemetry),
+		cfg:       cfg,
+		header:    encodeHeader(uint8(cfg.Algo), cfg.Grid, cfg.Areas),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		m:         newMetrics(cfg.Telemetry),
+		lastHists: make([]*euler.Histogram, cfg.groups()),
+		arena:     newGenArena(cfg.groups()),
 	}
 
 	var walOff int64
@@ -379,18 +395,68 @@ func (s *Store) route(r geom.Rect) (*euler.Builder, bool) {
 }
 
 // rebuild finalizes the builders into a new generation and publishes it.
+// Each partition goes through euler.BuildFrom against the last published
+// histogram: untouched partitions are shared by pointer, touched ones are
+// repaired in place on a recycled buffer from the arena (or a clone when
+// none is free), and only past the crossover fraction does a partition pay
+// a full cumulative pass. When every partition is untouched the current
+// snapshot already represents the store and no new generation is
+// published.
 func (s *Store) rebuild() {
 	s.rebuildMu.Lock()
 	defer s.rebuildMu.Unlock()
 	start := time.Now()
 
-	s.mu.Lock()
+	lattice := (2*s.cfg.Grid.NX() - 1) * (2*s.cfg.Grid.NY() - 1)
 	hists := make([]*euler.Histogram, len(s.builders))
+	dmg := make([]euler.DirtyRegion, len(s.builders))
+	incremental := true
+	var dirtyArea float64
+
+	s.mu.Lock()
 	for i, b := range s.builders {
-		hists[i] = b.Build()
+		prev := s.lastHists[i]
+		if prev != nil && b.Dirty().Empty() {
+			hists[i] = prev
+			dmg[i] = euler.EmptyRegion()
+			continue
+		}
+		opts := euler.BuildFromOpts{
+			Crossover: s.cfg.RebuildCrossover,
+			Workers:   euler.AutoWorkers(lattice, int(b.Count())),
+		}
+		if lease := s.arena.take(i); lease != nil {
+			opts.Scratch, opts.Stale = lease.hist, lease.stale
+		}
+		h, stats := b.BuildFrom(prev, opts)
+		hists[i] = h
+		dmg[i] = stats.Dirty
+		if !stats.Incremental {
+			incremental = false
+		}
+		dirtyArea += stats.DirtyFrac * float64(lattice)
 	}
 	applied := s.applied
 	s.mu.Unlock()
+
+	prevSnap := s.snap.Load()
+	changed := false
+	for i := range hists {
+		if hists[i] != s.lastHists[i] {
+			changed = true
+		}
+	}
+	if !changed && prevSnap != nil {
+		// Every mutation since the last publish was rejected or net-zero:
+		// the published snapshot is already exact. Skip the generation
+		// bump so browse caches stay warm.
+		s.pending.Store(0)
+		s.m.pendingG.Set(0)
+		s.m.rebuildIncremental.Inc()
+		s.m.dirtyFrac.Observe(0)
+		s.m.rebuilds.ObserveDuration(time.Since(start))
+		return
+	}
 
 	est := s.estimatorFor(hists)
 	snap := &Snapshot{
@@ -400,9 +466,34 @@ func (s *Store) rebuild() {
 		Mutations: applied,
 		BuiltAt:   time.Now(),
 	}
-	s.snap.Store(snap)
-	s.pending.Store(0)
+	snap.refs.Store(1) // the published ref, dropped at retirement
 
+	for i := range hists {
+		if hists[i] == s.lastHists[i] && s.lastHists[i] != nil {
+			s.arena.attach(i, hists[i], snap)
+			continue
+		}
+		// Everything retained for this partition now lags the published
+		// content by the repaired region; record that before tracking the
+		// new histogram (whose lag is empty).
+		s.arena.damage(i, dmg[i])
+		s.arena.track(i, hists[i], snap)
+		s.arena.prune(i)
+		s.lastHists[i] = hists[i]
+	}
+
+	old := s.snap.Swap(snap)
+	s.pending.Store(0)
+	if old != nil {
+		s.release(old)
+	}
+
+	if incremental {
+		s.m.rebuildIncremental.Inc()
+	} else {
+		s.m.rebuildFull.Inc()
+	}
+	s.m.dirtyFrac.Observe(dirtyArea / float64(lattice*len(s.builders)))
 	s.m.rebuilds.ObserveDuration(time.Since(start))
 	s.m.generation.Set(int64(snap.Gen))
 	s.m.objects.Set(snap.Count)
@@ -447,14 +538,26 @@ func (s *Store) rebuildLoop(every time.Duration) {
 }
 
 // Snapshot returns the current generation. It never blocks on writers.
-func (s *Store) Snapshot() *Snapshot { return s.snap.Load() }
+// The returned snapshot holds no pin, so its histogram buffers are marked
+// as escaped and excluded from generation recycling forever; readers that
+// can bound their use should prefer AcquireEstimator.
+func (s *Store) Snapshot() *Snapshot {
+	snap := s.acquireSnapshot()
+	snap.leaked.Store(true)
+	s.release(snap)
+	return snap
+}
 
 // CurrentEstimator returns the current generation's estimator and number,
 // the geobrowse.EstimatorSource contract: browse caches tag their keys
 // with the generation so a snapshot swap invalidates exactly the stale
-// entries.
+// entries. Like Snapshot, the estimator escapes unpinned and its buffers
+// are withdrawn from recycling; bounded readers should use
+// AcquireEstimator.
 func (s *Store) CurrentEstimator() (core.Estimator, uint64) {
-	snap := s.snap.Load()
+	snap := s.acquireSnapshot()
+	snap.leaked.Store(true)
+	s.release(snap)
 	return snap.Est, snap.Gen
 }
 
@@ -493,7 +596,8 @@ type Status struct {
 // Status reports the store's current generation, staleness and journal
 // size.
 func (s *Store) Status() Status {
-	snap := s.snap.Load()
+	snap := s.acquireSnapshot()
+	defer s.release(snap)
 	s.mu.Lock()
 	var live int64
 	for _, b := range s.builders {

@@ -12,6 +12,9 @@ import "spatialhist/internal/telemetry"
 //	live_wal_bytes_total            journal bytes written (incl. header)
 //	live_wal_torn_tails_total       torn/corrupt tails truncated at open
 //	live_rebuild_seconds            snapshot rebuild latency histogram
+//	live_rebuild_incremental_total  publishes served by dirty-region repair
+//	live_rebuild_full_total         publishes that paid a full cumulative pass
+//	live_rebuild_dirty_frac         dirty lattice fraction per publish
 //	live_generation                 current published generation
 //	live_store_objects              objects in the current snapshot
 //	live_pending_mutations          mutations not yet in a snapshot
@@ -22,6 +25,9 @@ type metrics struct {
 	walBytes                  *telemetry.Counter
 	tornTails                 *telemetry.Counter
 	rebuilds                  *telemetry.Histogram
+	rebuildIncremental        *telemetry.Counter
+	rebuildFull               *telemetry.Counter
+	dirtyFrac                 *telemetry.Histogram
 	generation                *telemetry.Gauge
 	objects                   *telemetry.Gauge
 	pendingG                  *telemetry.Gauge
@@ -33,6 +39,12 @@ type metrics struct {
 var rebuildBuckets = []float64{
 	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
 	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// dirtyFracBuckets resolve the localized-workload range (≤10% dirty) finely
+// and the fallback range coarsely.
+var dirtyFracBuckets = []float64{
+	0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 0.75, 1,
 }
 
 func newMetrics(reg *telemetry.Registry) *metrics {
@@ -52,6 +64,13 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 			"Torn or corrupt WAL tails truncated during recovery."),
 		rebuilds: reg.Histogram("live_rebuild_seconds",
 			"Snapshot rebuild latency in seconds.", rebuildBuckets),
+		rebuildIncremental: reg.Counter("live_rebuild_incremental_total",
+			"Snapshot publishes served entirely by dirty-region repair (or sharing)."),
+		rebuildFull: reg.Counter("live_rebuild_full_total",
+			"Snapshot publishes where at least one partition paid a full cumulative pass."),
+		dirtyFrac: reg.Histogram("live_rebuild_dirty_frac",
+			"Dirty fraction of the lattice repaired per publish, averaged over partitions.",
+			dirtyFracBuckets),
 		generation: reg.Gauge("live_generation",
 			"Generation number of the published snapshot."),
 		objects: reg.Gauge("live_store_objects",

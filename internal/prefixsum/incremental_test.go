@@ -1,0 +1,146 @@
+package prefixsum
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randArray(rng *rand.Rand, n int) []int64 {
+	a := make([]int64, n)
+	for i := range a {
+		a[i] = int64(rng.Intn(21) - 10)
+	}
+	return a
+}
+
+func assertEqualSum2D(t *testing.T, want, got *Sum2D) {
+	t.Helper()
+	if want.nx != got.nx || want.ny != got.ny {
+		t.Fatalf("dimensions differ: %dx%d vs %dx%d", want.nx, want.ny, got.nx, got.ny)
+	}
+	for i, v := range want.p {
+		if got.p[i] != v {
+			t.Fatalf("prefix[%d] = %d, want %d", i, got.p[i], v)
+		}
+	}
+}
+
+func TestNewSum2DParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dim := range [][2]int{{1, 1}, {3, 7}, {64, 64}, {200, 350}, {513, 129}} {
+		nx, ny := dim[0], dim[1]
+		src := randArray(rng, nx*ny)
+		want := NewSum2D(src, nx, ny)
+		for _, workers := range []int{2, 3, 8} {
+			got := NewSum2DParallel(src, nx, ny, workers)
+			assertEqualSum2D(t, want, got)
+		}
+	}
+}
+
+func TestRebuildReusesBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	nx, ny := 300, 400
+	a := randArray(rng, nx*ny)
+	b := randArray(rng, nx*ny)
+	s := NewSum2D(a, nx, ny)
+	p0 := &s.p[0]
+	s.Rebuild(b, 4)
+	if &s.p[0] != p0 {
+		t.Fatal("Rebuild reallocated the prefix buffer")
+	}
+	assertEqualSum2D(t, NewSum2D(b, nx, ny), s)
+}
+
+func TestAddRegionDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		nx := 1 + rng.Intn(40)
+		ny := 1 + rng.Intn(40)
+		src := randArray(rng, nx*ny)
+		s := NewSum2D(src, nx, ny)
+
+		u1 := rng.Intn(nx)
+		u2 := u1 + rng.Intn(nx-u1)
+		v1 := rng.Intn(ny)
+		v2 := v1 + rng.Intn(ny-v1)
+		bw := v2 - v1 + 1
+		delta := make([]int64, (u2-u1+1)*bw)
+		balanced := trial%2 == 0 // exercise both the c==0 and c!=0 paths
+		var total int64
+		for i := range delta {
+			d := int64(rng.Intn(9) - 4)
+			delta[i] = d
+			total += d
+		}
+		if balanced && len(delta) > 1 {
+			delta[len(delta)-1] -= total
+		}
+		for u := u1; u <= u2; u++ {
+			for v := v1; v <= v2; v++ {
+				src[u*ny+v] += delta[(u-u1)*bw+(v-v1)]
+			}
+		}
+		s.AddRegionDelta(u1, v1, u2, v2, delta)
+		assertEqualSum2D(t, NewSum2D(src, nx, ny), s)
+	}
+}
+
+func TestAddRegionDeltaPanicsOutsideArray(t *testing.T) {
+	s := NewSum2D(make([]int64, 12), 3, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range box")
+		}
+	}()
+	s.AddRegionDelta(0, 0, 3, 0, make([]int64, 4))
+}
+
+func TestTiled2DMatchesSum2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, dim := range [][2]int{{1, 1}, {5, 9}, {64, 64}, {130, 70}, {200, 257}} {
+		nx, ny := dim[0], dim[1]
+		src := randArray(rng, nx*ny)
+		flat := NewSum2D(src, nx, ny)
+		for _, b := range []int{1, 7, 64} {
+			tiled := NewTiled2D(src, nx, ny, b)
+			if tiled.Total() != flat.Total() {
+				t.Fatalf("b=%d: Total = %d, want %d", b, tiled.Total(), flat.Total())
+			}
+			for trial := 0; trial < 200; trial++ {
+				i1, j1 := rng.Intn(nx)-1, rng.Intn(ny)-1
+				i2, j2 := i1+rng.Intn(nx), j1+rng.Intn(ny)
+				if got, want := tiled.RangeSum(i1, j1, i2, j2), flat.RangeSum(i1, j1, i2, j2); got != want {
+					t.Fatalf("b=%d: RangeSum(%d,%d,%d,%d) = %d, want %d", b, i1, j1, i2, j2, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTiled2DRebuildRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	nx, ny := 150, 190
+	src := randArray(rng, nx*ny)
+	tiled := NewTiled2D(src, nx, ny, 16)
+	for trial := 0; trial < 50; trial++ {
+		u1 := rng.Intn(nx)
+		u2 := u1 + rng.Intn(nx-u1)
+		v1 := rng.Intn(ny)
+		v2 := v1 + rng.Intn(ny-v1)
+		for u := u1; u <= u2; u++ {
+			for v := v1; v <= v2; v++ {
+				src[u*ny+v] += int64(rng.Intn(9) - 4)
+			}
+		}
+		tiled.RebuildRegion(src, u1, v1, u2, v2)
+		flat := NewSum2D(src, nx, ny)
+		for q := 0; q < 100; q++ {
+			i1, j1 := rng.Intn(nx)-1, rng.Intn(ny)-1
+			i2, j2 := i1+rng.Intn(nx), j1+rng.Intn(ny)
+			if got, want := tiled.RangeSum(i1, j1, i2, j2), flat.RangeSum(i1, j1, i2, j2); got != want {
+				t.Fatalf("trial %d: RangeSum(%d,%d,%d,%d) = %d, want %d", trial, i1, j1, i2, j2, got, want)
+			}
+		}
+	}
+}

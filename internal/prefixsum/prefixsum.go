@@ -9,7 +9,10 @@
 // points" exact alternative discussed in §2 of the paper.
 package prefixsum
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Sum2D is a 2-d prefix-sum array: P[i][j] = sum of src[0..i][0..j].
 // It answers inclusive rectangular range sums in constant time.
@@ -21,27 +24,173 @@ type Sum2D struct {
 // NewSum2D builds the prefix sums of an nx×ny row-major array. The source
 // slice must have exactly nx*ny entries.
 func NewSum2D(src []int64, nx, ny int) *Sum2D {
+	return NewSum2DParallel(src, nx, ny, 1)
+}
+
+// NewSum2DParallel builds the prefix sums of an nx×ny row-major array
+// fanning the two passes across up to workers goroutines. The result is
+// bit-identical to NewSum2D (integer addition commutes); workers <= 1 is
+// the serial path.
+func NewSum2DParallel(src []int64, nx, ny, workers int) *Sum2D {
 	if nx < 0 || ny < 0 || len(src) != nx*ny {
 		panic(fmt.Sprintf("prefixsum: source length %d does not match %dx%d", len(src), nx, ny))
 	}
-	p := make([]int64, nx*ny)
-	copy(p, src)
-	// Prefix along y within each row.
-	for i := 0; i < nx; i++ {
-		row := p[i*ny : (i+1)*ny]
-		for j := 1; j < ny; j++ {
+	s := &Sum2D{nx: nx, ny: ny, p: make([]int64, nx*ny)}
+	s.fill(src, workers)
+	return s
+}
+
+// Rebuild recomputes the prefix array in place from a fresh source of the
+// same dimensions, reusing the existing buffer — the full-rebuild path of
+// generation recycling, which must not allocate O(nx·ny) per publish.
+func (s *Sum2D) Rebuild(src []int64, workers int) {
+	if len(src) != len(s.p) {
+		panic(fmt.Sprintf("prefixsum: rebuild source length %d does not match %dx%d", len(src), s.nx, s.ny))
+	}
+	s.fill(src, workers)
+}
+
+// Clone returns an independent copy, the donor for copy-then-repair
+// incremental maintenance when no recycled buffer is available.
+func (s *Sum2D) Clone() *Sum2D {
+	p := make([]int64, len(s.p))
+	copy(p, s.p)
+	return &Sum2D{nx: s.nx, ny: s.ny, p: p}
+}
+
+// fill computes the two prefix passes over src into s.p. Pass one (prefix
+// along y) is independent per row; pass two (prefix along x) is
+// independent per column, so each parallelizes over disjoint chunks.
+func (s *Sum2D) fill(src []int64, workers int) {
+	nx, ny, p := s.nx, s.ny, s.p
+	if workers <= 1 || nx*ny < 1<<16 {
+		copy(p, src)
+		for i := 0; i < nx; i++ {
+			row := p[i*ny : (i+1)*ny]
+			for j := 1; j < ny; j++ {
+				row[j] += row[j-1]
+			}
+		}
+		for i := 1; i < nx; i++ {
+			prev := p[(i-1)*ny : i*ny]
+			row := p[i*ny : (i+1)*ny]
+			for j := 0; j < ny; j++ {
+				row[j] += prev[j]
+			}
+		}
+		return
+	}
+	fanChunks(nx, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := p[i*ny : (i+1)*ny]
+			copy(row, src[i*ny:(i+1)*ny])
+			for j := 1; j < ny; j++ {
+				row[j] += row[j-1]
+			}
+		}
+	})
+	fanChunks(ny, workers, func(jlo, jhi int) {
+		for i := 1; i < nx; i++ {
+			prev := p[(i-1)*ny : i*ny]
+			row := p[i*ny : (i+1)*ny]
+			for j := jlo; j < jhi; j++ {
+				row[j] += prev[j]
+			}
+		}
+	})
+}
+
+// fanChunks splits [0, n) into up to workers contiguous chunks and runs fn
+// on each concurrently.
+func fanChunks(n, workers int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// AddRegionDelta repairs the prefix array in place after the source
+// changed only inside the inclusive box [u1..u2]×[v1..v2]. delta is the
+// row-major (u2−u1+1)×(v2−v1+1) array of per-cell source changes (new −
+// old); it is consumed (overwritten with its own 2-d prefix).
+//
+// The repair exploits the structure of the prefix delta ΔP: inside the box
+// it is the local 2-d prefix of delta; below the box it is constant per
+// column (the box column totals); right of the box it is constant per row;
+// and in the lower-right quadrant it is one constant c = the box total.
+// Cost is O(box + strips) plus — only when c ≠ 0, i.e. the source total
+// changed — a single-constant add over the quadrant. For churn whose
+// inserts and deletes balance (the common live-update shape) c is zero and
+// the quadrant is untouched, which is what makes repair cost track the
+// dirty region instead of the array size.
+func (s *Sum2D) AddRegionDelta(u1, v1, u2, v2 int, delta []int64) {
+	if u1 < 0 || v1 < 0 || u1 > u2 || v1 > v2 || u2 >= s.nx || v2 >= s.ny {
+		panic(fmt.Sprintf("prefixsum: delta box [%d..%d]x[%d..%d] outside %dx%d", u1, u2, v1, v2, s.nx, s.ny))
+	}
+	bw := v2 - v1 + 1
+	bh := u2 - u1 + 1
+	if len(delta) != bh*bw {
+		panic(fmt.Sprintf("prefixsum: delta length %d does not match %dx%d box", len(delta), bh, bw))
+	}
+	// In-place local 2-d prefix of the delta box.
+	for i := 0; i < bh; i++ {
+		row := delta[i*bw : (i+1)*bw]
+		for j := 1; j < bw; j++ {
 			row[j] += row[j-1]
 		}
-	}
-	// Prefix along x across rows.
-	for i := 1; i < nx; i++ {
-		prev := p[(i-1)*ny : i*ny]
-		row := p[i*ny : (i+1)*ny]
-		for j := 0; j < ny; j++ {
-			row[j] += prev[j]
+		if i > 0 {
+			prev := delta[(i-1)*bw : i*bw]
+			for j, v := range prev {
+				row[j] += v
+			}
 		}
 	}
-	return &Sum2D{nx: nx, ny: ny, p: p}
+	// Box rows: local prefix inside the box, then the row's box total over
+	// the tail to the right edge.
+	for u := u1; u <= u2; u++ {
+		drow := delta[(u-u1)*bw : (u-u1+1)*bw]
+		prow := s.p[u*s.ny : (u+1)*s.ny]
+		for j, v := range drow {
+			prow[v1+j] += v
+		}
+		if tail := drow[bw-1]; tail != 0 {
+			for v := v2 + 1; v < s.ny; v++ {
+				prow[v] += tail
+			}
+		}
+	}
+	// Rows below the box: the box column totals, then the box total c over
+	// the quadrant (skipped entirely when the source total is unchanged).
+	colDelta := delta[(bh-1)*bw : bh*bw]
+	c := colDelta[bw-1]
+	for u := u2 + 1; u < s.nx; u++ {
+		prow := s.p[u*s.ny : (u+1)*s.ny]
+		for j, v := range colDelta {
+			prow[v1+j] += v
+		}
+		if c != 0 {
+			for v := v2 + 1; v < s.ny; v++ {
+				prow[v] += c
+			}
+		}
+	}
 }
 
 // NX returns the first dimension size.

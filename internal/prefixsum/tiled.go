@@ -1,0 +1,175 @@
+package prefixsum
+
+import "fmt"
+
+// Tiled2D is a blocked cumulative layout in the spirit of the relative
+// prefix sums of Geffner et al. and the blocked variants surveyed in
+// [HAMS97] follow-ups: the array is cut into b×b tiles, each tile stores
+// its local 2-d prefix, and two thin aggregate arrays (per-tile-row column
+// strips and per-row tile prefixes) bridge tiles. A prefix lookup is three
+// reads instead of one, but a localized source change only rewrites the
+// dirty tiles plus O(size/b) aggregate entries, so maintenance cost is
+// O(dirty blocks) rather than O(array).
+//
+// It exists as the benchmark alternative to Sum2D.AddRegionDelta; see
+// DESIGN.md for why the flat layout won the production slot.
+type Tiled2D struct {
+	nx, ny   int
+	b        int
+	nbx, nby int
+	local    []int64 // nx×ny: 2-d prefix of src within each tile
+	ta       []int64 // nbx×ny: sum of rows above tile-row bi, cols [0..j]
+	w        []int64 // nx×nby: sum of rows [tileTop..i], tile-cols left of bj
+}
+
+// DefaultTileSize is the tile edge used when NewTiled2D is given a
+// non-positive block size: big enough that the aggregate arrays are ~1.5%
+// of the payload, small enough that a dirty tile rewrite stays in cache.
+const DefaultTileSize = 64
+
+// NewTiled2D builds the tiled cumulative form of an nx×ny row-major array
+// with b×b tiles.
+func NewTiled2D(src []int64, nx, ny, b int) *Tiled2D {
+	if nx < 0 || ny < 0 || len(src) != nx*ny {
+		panic(fmt.Sprintf("prefixsum: source length %d does not match %dx%d", len(src), nx, ny))
+	}
+	if b <= 0 {
+		b = DefaultTileSize
+	}
+	t := &Tiled2D{
+		nx: nx, ny: ny, b: b,
+		nbx: (nx + b - 1) / b,
+		nby: (ny + b - 1) / b,
+	}
+	t.local = make([]int64, nx*ny)
+	t.ta = make([]int64, t.nbx*ny)
+	t.w = make([]int64, nx*t.nby)
+	for bi := 0; bi < t.nbx; bi++ {
+		for bj := 0; bj < t.nby; bj++ {
+			t.rebuildTile(src, bi, bj)
+		}
+	}
+	t.rebuildW(0, nx-1)
+	t.rebuildTA(1)
+	return t
+}
+
+// rebuildTile recomputes the local 2-d prefix of tile (bi, bj) from src.
+func (t *Tiled2D) rebuildTile(src []int64, bi, bj int) {
+	i1, i2 := bi*t.b, min((bi+1)*t.b, t.nx)
+	j1, j2 := bj*t.b, min((bj+1)*t.b, t.ny)
+	for i := i1; i < i2; i++ {
+		row := t.local[i*t.ny : (i+1)*t.ny]
+		srow := src[i*t.ny : (i+1)*t.ny]
+		var acc int64
+		for j := j1; j < j2; j++ {
+			acc += srow[j]
+			row[j] = acc
+			if i > i1 {
+				row[j] += t.local[(i-1)*t.ny+j]
+			}
+		}
+	}
+}
+
+// rebuildW recomputes the per-row tile prefixes for rows [i1..i2].
+func (t *Tiled2D) rebuildW(i1, i2 int) {
+	for i := i1; i <= i2; i++ {
+		wrow := t.w[i*t.nby : (i+1)*t.nby]
+		wrow[0] = 0
+		for bj := 1; bj < t.nby; bj++ {
+			lastCol := min(bj*t.b, t.ny) - 1
+			wrow[bj] = wrow[bj-1] + t.local[i*t.ny+lastCol]
+		}
+	}
+}
+
+// rebuildTA recomputes the above-tile-row strips for tile-rows [from..nbx).
+// Tile-row 0 has nothing above it and stays zero.
+func (t *Tiled2D) rebuildTA(from int) {
+	if from < 1 {
+		from = 1
+	}
+	for bi := from; bi < t.nbx; bi++ {
+		last := min(bi*t.b, t.nx) - 1 // bottom row of tile-row bi−1
+		prev := t.ta[(bi-1)*t.ny : bi*t.ny]
+		cur := t.ta[bi*t.ny : (bi+1)*t.ny]
+		var acc int64 // full-tile column totals of tile-row bi−1, left of j's tile
+		for j := 0; j < t.ny; j++ {
+			strip := acc + t.local[last*t.ny+j]
+			cur[j] = prev[j] + strip
+			if j%t.b == t.b-1 {
+				acc = strip
+			}
+		}
+	}
+}
+
+// RebuildRegion repairs the cumulative form after src changed only inside
+// the inclusive box [u1..u2]×[v1..v2]: dirty tiles are recomputed in full,
+// the w rows of the dirty tile-rows are refreshed, and the ta strips below
+// the first dirty tile-row are re-derived from tile bottoms — O(dirty
+// tiles · b² + size/b) total.
+func (t *Tiled2D) RebuildRegion(src []int64, u1, v1, u2, v2 int) {
+	if u1 < 0 || v1 < 0 || u1 > u2 || v1 > v2 || u2 >= t.nx || v2 >= t.ny {
+		panic(fmt.Sprintf("prefixsum: rebuild box [%d..%d]x[%d..%d] outside %dx%d", u1, u2, v1, v2, t.nx, t.ny))
+	}
+	if len(src) != t.nx*t.ny {
+		panic("prefixsum: rebuild source length mismatch")
+	}
+	bi1, bi2 := u1/t.b, u2/t.b
+	bj1, bj2 := v1/t.b, v2/t.b
+	for bi := bi1; bi <= bi2; bi++ {
+		for bj := bj1; bj <= bj2; bj++ {
+			t.rebuildTile(src, bi, bj)
+		}
+	}
+	t.rebuildW(bi1*t.b, min((bi2+1)*t.b, t.nx)-1)
+	t.rebuildTA(bi1 + 1)
+}
+
+// NX returns the first dimension size.
+func (t *Tiled2D) NX() int { return t.nx }
+
+// NY returns the second dimension size.
+func (t *Tiled2D) NY() int { return t.ny }
+
+// Total returns the sum of the whole array.
+func (t *Tiled2D) Total() int64 { return t.PrefixAt(t.nx-1, t.ny-1) }
+
+// PrefixAt returns P(i, j) = Σ src[0..i][0..j] with Sum2D.PrefixAt's
+// boundary conventions: negative coordinates yield 0, overshoot clamps.
+func (t *Tiled2D) PrefixAt(i, j int) int64 {
+	if i < 0 || j < 0 {
+		return 0
+	}
+	if i >= t.nx {
+		i = t.nx - 1
+	}
+	if j >= t.ny {
+		j = t.ny - 1
+	}
+	bi, bj := i/t.b, j/t.b
+	return t.ta[bi*t.ny+j] + t.w[i*t.nby+bj] + t.local[i*t.ny+j]
+}
+
+// RangeSum returns the sum of src over the inclusive range
+// [i1..i2]×[j1..j2], clamped like Sum2D.RangeSum.
+func (t *Tiled2D) RangeSum(i1, j1, i2, j2 int) int64 {
+	if i1 < 0 {
+		i1 = 0
+	}
+	if j1 < 0 {
+		j1 = 0
+	}
+	if i2 >= t.nx {
+		i2 = t.nx - 1
+	}
+	if j2 >= t.ny {
+		j2 = t.ny - 1
+	}
+	if i1 > i2 || j1 > j2 {
+		return 0
+	}
+	return t.PrefixAt(i2, j2) - t.PrefixAt(i1-1, j2) - t.PrefixAt(i2, j1-1) + t.PrefixAt(i1-1, j1-1)
+}
