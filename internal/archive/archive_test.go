@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"spatialhist/internal/check/gen"
 	"spatialhist/internal/exact"
 	"spatialhist/internal/geom"
 	"spatialhist/internal/grid"
@@ -150,7 +151,7 @@ func TestFilteredBrowseMatchesBrute(t *testing.T) {
 		if n != int64(len(matching)) {
 			t.Fatalf("filter %d: MatchCount = %d, want %d", fi, n, len(matching))
 		}
-		tiles := tilesOf(region, 8, 4)
+		tiles := gen.Tiles(region, 8, 4)
 		for k, tile := range tiles {
 			want := exact.EvaluateQuery(matching, tile)
 			e := got[k]
@@ -191,20 +192,6 @@ func matchBrute(s Schema, f Filter, rec Record) bool {
 	lo := int((f.DateFrom - s.DateLo) / w)
 	hi := int((f.DateTo-s.DateLo)/w) - 1
 	return band >= lo && band <= hi
-}
-
-func tilesOf(region grid.Span, cols, rows int) []grid.Span {
-	tw := region.Width() / cols
-	th := region.Height() / rows
-	out := make([]grid.Span, 0, cols*rows)
-	for row := 0; row < rows; row++ {
-		for col := 0; col < cols; col++ {
-			i1 := region.I1 + col*tw
-			j1 := region.J1 + row*th
-			out = append(out, grid.Span{I1: i1, J1: j1, I2: i1 + tw - 1, J2: j1 + th - 1})
-		}
-	}
-	return out
 }
 
 func TestFilterValidation(t *testing.T) {

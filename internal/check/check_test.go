@@ -1,0 +1,156 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"spatialhist/internal/euler"
+	"spatialhist/internal/geom"
+	"spatialhist/internal/grid"
+)
+
+// TestAllChecksClean is the harness's own short soak: every oracle,
+// metamorphic property and failpoint check must come back clean on the
+// canonical seed. cmd/checker runs the same suites for a time budget.
+func TestAllChecksClean(t *testing.T) {
+	rounds := 3
+	if testing.Short() {
+		rounds = 1
+	}
+	for _, c := range All() {
+		c := c
+		t.Run(string(c.Kind)+"/"+c.Name, func(t *testing.T) {
+			if d := Run(c, 2002, rounds); d != nil {
+				t.Fatalf("divergence:\n%s", d)
+			}
+		})
+	}
+}
+
+func TestNamed(t *testing.T) {
+	for _, c := range All() {
+		got, ok := Named(c.Name)
+		if !ok || got.Name != c.Name {
+			t.Fatalf("Named(%q) = %q, %v", c.Name, got.Name, ok)
+		}
+		if c.Doc == "" {
+			t.Fatalf("check %q has no doc line", c.Name)
+		}
+	}
+	if _, ok := Named("no-such-check"); ok {
+		t.Fatal("Named accepted an unknown name")
+	}
+}
+
+func TestRoundSeedsDiffer(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 100; i++ {
+		s := RoundSeed(2002, i)
+		if seen[s] {
+			t.Fatalf("round %d reuses seed %d", i, s)
+		}
+		seen[s] = true
+	}
+	if RoundSeed(2002, 5) != RoundSeed(2002, 5) {
+		t.Fatal("RoundSeed is not deterministic")
+	}
+}
+
+func TestShrinkSlice(t *testing.T) {
+	items := []int{9, 3, 1, 4, 7, 2, 8, 5, 6, 0}
+	// The failure needs both 3 and 7; everything else is noise.
+	pred := func(s []int) bool {
+		has := map[int]bool{}
+		for _, v := range s {
+			has[v] = true
+		}
+		return has[3] && has[7]
+	}
+	got := shrinkSlice(items, 1000, pred)
+	if len(got) != 2 || !pred(got) {
+		t.Fatalf("shrinkSlice kept %v, want exactly {3, 7}", got)
+	}
+}
+
+func TestShrinkSliceRespectsBudget(t *testing.T) {
+	evals := 0
+	shrinkSlice(make([]int, 64), 10, func(s []int) bool {
+		evals++
+		return len(s) > 0
+	})
+	if evals > 10 {
+		t.Fatalf("shrinkSlice ran %d evaluations, budget was 10", evals)
+	}
+}
+
+func TestShrinkSpan(t *testing.T) {
+	q := grid.Span{I1: 0, J1: 0, I2: 15, J2: 15}
+	// The failure needs only cell (4, 5).
+	got := shrinkSpan(q, func(s grid.Span) bool {
+		return s.I1 <= 4 && 4 <= s.I2 && s.J1 <= 5 && 5 <= s.J2
+	})
+	want := grid.Span{I1: 4, J1: 5, I2: 4, J2: 5}
+	if got != want {
+		t.Fatalf("shrinkSpan = %v, want %v", got, want)
+	}
+}
+
+// TestMinimizeProducesMinimalCounterexample drives minimize with a synthetic
+// defect — the comparison "fails" whenever a designated rect is present and
+// the query touches cell (2, 2) — and expects the report to name exactly
+// that rect and that cell.
+func TestMinimizeProducesMinimalCounterexample(t *testing.T) {
+	g := grid.NewUnit(8, 8)
+	culprit := geom.NewRect(2.2, 2.2, 2.8, 2.8)
+	rects := []geom.Rect{
+		geom.NewRect(0, 0, 1, 1),
+		culprit,
+		geom.NewRect(5, 5, 7, 7),
+		geom.NewRect(1, 6, 3, 7),
+	}
+	diverges := func(rs []geom.Rect, q grid.Span) (string, string, bool) {
+		for _, r := range rs {
+			if r == culprit && q.I1 <= 2 && 2 <= q.I2 && q.J1 <= 2 && 2 <= q.J2 {
+				return "broken", "fine", true
+			}
+		}
+		return "", "", false
+	}
+	d := minimize("synthetic", "injected defect", 42, g, rects, grid.Span{I2: 7, J2: 7}, diverges)
+	if len(d.Rects) != 1 || d.Rects[0] != culprit {
+		t.Fatalf("minimized rects = %v, want just the culprit", d.Rects)
+	}
+	if want := (grid.Span{I1: 2, J1: 2, I2: 2, J2: 2}); *d.Query != want {
+		t.Fatalf("minimized query = %v, want %v", *d.Query, want)
+	}
+	if d.Seed != 42 || d.Got != "broken" || d.Want != "fine" {
+		t.Fatalf("divergence fields not propagated: %+v", d)
+	}
+	s := d.String()
+	for _, frag := range []string{"synthetic", "seed 42", "injected defect", "broken", "fine"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("String() missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+// TestHistDiffDetects exercises the bit-identity comparator the incremental
+// oracle relies on: identical histograms pass, a single differing object
+// fails.
+func TestHistDiffDetects(t *testing.T) {
+	g := grid.NewUnit(6, 6)
+	mk := func(extra bool) *euler.Histogram {
+		rs := []geom.Rect{geom.NewRect(0.5, 0.5, 2.5, 2.5), geom.NewRect(3, 1, 5, 4)}
+		if extra {
+			rs = append(rs, geom.NewRect(1, 4, 2, 5))
+		}
+		return euler.FromRects(g, rs)
+	}
+	probes := []grid.Span{{I2: 5, J2: 5}, {I1: 1, J1: 1, I2: 3, J2: 4}}
+	if got, want, bad := histDiff(mk(false), mk(false), probes); bad {
+		t.Fatalf("identical histograms reported different: got %s want %s", got, want)
+	}
+	if _, _, bad := histDiff(mk(true), mk(false), probes); !bad {
+		t.Fatal("histDiff missed a one-object difference")
+	}
+}

@@ -1,0 +1,202 @@
+// Package failpoint is a deterministic fault-injection facility for
+// crash-recovery testing. Production code marks its fault-prone sites —
+// WAL writes, fsyncs, checkpoint writes — with Check calls or Wrap'd
+// writers under stable string names; tests and the cmd/checker soak driver
+// arm those sites to fail on demand:
+//
+//   - SetError(name, err) makes every Check(name) and every write through
+//     Wrap(name, w) fail with err.
+//   - SetWriteBudget(name, n) lets n more bytes through the named writer,
+//     persists only the prefix of the write that crosses the budget, and
+//     fails that write and every later one — a process crash at an
+//     arbitrary byte boundary, chosen by the test instead of by luck.
+//
+// When the facility is inactive (the default), every site is a single
+// atomic load: the hooks are compiled into production binaries but cost
+// nothing measurable. The facility activates programmatically (Set* arms
+// it) or via the SPATIALHIST_FAILPOINTS=1 environment variable, so a soak
+// binary can be driven externally without code changes.
+//
+// All functions are safe for concurrent use. Armed points are global to
+// the process; tests that arm them must not run in parallel with each
+// other and should defer Reset.
+package failpoint
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrInjected is the base error of every injected failure; sites and tests
+// match it with errors.Is.
+var ErrInjected = errors.New("failpoint: injected failure")
+
+var active atomic.Bool
+
+func init() {
+	if os.Getenv("SPATIALHIST_FAILPOINTS") == "1" {
+		active.Store(true)
+	}
+}
+
+// Active reports whether the facility is armed at all. Sites use it as
+// their fast path; callers can use it to gate test-only diagnostics.
+func Active() bool { return active.Load() }
+
+type mode uint8
+
+const (
+	modeError mode = iota + 1
+	modeBudget
+)
+
+// point is one armed site.
+type point struct {
+	mu      sync.Mutex
+	mode    mode
+	err     error
+	budget  int64 // modeBudget: bytes still allowed through
+	tripped bool  // modeBudget: budget crossed, all writes fail
+	hits    int64
+}
+
+var (
+	mu     sync.Mutex
+	points = map[string]*point{}
+)
+
+// SetError arms name: Check(name) and every write through Wrap(name, ...)
+// return err until the point is cleared. A nil err arms ErrInjected.
+// Arming a point activates the facility.
+func SetError(name string, err error) {
+	if err == nil {
+		err = ErrInjected
+	}
+	set(name, &point{mode: modeError, err: err})
+}
+
+// SetWriteBudget arms name as a byte-boundary crash: the next n bytes
+// written through Wrap(name, ...) reach the underlying writer, the write
+// that crosses the budget persists only its prefix and fails with
+// ErrInjected, and every subsequent write fails without touching the
+// writer — exactly what a process death mid-write leaves on disk.
+// Arming a point activates the facility.
+func SetWriteBudget(name string, n int64) {
+	if n < 0 {
+		n = 0
+	}
+	set(name, &point{mode: modeBudget, err: fmt.Errorf("%w: write budget exhausted at %q", ErrInjected, name), budget: n})
+}
+
+func set(name string, p *point) {
+	mu.Lock()
+	points[name] = p
+	mu.Unlock()
+	active.Store(true)
+}
+
+// Clear disarms one point. Other armed points stay active.
+func Clear(name string) {
+	mu.Lock()
+	delete(points, name)
+	mu.Unlock()
+}
+
+// Reset disarms every point and deactivates the facility (unless the
+// environment armed it). Tests defer this.
+func Reset() {
+	mu.Lock()
+	points = map[string]*point{}
+	mu.Unlock()
+	active.Store(os.Getenv("SPATIALHIST_FAILPOINTS") == "1")
+}
+
+// Hits reports how many times the named point has fired (injected a
+// failure), 0 when unarmed.
+func Hits(name string) int64 {
+	if p := lookup(name); p != nil {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return p.hits
+	}
+	return 0
+}
+
+func lookup(name string) *point {
+	mu.Lock()
+	defer mu.Unlock()
+	return points[name]
+}
+
+// Check consults an error-style failpoint: nil when the facility is
+// inactive or the point unarmed, the armed error otherwise.
+func Check(name string) error {
+	if !active.Load() {
+		return nil
+	}
+	p := lookup(name)
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.mode == modeError {
+		p.hits++
+		return p.err
+	}
+	return nil
+}
+
+// Wrap returns w with the named write failpoint applied. The wrapper
+// consults the registry on every write, so a point armed after the writer
+// was constructed (the usual order in crash tests: open the store, then
+// arm) still takes effect.
+func Wrap(name string, w io.Writer) io.Writer {
+	return &wrapped{name: name, w: w}
+}
+
+type wrapped struct {
+	name string
+	w    io.Writer
+}
+
+func (fw *wrapped) Write(p []byte) (int, error) {
+	if !active.Load() {
+		return fw.w.Write(p)
+	}
+	fp := lookup(fw.name)
+	if fp == nil {
+		return fw.w.Write(p)
+	}
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	switch fp.mode {
+	case modeError:
+		fp.hits++
+		return 0, fp.err
+	case modeBudget:
+		if fp.tripped {
+			return 0, fp.err
+		}
+		if int64(len(p)) <= fp.budget {
+			n, err := fw.w.Write(p)
+			fp.budget -= int64(n)
+			return n, err
+		}
+		// The write that crosses the budget: persist the prefix, then die.
+		allowed := fp.budget
+		fp.budget = 0
+		fp.tripped = true
+		fp.hits++
+		n, err := fw.w.Write(p[:allowed])
+		if err != nil {
+			return n, err
+		}
+		return n, fp.err
+	}
+	return fw.w.Write(p)
+}

@@ -1,0 +1,164 @@
+package failpoint
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestInactiveByDefault(t *testing.T) {
+	Reset()
+	if Active() {
+		t.Fatal("facility active with nothing armed")
+	}
+	if err := Check("anything"); err != nil {
+		t.Fatalf("Check on inactive facility returned %v", err)
+	}
+	var buf bytes.Buffer
+	w := Wrap("anything", &buf)
+	if _, err := w.Write([]byte("hello")); err != nil || buf.String() != "hello" {
+		t.Fatalf("inactive Wrap interfered: %q, %v", buf.String(), err)
+	}
+}
+
+func TestSetErrorAndCheck(t *testing.T) {
+	defer Reset()
+	custom := errors.New("boom")
+	SetError("site", custom)
+	if !Active() {
+		t.Fatal("arming a point did not activate the facility")
+	}
+	if err := Check("site"); !errors.Is(err, custom) {
+		t.Fatalf("Check = %v, want %v", err, custom)
+	}
+	if err := Check("other"); err != nil {
+		t.Fatalf("unarmed point returned %v", err)
+	}
+	if Hits("site") != 1 {
+		t.Fatalf("Hits = %d, want 1", Hits("site"))
+	}
+	Clear("site")
+	if err := Check("site"); err != nil {
+		t.Fatalf("cleared point still fails: %v", err)
+	}
+}
+
+func TestSetErrorNilDefaultsToErrInjected(t *testing.T) {
+	defer Reset()
+	SetError("site", nil)
+	if err := Check("site"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Check = %v, want ErrInjected", err)
+	}
+}
+
+func TestWrapErrorMode(t *testing.T) {
+	defer Reset()
+	var buf bytes.Buffer
+	w := Wrap("wsite", &buf)
+	// Armed after construction: the wrapper must still see it.
+	SetError("wsite", nil)
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write = %v, want ErrInjected", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("error-mode write leaked %d bytes", buf.Len())
+	}
+}
+
+// TestWriteBudgetCutsMidWrite is the core crash semantics: a budget of n
+// persists exactly n bytes — including the prefix of the write that
+// crosses the boundary — and everything after fails.
+func TestWriteBudgetCutsMidWrite(t *testing.T) {
+	defer Reset()
+	var buf bytes.Buffer
+	w := Wrap("bsite", &buf)
+	SetWriteBudget("bsite", 7)
+
+	if n, err := w.Write([]byte("abcd")); n != 4 || err != nil {
+		t.Fatalf("in-budget write = %d, %v", n, err)
+	}
+	// 3 bytes of budget left; this 5-byte write persists its 3-byte prefix
+	// and dies.
+	n, err := w.Write([]byte("efghi"))
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("crossing write = %d, %v; want 3, ErrInjected", n, err)
+	}
+	if got := buf.String(); got != "abcdefg" {
+		t.Fatalf("persisted %q, want the 7-byte prefix \"abcdefg\"", got)
+	}
+	// Tripped: nothing more reaches the writer.
+	if _, err := w.Write([]byte("zz")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-trip write = %v, want ErrInjected", err)
+	}
+	if buf.String() != "abcdefg" {
+		t.Fatalf("post-trip write leaked bytes: %q", buf.String())
+	}
+	if Hits("bsite") != 1 {
+		t.Fatalf("Hits = %d, want 1 (the trip)", Hits("bsite"))
+	}
+}
+
+func TestWriteBudgetExactBoundary(t *testing.T) {
+	defer Reset()
+	var buf bytes.Buffer
+	w := Wrap("bsite", &buf)
+	SetWriteBudget("bsite", 4)
+	if _, err := w.Write([]byte("abcd")); err != nil {
+		t.Fatalf("write filling the budget exactly failed: %v", err)
+	}
+	// Budget exhausted: the next write persists zero bytes.
+	if n, err := w.Write([]byte("e")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("write past exact boundary = %d, %v", n, err)
+	}
+	if buf.String() != "abcd" {
+		t.Fatalf("persisted %q, want \"abcd\"", buf.String())
+	}
+}
+
+func TestNegativeBudgetClampsToZero(t *testing.T) {
+	defer Reset()
+	var buf bytes.Buffer
+	w := Wrap("bsite", &buf)
+	SetWriteBudget("bsite", -5)
+	if n, err := w.Write([]byte("a")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("write = %d, %v; want immediate injected failure", n, err)
+	}
+}
+
+func TestResetDisarmsEverything(t *testing.T) {
+	SetError("a", nil)
+	SetWriteBudget("b", 0)
+	Reset()
+	if Active() {
+		t.Fatal("Reset left the facility active")
+	}
+	if err := Check("a"); err != nil {
+		t.Fatalf("point survived Reset: %v", err)
+	}
+}
+
+func TestEnvActivation(t *testing.T) {
+	t.Setenv("SPATIALHIST_FAILPOINTS", "1")
+	Reset() // re-reads the environment
+	if !Active() {
+		t.Fatal("SPATIALHIST_FAILPOINTS=1 did not keep the facility active through Reset")
+	}
+	t.Setenv("SPATIALHIST_FAILPOINTS", "")
+	Reset()
+	if Active() {
+		t.Fatal("facility still active after unsetting the environment")
+	}
+}
+
+// TestWrapForwardsFailpointFreeWriters makes sure the wrapper does not
+// change io semantics when armed points belong to other names.
+func TestWrapIgnoresForeignPoints(t *testing.T) {
+	defer Reset()
+	SetError("other", nil)
+	var buf bytes.Buffer
+	w := Wrap("mine", &buf)
+	if _, err := io.WriteString(w, "data"); err != nil || buf.String() != "data" {
+		t.Fatalf("foreign point affected this writer: %q, %v", buf.String(), err)
+	}
+}

@@ -1,0 +1,239 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spatialhist/internal/check/gen"
+	"spatialhist/internal/core"
+	"spatialhist/internal/exact"
+	"spatialhist/internal/geom"
+	"spatialhist/internal/grid"
+)
+
+// Metamorphic properties: relations between outputs on related inputs that
+// must hold exactly, independent of any ground-truth oracle.
+//
+//   - conservation: Equation 11's row sum — every estimator distributes
+//     exactly |S| objects over the four Level 2 counts, for every query.
+//   - translation: the histogram construction is equivariant under whole-
+//     cell translation, so translating dataset and query together changes
+//     nothing.
+//   - refinement: a browse map, a finer browse map of the same region and
+//     a sub-map of any single tile must all tell the same story about the
+//     same tile spans.
+//   - error collapse: §5.2's assumption boundary — as soon as queries are
+//     strictly larger than every object, no object can contain or cross
+//     them, and S-EulerApprox's error is exactly zero from then on
+//     (monotone in the query size: once collapsed, it stays collapsed).
+
+func runConservation(seed int64) *Divergence {
+	const name = "conservation"
+	r := gen.Rand(seed)
+	g := gen.Grid(r, 40, 40)
+	rects := gen.Rects(r, g, 40+r.Intn(300), gen.RectOpts{PointFrac: 0.15})
+
+	for _, me := range paperEstimators(r, g) {
+		est := me.mk(rects)
+		for _, q := range randQueries(r, g, 16) {
+			if e := est.Estimate(q); e.Total() != est.Count() {
+				return minimize(name, me.name+" leaks objects: the four counts do not sum to |S|", seed, g, rects, q,
+					conservationDiverge(me))
+			}
+		}
+		// Every tile of a browse map conserves too.
+		region, cols, rows := gen.Tiling(r, g)
+		tiles := gen.Tiles(region, cols, rows)
+		batch, err := core.EstimateGrid(est, region, cols, rows)
+		if err != nil {
+			return &Divergence{Check: name, Seed: seed, Grid: gridDesc(g),
+				Detail: fmt.Sprintf("%s rejected tiling %v %dx%d: %v", me.name, region, cols, rows, err)}
+		}
+		for k := range batch {
+			if batch[k].Total() != est.Count() {
+				me, k := me, k
+				return minimize(name, fmt.Sprintf("%s tile %d of a browse map leaks objects", me.name, k), seed, g, rects, tiles[k],
+					func(rs []geom.Rect, _ grid.Span) (string, string, bool) {
+						e := me.mk(rs)
+						b, err := core.EstimateGrid(e, region, cols, rows)
+						if err != nil {
+							return "", "", false
+						}
+						return fmt.Sprintf("%v Total=%d", b[k], b[k].Total()), fmt.Sprintf("|S|=%d", e.Count()), b[k].Total() != e.Count()
+					})
+			}
+		}
+	}
+	return nil
+}
+
+// eighth draws a coordinate on the 1/8-cell lattice of a unit grid. Dyadic
+// coordinates make whole-cell translation exact in floating point, so the
+// translation property can demand bit-identical estimates instead of
+// tolerances.
+func eighth(r *rand.Rand, maxEighths int) float64 {
+	return float64(r.Intn(maxEighths+1)) / 8
+}
+
+func runTranslation(seed int64) *Divergence {
+	const name = "translation"
+	r := gen.Rand(seed)
+	nx, ny := 8+r.Intn(25), 8+r.Intn(25)
+	g := grid.NewUnit(nx, ny)
+	dx, dy := 1+r.Intn(nx/2), 1+r.Intn(ny/2)
+
+	// Objects live in [1/8, nx-dx] x [1/8, ny-dy] so their translates by
+	// (dx, dy) stay inside the space. The 1/8 floor matters: a degenerate
+	// coordinate exactly on the space minimum snaps to cell 0 by the
+	// boundary convention of grid.Snap, while its translate on interior
+	// grid line dx snaps to cell dx-1 — the one documented spot where
+	// snapping is not translation-equivariant.
+	maxXe, maxYe := 8*(nx-dx), 8*(ny-dy)
+	n := 30 + r.Intn(200)
+	rects := make([]geom.Rect, n)
+	moved := make([]geom.Rect, n)
+	for i := range rects {
+		x1 := float64(1+r.Intn(maxXe-1)) / 8
+		y1 := float64(1+r.Intn(maxYe-1)) / 8
+		x2 := x1 + eighth(r, maxXe-int(x1*8))
+		y2 := y1 + eighth(r, maxYe-int(y1*8))
+		rects[i] = geom.NewRect(x1, y1, x2, y2)
+		moved[i] = geom.NewRect(x1+float64(dx), y1+float64(dy), x2+float64(dx), y2+float64(dy))
+	}
+
+	for _, me := range paperEstimators(r, g) {
+		base, shifted := me.mk(rects), me.mk(moved)
+		for i := 0; i < 12; i++ {
+			i1 := r.Intn(nx - dx)
+			j1 := r.Intn(ny - dy)
+			q := grid.Span{I1: i1, J1: j1, I2: i1 + r.Intn(nx-dx-i1), J2: j1 + r.Intn(ny-dy-j1)}
+			qt := grid.Span{I1: q.I1 + dx, J1: q.J1 + dy, I2: q.I2 + dx, J2: q.J2 + dy}
+			if got, want := shifted.Estimate(qt), base.Estimate(q); got != want {
+				qq := qt
+				return &Divergence{
+					Check: name, Seed: seed, Grid: gridDesc(g),
+					Detail: fmt.Sprintf("%s is not translation-equivariant: dataset and query moved by (%d,%d) cells changed the estimate of %v", me.name, dx, dy, q),
+					Rects:  rects, Query: &qq,
+					Got: got.String(), Want: want.String(),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func runRefinement(seed int64) *Divergence {
+	const name = "refinement"
+	r := gen.Rand(seed)
+	g := gen.Grid(r, 36, 36)
+	rects := gen.Rects(r, g, 40+r.Intn(250), gen.RectOpts{PointFrac: 0.1})
+
+	// A coarse cols x rows map whose tile dimensions are divisible by the
+	// refinement factors f1 x f2, so the finer map retiles it exactly.
+	// Sub-tile sizes are capped so even the smallest generated grids fit
+	// at least one coarse tile.
+	f1, f2 := 1+r.Intn(3), 1+r.Intn(3)
+	subTW := 1 + r.Intn(min(3, g.NX()/f1))
+	subTH := 1 + r.Intn(min(3, g.NY()/f2))
+	tw, th := f1*subTW, f2*subTH
+	cols := 1 + r.Intn(g.NX()/tw)
+	rows := 1 + r.Intn(g.NY()/th)
+	i1 := r.Intn(g.NX() - cols*tw + 1)
+	j1 := r.Intn(g.NY() - rows*th + 1)
+	region := grid.Span{I1: i1, J1: j1, I2: i1 + cols*tw - 1, J2: j1 + rows*th - 1}
+	tiles := gen.Tiles(region, cols, rows)
+
+	for _, me := range paperEstimators(r, g) {
+		est := me.mk(rects)
+		coarse, err := core.EstimateGrid(est, region, cols, rows)
+		if err != nil {
+			return &Divergence{Check: name, Seed: seed, Grid: gridDesc(g),
+				Detail: fmt.Sprintf("%s rejected coarse tiling %v %dx%d: %v", me.name, region, cols, rows, err)}
+		}
+		fine, err := core.EstimateGrid(est, region, cols*f1, rows*f2)
+		if err != nil {
+			return &Divergence{Check: name, Seed: seed, Grid: gridDesc(g),
+				Detail: fmt.Sprintf("%s rejected fine tiling %v %dx%d: %v", me.name, region, cols*f1, rows*f2, err)}
+		}
+		for k, tile := range tiles {
+			col, row := k%cols, k/cols
+			// The coarse tile re-asked three ways: as a single query, and as
+			// the one-tile map of its own region.
+			if got := est.Estimate(tile); got != coarse[k] {
+				return &Divergence{Check: name, Seed: seed, Grid: gridDesc(g),
+					Detail: fmt.Sprintf("%s coarse map tile %d differs from querying the tile span directly", me.name, k),
+					Rects:  rects, Query: &tiles[k], Got: coarse[k].String(), Want: got.String()}
+			}
+			one, err := core.EstimateGrid(est, tile, 1, 1)
+			if err != nil || one[0] != coarse[k] {
+				return &Divergence{Check: name, Seed: seed, Grid: gridDesc(g),
+					Detail: fmt.Sprintf("%s 1x1 sub-map of tile %d disagrees with the coarse map (err=%v)", me.name, k, err),
+					Rects:  rects, Query: &tiles[k]}
+			}
+			// Drilling into the tile must reproduce the corresponding block
+			// of the fine full-region map, sub-tile by sub-tile.
+			sub, err := core.EstimateGrid(est, tile, f1, f2)
+			if err != nil {
+				return &Divergence{Check: name, Seed: seed, Grid: gridDesc(g),
+					Detail: fmt.Sprintf("%s rejected sub-map of tile %d: %v", me.name, k, err)}
+			}
+			for sr := 0; sr < f2; sr++ {
+				for sc := 0; sc < f1; sc++ {
+					fi := (row*f2+sr)*(cols*f1) + col*f1 + sc
+					if sub[sr*f1+sc] != fine[fi] {
+						return &Divergence{Check: name, Seed: seed, Grid: gridDesc(g),
+							Detail: fmt.Sprintf("%s drill-down into tile %d sub-tile (%d,%d) disagrees with the fine map index %d", me.name, k, sc, sr, fi),
+							Rects:  rects, Query: &tiles[k],
+							Got: sub[sr*f1+sc].String(), Want: fine[fi].String()}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func runErrorCollapse(seed int64) *Divergence {
+	const name = "error-collapse"
+	r := gen.Rand(seed)
+	g := gen.Grid(r, 28, 28)
+	k := 1 + r.Intn(3)
+	if k > min(g.NX(), g.NY())-2 {
+		k = min(g.NX(), g.NY()) - 2
+	}
+	rects := gen.Rects(r, g, 40+r.Intn(250), gen.Small(k))
+	spans := exact.Spans(g, rects)
+	est := core.SEulerFromRects(g, rects)
+
+	// Once the query is at least (k+1) x (k+1) cells, no k x k object can
+	// contain or cross it, so the paper's assumption N_cd = 0 holds and the
+	// estimate must be exact — and must stay exact as the minimum query
+	// size keeps growing (the collapse is monotone).
+	for margin := 1; margin <= 3; margin++ {
+		minDim := k + margin
+		for i := 0; i < 8; i++ {
+			q, ok := gen.SpanMin(r, g, minDim, minDim)
+			if !ok {
+				break
+			}
+			want := exact.EvaluateQuery(spans, q)
+			if want.Contained != 0 {
+				qq := q
+				return &Divergence{Check: name, Seed: seed, Grid: gridDesc(g),
+					Detail: fmt.Sprintf("generator violated its own contract: a <=%dx%d-cell object contains a >=%dx%d query", k, k, minDim, minDim),
+					Rects:  rects, Query: &qq}
+			}
+			if got := toCounts(est.Estimate(q)); got != want {
+				return minimize(name,
+					fmt.Sprintf("S-EulerApprox error did not collapse to zero past the assumption boundary (objects <= %dx%d, query >= %dx%d)", k, k, minDim, minDim),
+					seed, g, rects, q,
+					func(rs []geom.Rect, q grid.Span) (string, string, bool) {
+						got := toCounts(core.SEulerFromRects(g, rs).Estimate(q))
+						want := exact.EvaluateQuery(exact.Spans(g, rs), q)
+						return fmt.Sprintf("%+v", got), fmt.Sprintf("%+v", want), got != want
+					})
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package check
+
+import "spatialhist/internal/grid"
+
+// Counterexample minimization. A raw divergence from a randomized round
+// typically involves hundreds of objects and a large query; almost all of
+// them are noise. The shrinkers below greedily delete parts of the input
+// while the caller-supplied predicate keeps reporting the failure, so the
+// Divergence that reaches a human names only the objects and the query
+// that actually matter.
+
+// shrinkSlice removes elements of items while pred keeps holding, trying
+// large chunks first (ddmin-style) and finishing with single elements.
+// pred must be true for items itself; the result is a subsequence of items
+// for which pred still holds. maxEvals bounds predicate evaluations so
+// expensive predicates (store replays) stay affordable.
+func shrinkSlice[T any](items []T, maxEvals int, pred func([]T) bool) []T {
+	evals := 0
+	try := func(cand []T) bool {
+		if evals >= maxEvals {
+			return false
+		}
+		evals++
+		return pred(cand)
+	}
+	cur := append([]T(nil), items...)
+	for chunk := len(cur) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start+chunk <= len(cur); {
+			cand := make([]T, 0, len(cur)-chunk)
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[start+chunk:]...)
+			if try(cand) {
+				cur = cand // the next chunk shifted into start's place
+			} else {
+				start++
+			}
+		}
+	}
+	return cur
+}
+
+// shrinkSpan pulls each edge of a failing query span inward while pred
+// keeps holding, converging to a minimal (often single-cell) query.
+func shrinkSpan(q grid.Span, pred func(grid.Span) bool) grid.Span {
+	for changed := true; changed; {
+		changed = false
+		for _, cand := range []grid.Span{
+			{I1: q.I1 + 1, J1: q.J1, I2: q.I2, J2: q.J2},
+			{I1: q.I1, J1: q.J1, I2: q.I2 - 1, J2: q.J2},
+			{I1: q.I1, J1: q.J1 + 1, I2: q.I2, J2: q.J2},
+			{I1: q.I1, J1: q.J1, I2: q.I2, J2: q.J2 - 1},
+		} {
+			if cand.I1 > cand.I2 || cand.J1 > cand.J2 {
+				continue
+			}
+			if pred(cand) {
+				q = cand
+				changed = true
+			}
+		}
+	}
+	return q
+}

@@ -4,42 +4,27 @@ import (
 	"math/rand"
 	"testing"
 
+	"spatialhist/internal/check/gen"
 	"spatialhist/internal/geom"
 	"spatialhist/internal/grid"
 	"spatialhist/internal/query"
 )
 
-func batchRects(r *rand.Rand, extent geom.Rect, n int) []geom.Rect {
+// batchRects draws from the shared generators with two interleaved
+// profiles — mostly tiny objects plus every seventh one huge — so all
+// M-EulerApprox groups and the containing-object (loophole) paths are
+// populated.
+func batchRects(r *rand.Rand, g *grid.Grid, n int) []geom.Rect {
+	tiny := gen.RectOpts{MaxCellsX: 1 + g.NX()/20, MaxCellsY: 1 + g.NY()/20}
 	out := make([]geom.Rect, n)
-	w, h := extent.Width(), extent.Height()
 	for i := range out {
-		x := extent.XMin + (r.Float64()*1.2-0.1)*w
-		y := extent.YMin + (r.Float64()*1.2-0.1)*h
-		// Mix tiny and huge objects so all M-EulerApprox groups and the
-		// containing-object (loophole) paths are populated.
-		scale := 0.05
+		o := tiny
 		if i%7 == 0 {
-			scale = 0.9
+			o = gen.RectOpts{}
 		}
-		out[i] = geom.NewRect(x, y, x+r.Float64()*w*scale, y+r.Float64()*h*scale)
+		out[i] = gen.Rect(r, g, o)
 	}
 	return out
-}
-
-func randBatchTiling(r *rand.Rand, g *grid.Grid) (region grid.Span, cols, rows int) {
-	cols = 1 + r.Intn(6)
-	rows = 1 + r.Intn(6)
-	tw := 1 + r.Intn(max(1, g.NX()/cols))
-	th := 1 + r.Intn(max(1, g.NY()/rows))
-	for cols*tw > g.NX() {
-		cols--
-	}
-	for rows*th > g.NY() {
-		rows--
-	}
-	i1 := r.Intn(g.NX() - cols*tw + 1)
-	j1 := r.Intn(g.NY() - rows*th + 1)
-	return grid.Span{I1: i1, J1: j1, I2: i1 + cols*tw - 1, J2: j1 + rows*th - 1}, cols, rows
 }
 
 // hideBatch masks the batch interface so EstimateGrid's per-tile fallback
@@ -63,10 +48,10 @@ func TestEstimateGridGolden(t *testing.T) {
 	r := rand.New(rand.NewSource(51))
 	for _, gc := range [][2]int{{1, 1}, {9, 7}, {36, 18}, {50, 40}} {
 		g := grid.NewUnit(gc[0], gc[1])
-		rects := batchRects(r, g.Extent(), 400)
+		rects := batchRects(r, g, 400)
 		for _, est := range testEstimators(t, g, rects) {
 			for trial := 0; trial < 40; trial++ {
-				region, cols, rows := randBatchTiling(r, g)
+				region, cols, rows := gen.Tiling(r, g)
 				got, err := EstimateGrid(est, region, cols, rows)
 				if err != nil {
 					t.Fatalf("%s: EstimateGrid(%v,%d,%d): %v", est.Name(), region, cols, rows, err)
@@ -94,7 +79,7 @@ func TestEstimateGridGolden(t *testing.T) {
 func TestEstimateGridEdgeTilings(t *testing.T) {
 	r := rand.New(rand.NewSource(52))
 	g := grid.NewUnit(20, 12)
-	rects := batchRects(r, g.Extent(), 300)
+	rects := batchRects(r, g, 300)
 	whole := grid.Span{I1: 0, J1: 0, I2: 19, J2: 11}
 	for _, est := range testEstimators(t, g, rects) {
 		for _, tc := range [][2]int{{1, 1}, {20, 12}, {1, 12}, {20, 1}} {
@@ -116,7 +101,7 @@ func TestEstimateGridEdgeTilings(t *testing.T) {
 func TestEstimateGridParallelMatchesSerial(t *testing.T) {
 	r := rand.New(rand.NewSource(53))
 	g := grid.NewUnit(128, 96)
-	rects := batchRects(r, g.Extent(), 500)
+	rects := batchRects(r, g, 500)
 	whole := grid.Span{I1: 0, J1: 0, I2: 127, J2: 95}
 	for _, est := range testEstimators(t, g, rects) {
 		// 128×96 = 12288 tiles clears the parallel threshold.
@@ -141,7 +126,7 @@ func TestEstimateGridParallelMatchesSerial(t *testing.T) {
 func TestEstimateGridErrors(t *testing.T) {
 	r := rand.New(rand.NewSource(54))
 	g := grid.NewUnit(10, 10)
-	est := SEulerFromRects(g, batchRects(r, g.Extent(), 50))
+	est := SEulerFromRects(g, batchRects(r, g, 50))
 	whole := grid.Span{I1: 0, J1: 0, I2: 9, J2: 9}
 	if _, err := EstimateGrid(est, whole, 3, 2); err == nil {
 		t.Error("non-dividing tiling: expected error")

@@ -4,65 +4,17 @@ import (
 	"math/rand"
 	"testing"
 
-	"spatialhist/internal/geom"
+	"spatialhist/internal/check/gen"
 	"spatialhist/internal/grid"
 )
-
-// randRects returns n random rectangles over (and slightly beyond) the
-// extent, mixing sizes so all sum types get exercised.
-func randRects(r *rand.Rand, extent geom.Rect, n int) []geom.Rect {
-	out := make([]geom.Rect, n)
-	w, h := extent.Width(), extent.Height()
-	for i := range out {
-		x := extent.XMin + (r.Float64()*1.2-0.1)*w
-		y := extent.YMin + (r.Float64()*1.2-0.1)*h
-		dw := r.Float64() * w * 0.8
-		dh := r.Float64() * h * 0.8
-		out[i] = geom.NewRect(x, y, x+dw, y+dh)
-	}
-	return out
-}
-
-// tilesOf reproduces query.Browsing's row-major tiling locally (euler must
-// not depend on the query package).
-func tilesOf(region grid.Span, cols, rows int) []grid.Span {
-	tw := region.Width() / cols
-	th := region.Height() / rows
-	tiles := make([]grid.Span, 0, cols*rows)
-	for row := 0; row < rows; row++ {
-		for col := 0; col < cols; col++ {
-			i1 := region.I1 + col*tw
-			j1 := region.J1 + row*th
-			tiles = append(tiles, grid.Span{I1: i1, J1: j1, I2: i1 + tw - 1, J2: j1 + th - 1})
-		}
-	}
-	return tiles
-}
-
-// randTiling picks a random region within g and a tiling that divides it.
-func randTiling(r *rand.Rand, g *grid.Grid) (region grid.Span, cols, rows int) {
-	cols = 1 + r.Intn(6)
-	rows = 1 + r.Intn(6)
-	tw := 1 + r.Intn(max(1, g.NX()/cols))
-	th := 1 + r.Intn(max(1, g.NY()/rows))
-	for cols*tw > g.NX() {
-		cols--
-	}
-	for rows*th > g.NY() {
-		rows--
-	}
-	i1 := r.Intn(g.NX() - cols*tw + 1)
-	j1 := r.Intn(g.NY() - rows*th + 1)
-	return grid.Span{I1: i1, J1: j1, I2: i1 + cols*tw - 1, J2: j1 + rows*th - 1}, cols, rows
-}
 
 func TestGridSumsMatchPerTile(t *testing.T) {
 	r := rand.New(rand.NewSource(41))
 	for _, gc := range [][2]int{{1, 1}, {7, 5}, {36, 18}, {61, 43}} {
 		g := grid.NewUnit(gc[0], gc[1])
-		h := FromRects(g, randRects(r, g.Extent(), 300))
+		h := FromRects(g, gen.Rects(r, g, 300, gen.RectOpts{}))
 		for trial := 0; trial < 50; trial++ {
-			region, cols, rows := randTiling(r, g)
+			region, cols, rows := gen.Tiling(r, g)
 			ts, err := h.GridQuerySums(region, cols, rows)
 			if err != nil {
 				t.Fatalf("grid %v: GridQuerySums(%v,%d,%d): %v", g, region, cols, rows, err)
@@ -76,7 +28,7 @@ func TestGridSumsMatchPerTile(t *testing.T) {
 				t.Fatal(err)
 			}
 			nx, ny := g.NX(), g.NY()
-			for k, q := range tilesOf(region, cols, rows) {
+			for k, q := range gen.Tiles(region, cols, rows) {
 				if got, want := ts.Inside[k], h.InsideSum(q); got != want {
 					t.Fatalf("tile %d %v: inside %d, want %d", k, q, got, want)
 				}
@@ -109,7 +61,7 @@ func TestGridSumsMatchPerTile(t *testing.T) {
 func TestGridSumsWholeSpaceSingleTile(t *testing.T) {
 	r := rand.New(rand.NewSource(42))
 	g := grid.NewUnit(12, 9)
-	h := FromRects(g, randRects(r, g.Extent(), 200))
+	h := FromRects(g, gen.Rects(r, g, 200, gen.RectOpts{}))
 	whole := grid.Span{I1: 0, J1: 0, I2: 11, J2: 8}
 	ts, err := h.GridQuerySums(whole, 1, 1)
 	if err != nil {
@@ -124,7 +76,7 @@ func TestGridSumsWholeSpaceSingleTile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for k, q := range tilesOf(whole, 12, 9) {
+	for k, q := range gen.Tiles(whole, 12, 9) {
 		if ins[k] != h.InsideSum(q) {
 			t.Fatalf("cell tile %d: %d, want %d", k, ins[k], h.InsideSum(q))
 		}
@@ -156,19 +108,19 @@ func TestExteriorGridInsideSums(t *testing.T) {
 	r := rand.New(rand.NewSource(43))
 	g := grid.NewUnit(24, 16)
 	b := NewExteriorBuilder(g)
-	for _, rect := range randRects(r, g.Extent(), 150) {
+	for _, rect := range gen.Rects(r, g, 150, gen.RectOpts{}) {
 		if s, ok := g.Snap(rect); ok {
 			b.AddSpan(s)
 		}
 	}
 	h := b.Build()
 	for trial := 0; trial < 30; trial++ {
-		region, cols, rows := randTiling(r, g)
+		region, cols, rows := gen.Tiling(r, g)
 		ins, err := h.GridInsideSums(region, cols, rows)
 		if err != nil {
 			t.Fatal(err)
 		}
-		for k, q := range tilesOf(region, cols, rows) {
+		for k, q := range gen.Tiles(region, cols, rows) {
 			if got, want := ins[k], h.InsideSum(q); got != want {
 				t.Fatalf("tile %d %v: %d, want %d", k, q, got, want)
 			}

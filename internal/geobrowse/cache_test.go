@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"spatialhist/internal/check/gen"
 	"spatialhist/internal/core"
 	"spatialhist/internal/euler"
 	"spatialhist/internal/geom"
@@ -113,17 +114,19 @@ func TestBrowseCacheSingleFlight(t *testing.T) {
 	}
 }
 
+// denseRects is the shared dense dataset of the cache tests and bench,
+// drawn from the harness generators so its seed lines up with the
+// property suites.
+func denseRects(g *grid.Grid) []geom.Rect {
+	return gen.Rects(gen.Rand(9), g, 300, gen.RectOpts{MaxCellsX: 10, MaxCellsY: 6, Inside: true})
+}
+
 // denseServer builds a server over a grid large enough to cross the
 // parallel fan-out threshold.
 func denseServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
 	g := grid.NewUnit(128, 64)
-	rects := make([]geom.Rect, 0, 300)
-	for i := 0; i < 300; i++ {
-		x := float64(i%120) + 0.25
-		y := float64(i%60) + 0.25
-		rects = append(rects, geom.NewRect(x, y, x+float64(i%9)+0.5, y+float64(i%5)+0.5))
-	}
+	rects := denseRects(g)
 	s := NewServerOpts("dense", core.NewEuler(euler.FromRects(g, rects)), opts)
 	srv := httptest.NewServer(s)
 	t.Cleanup(srv.Close)
@@ -204,12 +207,7 @@ func TestBrowseParallelMatchesSmallWorkerPool(t *testing.T) {
 // the 64x64 tile map and re-encodes it).
 func BenchmarkBrowseCache(b *testing.B) {
 	g := grid.NewUnit(128, 64)
-	rects := make([]geom.Rect, 0, 300)
-	for i := 0; i < 300; i++ {
-		x := float64(i%120) + 0.25
-		y := float64(i%60) + 0.25
-		rects = append(rects, geom.NewRect(x, y, x+float64(i%9)+0.5, y+float64(i%5)+0.5))
-	}
+	rects := denseRects(g)
 	est := core.NewEuler(euler.FromRects(g, rects))
 	req := httptest.NewRequest("GET", "/api/browse?x1=0&y1=0&x2=128&y2=64&cols=64&rows=64", nil)
 	run := func(b *testing.B, s *Server) {

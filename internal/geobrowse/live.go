@@ -2,7 +2,9 @@ package geobrowse
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 
 	"spatialhist/internal/core"
@@ -111,6 +113,13 @@ func (s *Server) handleMutation(w http.ResponseWriter, r *http.Request,
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
 	if err := dec.Decode(&req); err != nil {
 		http.Error(w, fmt.Sprintf("decoding body: %v", err), http.StatusBadRequest)
+		return
+	}
+	// The body must be exactly one JSON value: trailing bytes mean a
+	// truncated or concatenated request, and applying its prefix would
+	// silently drop the rest.
+	if err := dec.Decode(&struct{}{}); !errors.Is(err, io.EOF) {
+		http.Error(w, "trailing data after JSON body", http.StatusBadRequest)
 		return
 	}
 	if len(req.Rects) == 0 {

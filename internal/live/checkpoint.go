@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"spatialhist/internal/check/failpoint"
 	"spatialhist/internal/euler"
 )
 
@@ -71,7 +72,10 @@ func (s *Store) writeCheckpoint(path string) error {
 		return err
 	}
 	defer os.Remove(tmp.Name())
-	bw := bufio.NewWriterSize(tmp, 1<<20)
+	// Checkpoint bytes flow through their failpoint site: a crash test can
+	// kill the writer mid-payload and assert the previous checkpoint (and
+	// the rename-into-place protocol) survives.
+	bw := bufio.NewWriterSize(failpoint.Wrap(FailpointCheckpointWrite, tmp), 1<<20)
 	if _, err := bw.Write(ckptMagic[:]); err != nil {
 		return err
 	}

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"spatialhist/internal/check/gen"
 	"spatialhist/internal/core"
 	"spatialhist/internal/geom"
 	"spatialhist/internal/grid"
@@ -17,12 +18,14 @@ import (
 // testGrid is small enough that full query sweeps stay fast.
 func testGrid() *grid.Grid { return grid.NewUnit(16, 12) }
 
-// randRect returns a random MBR inside (and occasionally straddling) the
-// unit test space.
+// liveRectOpts is the object profile of the live tests: at most 6x5
+// cells, strictly inside the space, so every generated insert is
+// accepted by the store.
+var liveRectOpts = gen.RectOpts{MaxCellsX: 6, MaxCellsY: 5, Inside: true}
+
+// randRect returns a random MBR inside the unit test space.
 func randRect(r *rand.Rand) geom.Rect {
-	x1 := r.Float64() * 16
-	y1 := r.Float64() * 12
-	return geom.NewRect(x1, y1, x1+r.Float64()*6, y1+r.Float64()*5)
+	return gen.Rect(r, testGrid(), liveRectOpts)
 }
 
 // sweep compares two estimators bit-identically over every aligned span of
@@ -47,28 +50,19 @@ func sweep(t *testing.T, got, want core.Estimator) {
 	}
 }
 
-// mutationScript returns a deterministic mix of inserts, deletes and
-// updates over the given seed objects.
+// mutationScript adapts the shared mutation-stream generator to the WAL
+// record shape the replay tests feed through the store API.
 func mutationScript(seed []geom.Rect, n int) []walRecord {
-	r := rand.New(rand.NewSource(7))
-	live := append([]geom.Rect(nil), seed...)
-	recs := make([]walRecord, 0, n)
-	for len(recs) < n {
-		switch {
-		case len(live) > 4 && r.Intn(4) == 0:
-			k := r.Intn(len(live))
-			recs = append(recs, walRecord{op: opDelete, r: live[k]})
-			live[k] = live[len(live)-1]
-			live = live[:len(live)-1]
-		case len(live) > 4 && r.Intn(4) == 0:
-			k := r.Intn(len(live))
-			nr := randRect(r)
-			recs = append(recs, walRecord{op: opUpdate, old: live[k], r: nr})
-			live[k] = nr
-		default:
-			nr := randRect(r)
-			recs = append(recs, walRecord{op: opInsert, r: nr})
-			live = append(live, nr)
+	muts := gen.Mutations(rand.New(rand.NewSource(7)), testGrid(), seed, n, liveRectOpts)
+	recs := make([]walRecord, len(muts))
+	for i, m := range muts {
+		switch m.Op {
+		case gen.OpInsert:
+			recs[i] = walRecord{op: opInsert, r: m.R}
+		case gen.OpDelete:
+			recs[i] = walRecord{op: opDelete, r: m.R}
+		case gen.OpUpdate:
+			recs[i] = walRecord{op: opUpdate, old: m.Old, r: m.R}
 		}
 	}
 	return recs

@@ -10,8 +10,19 @@ import (
 	"math"
 	"os"
 
+	"spatialhist/internal/check/failpoint"
 	"spatialhist/internal/geom"
 	"spatialhist/internal/grid"
+)
+
+// Failpoint sites of the durability path (see internal/check/failpoint):
+// record bytes reaching the journal file, the journal fsync, and the
+// checkpoint temp-file write. Crash-recovery tests arm them to kill the
+// store at any byte boundary instead of waiting for a lucky torn tail.
+const (
+	FailpointWALWrite        = "live/wal/write"
+	FailpointWALSync         = "live/wal/fsync"
+	FailpointCheckpointWrite = "live/checkpoint/write"
 )
 
 // Write-ahead log format. The header pins the store configuration so a log
@@ -158,7 +169,7 @@ func openWAL(path string, header []byte, from int64, syncEvery int) (w *wal, tai
 		if err := f.Sync(); err != nil {
 			return nil, nil, false, err
 		}
-		return &wal{f: f, w: bufio.NewWriterSize(f, 1<<16), size: headerLen, syncEvery: syncEvery}, nil, false, nil
+		return newWAL(f, headerLen, syncEvery), nil, false, nil
 	}
 	got := make([]byte, headerLen)
 	if _, err := io.ReadFull(f, got); err != nil {
@@ -183,7 +194,18 @@ func openWAL(path string, header []byte, from int64, syncEvery int) (w *wal, tai
 	if _, err := f.Seek(valid, io.SeekStart); err != nil {
 		return nil, nil, false, err
 	}
-	return &wal{f: f, w: bufio.NewWriterSize(f, 1<<16), size: valid, syncEvery: syncEvery}, tail, torn, nil
+	return newWAL(f, valid, syncEvery), tail, torn, nil
+}
+
+// newWAL assembles the append side over f. Record bytes flow through the
+// FailpointWALWrite site, so crash tests can cut the stream at any byte.
+func newWAL(f *os.File, size int64, syncEvery int) *wal {
+	return &wal{
+		f:         f,
+		w:         bufio.NewWriterSize(failpoint.Wrap(FailpointWALWrite, f), 1<<16),
+		size:      size,
+		syncEvery: syncEvery,
+	}
 }
 
 // scanRecords decodes records until EOF or the first corruption, returning
@@ -246,6 +268,9 @@ func (w *wal) append(rec walRecord) (int64, error) {
 // sync flushes buffered records and fsyncs the file.
 func (w *wal) sync() error {
 	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if err := failpoint.Check(FailpointWALSync); err != nil {
 		return err
 	}
 	w.unsynced = 0

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
@@ -18,12 +19,23 @@ import (
 // MB and loads in milliseconds, so a browsing service can start without
 // the original objects.
 //
-//	magic  [8]byte "SPSUM001"
+//	magic  [8]byte "SPSUM002"
 //	algo   uint8   (1 = S-EulerApprox, 2 = EulerApprox, 3 = M-EulerApprox)
 //	m      uint32  (number of histograms; 1 unless M-EulerApprox)
 //	areas  m × float64 (M-EulerApprox only)
+//	crc    uint32  crc32 (IEEE) over the algo, m and areas bytes
 //	hists  m × euler histogram payloads
-var summaryMagic = [8]byte{'S', 'P', 'S', 'U', 'M', '0', '0', '1'}
+//
+// The header checksum exists because every header byte steers how the
+// megabytes after it are interpreted: a flipped area threshold or
+// histogram count would otherwise decode into a structurally valid but
+// silently wrong summary. Histogram payloads carry their own structural
+// check (Σ buckets == count) inside euler.Read.
+var summaryMagic = [8]byte{'S', 'P', 'S', 'U', 'M', '0', '0', '2'}
+
+// summaryMagicV1 is the pre-checksum format, recognized only to name the
+// version mismatch precisely.
+var summaryMagicV1 = [8]byte{'S', 'P', 'S', 'U', 'M', '0', '0', '1'}
 
 const (
 	algoSEuler uint8 = 1
@@ -50,16 +62,17 @@ func (s *Summary) Save(w io.Writer) error {
 	default:
 		return fmt.Errorf("spatialhist: summaries over %T cannot be saved", s.est)
 	}
-	if err := binary.Write(bw, binary.LittleEndian, algo); err != nil {
-		return err
-	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(len(hists))); err != nil {
-		return err
-	}
+	header := make([]byte, 0, 5+8*len(areas))
+	header = append(header, algo)
+	header = binary.LittleEndian.AppendUint32(header, uint32(len(hists)))
 	for _, a := range areas {
-		if err := binary.Write(bw, binary.LittleEndian, a); err != nil {
-			return err
-		}
+		header = binary.LittleEndian.AppendUint64(header, math.Float64bits(a))
+	}
+	if _, err := bw.Write(header); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, crc32.ChecksumIEEE(header)); err != nil {
+		return err
 	}
 	for _, h := range hists {
 		if err := h.Write(bw); err != nil {
@@ -76,13 +89,21 @@ func Load(r io.Reader) (*Summary, error) {
 	if _, err := io.ReadFull(br, m[:]); err != nil {
 		return nil, fmt.Errorf("spatialhist: reading magic: %w", err)
 	}
+	if m == summaryMagicV1 {
+		return nil, fmt.Errorf("spatialhist: summary written by the pre-checksum %q format; re-save it with this release to upgrade to %q",
+			summaryMagicV1, summaryMagic)
+	}
 	if m != summaryMagic {
 		return nil, fmt.Errorf("spatialhist: bad magic %q", m)
 	}
-	var algo uint8
-	if err := binary.Read(br, binary.LittleEndian, &algo); err != nil {
-		return nil, fmt.Errorf("spatialhist: reading algorithm: %w", err)
+	// The fixed header prefix: algo tag plus histogram count. Raw bytes are
+	// retained so the checksum can be verified once the area table's length
+	// is known.
+	header := make([]byte, 5)
+	if _, err := io.ReadFull(br, header); err != nil {
+		return nil, fmt.Errorf("spatialhist: reading header: %w", err)
 	}
+	algo := header[0]
 	// Validate the tag before trusting anything downstream of it: an
 	// unknown byte here means the rest of the stream cannot be interpreted,
 	// so failing late (after parsing megabytes of histograms) would bury
@@ -93,10 +114,7 @@ func Load(r io.Reader) (*Summary, error) {
 		return nil, fmt.Errorf("spatialhist: unknown algorithm tag %d (want %d=S-EulerApprox, %d=EulerApprox or %d=M-EulerApprox)",
 			algo, algoSEuler, algoEuler, algoMEuler)
 	}
-	var count uint32
-	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-		return nil, fmt.Errorf("spatialhist: reading histogram count: %w", err)
-	}
+	count := binary.LittleEndian.Uint32(header[1:5])
 	const maxHists = 64
 	if count == 0 || count > maxHists {
 		return nil, fmt.Errorf("spatialhist: unreasonable histogram count %d", count)
@@ -106,18 +124,28 @@ func Load(r io.Reader) (*Summary, error) {
 	}
 	var areas []float64
 	if algo == algoMEuler {
+		raw := make([]byte, 8*count)
+		if n, err := io.ReadFull(br, raw); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil, fmt.Errorf("spatialhist: M-EulerApprox area table truncated: header promises %d thresholds, stream ends after %d", count, n/8)
+			}
+			return nil, fmt.Errorf("spatialhist: reading area table: %w", err)
+		}
+		header = append(header, raw...)
 		areas = make([]float64, count)
 		for i := range areas {
-			if err := binary.Read(br, binary.LittleEndian, &areas[i]); err != nil {
-				if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-					return nil, fmt.Errorf("spatialhist: M-EulerApprox area table truncated: header promises %d thresholds, stream ends after %d", count, i)
-				}
-				return nil, fmt.Errorf("spatialhist: reading area threshold %d: %w", i, err)
-			}
+			areas[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
 			if math.IsNaN(areas[i]) || math.IsInf(areas[i], 0) {
 				return nil, fmt.Errorf("spatialhist: invalid area threshold %g", areas[i])
 			}
 		}
+	}
+	var storedCRC uint32
+	if err := binary.Read(br, binary.LittleEndian, &storedCRC); err != nil {
+		return nil, fmt.Errorf("spatialhist: reading header checksum: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(header); got != storedCRC {
+		return nil, fmt.Errorf("spatialhist: header checksum mismatch (stored %08x, computed %08x): the algo/count/area bytes are corrupt", storedCRC, got)
 	}
 	hists := make([]*euler.Histogram, count)
 	for i := range hists {
