@@ -25,6 +25,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -33,6 +34,7 @@ import (
 	"spatialhist"
 	"spatialhist/internal/core"
 	"spatialhist/internal/dataset"
+	"spatialhist/internal/euler"
 	"spatialhist/internal/geobrowse"
 	"spatialhist/internal/grid"
 	"spatialhist/internal/live"
@@ -57,6 +59,9 @@ func main() {
 		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		report   = flag.Duration("report", time.Minute, "self-report interval (QPS, p50/p99, cache hit rate; 0 disables)")
 		logReq   = flag.Bool("log-requests", false, "log one structured JSON line per API request to stderr")
+
+		pyrLevels  = flag.Int("pyramid-levels", 4, "coarse histogram levels above the base for zoom-native browse routing (0 disables the pyramid)")
+		pyrMinGrid = flag.Int("pyramid-min-grid", euler.DefaultPyramidMinGrid, "stop pyramid coarsening before either grid axis would drop below this many cells")
 
 		liveMode  = flag.Bool("live", false, "serve a mutable ingestion store (POST /api/ingest, /api/delete) instead of a fixed summary")
 		walPath   = flag.String("wal", "", "live mode: write-ahead log file (empty = in-memory, no durability)")
@@ -84,7 +89,7 @@ func main() {
 		}
 		log.Printf("loaded summary: %s, %d objects, %d buckets",
 			sum.Algorithm(), sum.Count(), sum.StorageBuckets())
-		serve(*addr, *loadSum, sum.Estimator(), opts, *pprofOn, *report)
+		serve(*addr, *loadSum, zoomWrap(sum.Estimator(), *pyrLevels, *pyrMinGrid), opts, *pprofOn, *report)
 		return
 	}
 
@@ -117,6 +122,8 @@ func main() {
 			RebuildInterval:  *rebuildT,
 			SyncEvery:        *syncEvery,
 			RebuildCrossover: *crossover,
+			PyramidLevels:    *pyrLevels,
+			PyramidMinGrid:   *pyrMinGrid,
 		}
 		if algoV == live.AlgoMEuler {
 			if cfg.Areas, err = parseAreas(*areasArg); err != nil {
@@ -152,7 +159,51 @@ func main() {
 		}
 		log.Printf("saved summary to %s", *saveSum)
 	}
-	serve(*addr, d.Name, est, opts, *pprofOn, *report)
+	serve(*addr, d.Name, zoomWrap(est, *pyrLevels, *pyrMinGrid), opts, *pprofOn, *report)
+}
+
+// zoomWrap stacks a multi-resolution pyramid over a fixed-summary
+// estimator so aligned browse requests are served from coarse levels.
+// Grids too small (or too odd) to coarsen keep the plain estimator.
+func zoomWrap(est core.Estimator, levels, minGrid int) core.Estimator {
+	if levels <= 0 {
+		return est
+	}
+	opts := euler.PyramidOpts{MaxLevels: levels, MinGrid: minGrid}
+	var z core.Estimator
+	switch e := est.(type) {
+	case *core.SEuler:
+		p := euler.NewPyramid(e.Histogram(), opts)
+		if p.Levels() < 2 {
+			return est
+		}
+		z = core.ZoomSEuler(p)
+	case *core.Euler:
+		p := euler.NewPyramid(e.Histogram(), opts)
+		if p.Levels() < 2 {
+			return est
+		}
+		z = core.ZoomEuler(p)
+	case *core.MEuler:
+		hists := e.Histograms()
+		pyrs := make([]*euler.Pyramid, len(hists))
+		for i, h := range hists {
+			pyrs[i] = euler.NewPyramid(h, opts)
+		}
+		if pyrs[0].Levels() < 2 {
+			return est
+		}
+		zm, err := core.ZoomMEuler(e.Areas(), pyrs)
+		if err != nil {
+			log.Fatalf("geobrowsed: assembling zoom stack: %v", err)
+		}
+		z = zm
+	default:
+		return est
+	}
+	log.Printf("pyramid: %d levels over the base grid (%d buckets total)",
+		z.(*core.Zoom).NumLevels()-1, z.StorageBuckets())
+	return z
 }
 
 // serve runs the GeoBrowse handler over a fixed estimator.
@@ -215,11 +266,13 @@ func run(addr string, gb *geobrowse.Server, pprofOn bool, report time.Duration, 
 
 // selfReport emits one structured line per interval with the window's
 // request rate, latency quantiles (from the merged per-endpoint latency
-// histograms in telemetry.Default()), and browse-cache hit rate. When
-// fronting a live store it appends a rebuild line: publish latency
-// p50/p99 and the mean dirty lattice fraction over the window, so an
-// operator can see at a glance whether ingestion is being absorbed by
-// dirty-region repair or falling back to full passes.
+// histograms in telemetry.Default()), and browse-cache hit rate. When a
+// pyramid is serving it appends the window's per-level hit distribution —
+// how much traffic the coarse levels absorbed. When fronting a live store
+// it appends a rebuild line: publish latency p50/p99 and the mean dirty
+// lattice fraction over the window, so an operator can see at a glance
+// whether ingestion is being absorbed by dirty-region repair or falling
+// back to full passes.
 func selfReport(s *geobrowse.Server, every time.Duration, store *live.Store) {
 	logger := telemetry.NewLogger(os.Stderr)
 	reg := telemetry.Default()
@@ -227,6 +280,7 @@ func selfReport(s *geobrowse.Server, every time.Duration, store *live.Store) {
 	prevRebuild := reg.FamilySnapshot("live_rebuild_seconds")
 	prevDirty := reg.FamilySnapshot("live_rebuild_dirty_frac")
 	prevHits, prevMisses := s.CacheStats()
+	prevLevels := reg.CounterValues(pyramidHitsMetric)
 	for range time.Tick(every) {
 		snap := reg.FamilySnapshot("geobrowse_http_request_seconds")
 		delta := snap.Sub(prev)
@@ -244,6 +298,12 @@ func selfReport(s *geobrowse.Server, every time.Duration, store *live.Store) {
 			"cache_hit_rate", hitRate,
 		)
 		prev, prevHits, prevMisses = snap, hits, misses
+
+		levels := reg.CounterValues(pyramidHitsMetric)
+		if len(levels) > 0 {
+			logger.Log("pyramid-report", pyramidReportFields(prevLevels, levels)...)
+		}
+		prevLevels = levels
 
 		if store == nil {
 			continue
@@ -265,6 +325,37 @@ func selfReport(s *geobrowse.Server, every time.Duration, store *live.Store) {
 		)
 		prevRebuild, prevDirty = rebuild, dirty
 	}
+}
+
+// pyramidHitsMetric is the per-level routing counter family registered by
+// core.NewZoom; empty until a pyramid-backed estimator serves a query.
+const pyramidHitsMetric = "core_pyramid_level_hits_total"
+
+// pyramidReportFields turns the window's per-level hit deltas into log
+// fields: how many queries the pyramid routed and each level's share.
+func pyramidReportFields(prev, cur map[string]int64) []any {
+	type lv struct {
+		label string
+		delta int64
+	}
+	lvs := make([]lv, 0, len(cur))
+	var total int64
+	for label, v := range cur {
+		d := v - prev[label]
+		lvs = append(lvs, lv{label, d})
+		total += d
+	}
+	sort.Slice(lvs, func(i, j int) bool { return lvs[i].label < lvs[j].label })
+	fields := []any{"routed", total}
+	for _, l := range lvs {
+		level := strings.TrimSuffix(strings.TrimPrefix(l.label, `{level="`), `"}`)
+		rate := 0.0
+		if total > 0 {
+			rate = float64(l.delta) / float64(total)
+		}
+		fields = append(fields, "level_"+level+"_hit_rate", rate)
+	}
+	return fields
 }
 
 func buildEstimator(algo, areasArg string, g *grid.Grid, d *dataset.Dataset) (core.Estimator, error) {

@@ -146,6 +146,12 @@ func Oracles() []Check {
 			Doc:  "WAL replay and checkpoint resume reconstruct a store bit-identical to an uninterrupted one",
 			Run:  runReplayVsLive,
 		},
+		{
+			Name: "pyramid-vs-fresh",
+			Kind: KindOracle,
+			Doc:  "every pyramid level — cold-built or incrementally repaired through donor generations — is bit-identical to a fresh build of that coarse grid",
+			Run:  runPyramidVsFresh,
+		},
 	}
 }
 
@@ -175,6 +181,12 @@ func Metamorphic() []Check {
 			Kind: KindMetamorphic,
 			Doc:  "once no object can contain or cross a query (N_cd = 0 holds), S-EulerApprox error collapses to zero and stays there as queries grow",
 			Run:  runErrorCollapse,
+		},
+		{
+			Name: "pyramid-drill-conservation",
+			Kind: KindMetamorphic,
+			Doc:  "zoom-stack estimates equal the base level's for every query, and drill-down through pyramid levels preserves Eq. 11 conservation at every leaf",
+			Run:  runPyramidDrill,
 		},
 	}
 }

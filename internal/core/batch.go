@@ -256,7 +256,7 @@ func (m *MEuler) EstimateGrid(region grid.Span, cols, rows int) ([]Estimate, err
 		return nil, err
 	}
 	tile := grid.Span{I1: region.I1, J1: region.J1, I2: region.I1 + tw - 1, J2: region.J1 + th - 1}
-	aq := m.g.SpanArea(tile) / m.g.CellArea()
+	aq := float64(tile.Cells()) * m.unit // exact, matching MEuler.estimate
 	nTiles := cols * rows
 	nii := make([]int64, nTiles)
 	no := make([]int64, nTiles)

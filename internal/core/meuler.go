@@ -37,6 +37,11 @@ type MEuler struct {
 	seuler []*SEuler
 	eapx   []*Euler
 	n      int64
+	// unit is the area of one cell of g measured in base-resolution cells:
+	// 1 for a base-level estimator, 4^k for the level-k member of a zoom
+	// stack. Query areas are compared against the thresholds in base cells,
+	// so the per-group algorithm choice is identical at every level.
+	unit float64
 }
 
 // NewMEuler builds the m histograms of M-EulerApprox over g. areas lists
@@ -58,7 +63,7 @@ func NewMEuler(g *grid.Grid, areas []float64, rects []geom.Rect) (*MEuler, error
 			return nil, fmt.Errorf("core: duplicate area threshold %g", areas[i])
 		}
 	}
-	m := &MEuler{g: g, areas: append([]float64(nil), areas...)}
+	m := &MEuler{g: g, areas: append([]float64(nil), areas...), unit: 1}
 	builders := make([]*euler.Builder, len(areas))
 	for i := range builders {
 		builders[i] = euler.NewBuilder(g)
@@ -104,7 +109,7 @@ func MEulerFromHistograms(areas []float64, hists []*euler.Histogram) (*MEuler, e
 		}
 	}
 	g := hists[0].Grid()
-	m := &MEuler{g: g, areas: append([]float64(nil), areas...)}
+	m := &MEuler{g: g, areas: append([]float64(nil), areas...), unit: 1}
 	for _, h := range hists {
 		hg := h.Grid()
 		if hg.Extent() != g.Extent() || hg.NX() != g.NX() || hg.NY() != g.NY() {
@@ -234,7 +239,10 @@ func (m *MEuler) EstimateDetail(q grid.Span) (Estimate, []GroupDetail) {
 }
 
 func (m *MEuler) estimate(q grid.Span, detail bool) (Estimate, []GroupDetail) {
-	aq := m.g.SpanArea(q) / m.g.CellArea()
+	// The query's area in base-resolution cells, computed in exact integer
+	// arithmetic (cell counts are small enough for float64 to hold exactly)
+	// so a level-k zoom member makes the same per-group choice as level 0.
+	aq := float64(q.Cells()) * m.unit
 	var no, ncs, nii int64
 	var details []GroupDetail
 	if detail {

@@ -1,0 +1,316 @@
+package euler
+
+import (
+	"spatialhist/internal/grid"
+	"spatialhist/internal/prefixsum"
+)
+
+// Multi-resolution pyramid of Euler histograms. Level 0 is the base
+// histogram; level k is the Euler histogram of the same objects over the
+// grid coarsened 2^k× per axis, with each object's level-k span the
+// floor-halving of its level-(k−1) span. Because the raw (unsigned) bucket
+// counts are per-axis sums of interval indicators, one coarse bucket is an
+// exact ≤9-point stencil of fine buckets:
+//
+//	coarse U even:  fine {2U: +1, 2U+1: −1, 2U+2: +1}
+//	coarse U odd:   fine {2U+1: +1}
+//
+// (per axis; the 2-d stencil is the product). The even case follows from
+// the inclusion–exclusion of the two fine cells a coarse cell merges, the
+// odd case because the coarse interior grid line 2A+1 is the fine line
+// 4A+3. Coarsening is therefore one pass over the finer level — never a
+// dataset scan — and bit-identical to building the coarse histogram
+// directly from the coarsened spans, which is what the check oracle
+// asserts.
+//
+// Floor-halving spans rather than re-snapping geometry at the coarse
+// resolution keeps the levels float-free: snapping the same rectangle
+// against a 2× cell width can move a boundary by an ulp, while
+// ⌊⌊a⌋/2⌋ = ⌊a/2⌋ makes span coarsening exactly the coarse snap of the
+// paper's shrinking convention.
+
+// DefaultPyramidMinGrid is the coarsening floor when PyramidOpts.MinGrid
+// is zero: levels stop before either axis would drop below 16 cells,
+// where a lattice is a few KB and further halving saves nothing.
+const DefaultPyramidMinGrid = 16
+
+// PyramidOpts shapes a pyramid.
+type PyramidOpts struct {
+	// MaxLevels bounds the coarse levels above the base. 0 means as many
+	// as MinGrid (and even cell counts) allow.
+	MaxLevels int
+	// MinGrid stops coarsening before either axis would drop below this
+	// many cells. 0 means DefaultPyramidMinGrid.
+	MinGrid int
+	// Workers bounds the goroutines of cold level construction (and of a
+	// full level rebuild past the crossover). Repairs are serial.
+	Workers int
+}
+
+func (o PyramidOpts) minGrid() int {
+	if o.MinGrid <= 0 {
+		return DefaultPyramidMinGrid
+	}
+	return o.MinGrid
+}
+
+// canCoarsen reports whether a grid has a next pyramid level under the
+// options: both cell counts even (the stencil needs exact 2-cell merges)
+// and not dropping below the floor.
+func (o PyramidOpts) canCoarsen(g *grid.Grid) bool {
+	nx, ny := g.NX(), g.NY()
+	return nx%2 == 0 && ny%2 == 0 && nx/2 >= o.minGrid() && ny/2 >= o.minGrid()
+}
+
+// Pyramid is an immutable stack of Euler histograms over 2^k-coarsened
+// grids, all describing the same object set.
+type Pyramid struct {
+	levels []*Histogram // levels[0] is the base
+}
+
+// NewPyramid cold-builds the pyramid over base, deriving each level from
+// the one below in one stencil pass.
+func NewPyramid(base *Histogram, opts PyramidOpts) *Pyramid {
+	levels := []*Histogram{base}
+	for opts.MaxLevels <= 0 || len(levels)-1 < opts.MaxLevels {
+		fine := levels[len(levels)-1]
+		if !opts.canCoarsen(fine.g) {
+			break
+		}
+		levels = append(levels, coarsenHistogram(fine, nil, opts.Workers))
+	}
+	return &Pyramid{levels: levels}
+}
+
+// Levels returns the number of levels including the base.
+func (p *Pyramid) Levels() int { return len(p.levels) }
+
+// Level returns the histogram at level k (0 = base).
+func (p *Pyramid) Level(k int) *Histogram { return p.levels[k] }
+
+// Base returns the level-0 histogram.
+func (p *Pyramid) Base() *Histogram { return p.levels[0] }
+
+// StorageBuckets returns the total bucket count across all levels — the
+// pyramid's storage cost, a ≤ 1/3 overhead over the base lattice.
+func (p *Pyramid) StorageBuckets() int {
+	total := 0
+	for _, h := range p.levels {
+		total += h.StorageBuckets()
+	}
+	return total
+}
+
+// CoarseSpan floor-halves a base-grid span k times: the level-k span of
+// an object or of a level-aligned query.
+func CoarseSpan(s grid.Span, k int) grid.Span {
+	return grid.Span{I1: s.I1 >> k, J1: s.J1 >> k, I2: s.I2 >> k, J2: s.J2 >> k}
+}
+
+// axisTaps fills the fine-axis stencil of coarse lattice coordinate U and
+// returns the tap count.
+func axisTaps(U int, idx *[3]int, w *[3]int64) int {
+	if U&1 == 1 {
+		idx[0] = 2*U + 1
+		w[0] = 1
+		return 1
+	}
+	idx[0], idx[1], idx[2] = 2*U, 2*U+1, 2*U+2
+	w[0], w[1], w[2] = 1, -1, 1
+	return 3
+}
+
+// rawAt returns the unsigned raw bucket count at (u, v): stored values
+// carry the §5.1 sign inversion on edge buckets.
+func (h *Histogram) rawAt(u, v int) int64 {
+	c := h.h[u*h.ly+v]
+	if (u^v)&1 == 1 {
+		c = -c
+	}
+	return c
+}
+
+// coarsenRange writes the signed coarse bucket values derived from fine
+// into out (the full coarse lattice array, row width cly) for the
+// inclusive coarse lattice box [U1..U2]×[V1..V2].
+func coarsenRange(fine *Histogram, out []int64, cly int, U1, V1, U2, V2 int) {
+	var us, vs [3]int
+	var uw, vw [3]int64
+	for U := U1; U <= U2; U++ {
+		nu := axisTaps(U, &us, &uw)
+		row := out[U*cly : (U+1)*cly]
+		for V := V1; V <= V2; V++ {
+			nv := axisTaps(V, &vs, &vw)
+			var c int64
+			for a := 0; a < nu; a++ {
+				for b := 0; b < nv; b++ {
+					c += uw[a] * vw[b] * fine.rawAt(us[a], vs[b])
+				}
+			}
+			if (U^V)&1 == 1 {
+				c = -c
+			}
+			row[V] = c
+		}
+	}
+}
+
+// coarsenHistogram derives the next pyramid level from fine. When scratch
+// matches the coarse lattice its arrays are rebuilt in place (generation
+// recycling); otherwise fresh arrays are allocated.
+func coarsenHistogram(fine *Histogram, scratch *Histogram, workers int) *Histogram {
+	cg := grid.New(fine.g.Extent(), fine.g.NX()/2, fine.g.NY()/2)
+	lx, ly := 2*cg.NX()-1, 2*cg.NY()-1
+	var raw []int64
+	var hc *prefixsum.Sum2D
+	if scratch != nil && scratch.lx == lx && scratch.ly == ly {
+		raw, hc = scratch.h, scratch.hc
+	} else {
+		raw = make([]int64, lx*ly)
+	}
+	fanLatticeChunks(lx, workers, func(lo, hi int) {
+		coarsenRange(fine, raw, ly, lo, 0, hi-1, ly-1)
+	})
+	if hc == nil {
+		hc = prefixsum.NewSum2DParallel(raw, lx, ly, workers)
+	} else {
+		hc.Rebuild(raw, workers)
+	}
+	return &Histogram{g: cg, lx: lx, ly: ly, h: raw, hc: hc, n: fine.n}
+}
+
+// coarseCoord maps a fine lattice coordinate to the single coarse lattice
+// coordinate whose stencil reads it: fine 4A, 4A+1, 4A+2 feed coarse 2A
+// (the merged face and its interior seams) and fine 4A+3 feeds coarse
+// 2A+1 (the surviving grid line). The map is monotone, so a fine dirty
+// box maps to a coarse dirty box corner by corner.
+func coarseCoord(u int) int {
+	U := 2 * (u / 4)
+	if u%4 == 3 {
+		U++
+	}
+	return U
+}
+
+// coarseDirty maps a fine-lattice dirty region one level up.
+func coarseDirty(d DirtyRegion) DirtyRegion {
+	if d.Empty() {
+		return d
+	}
+	return DirtyRegion{
+		U1: coarseCoord(d.U1), V1: coarseCoord(d.V1),
+		U2: coarseCoord(d.U2), V2: coarseCoord(d.V2),
+	}
+}
+
+// PyramidFromOpts tunes PyramidFrom.
+type PyramidFromOpts struct {
+	// Opts is the pyramid shape; it must match the donor's.
+	Opts PyramidOpts
+	// Donor is a previously built pyramid over the same base lattice whose
+	// coarse levels seed the repair. nil (or a shape mismatch) cold-builds.
+	Donor *Pyramid
+	// Stale bounds, in base-lattice coordinates, every bucket where the
+	// donor's published level-0 content differs from base. With an arena
+	// scratch donation this is exactly BuildStats.Dirty of the BuildFrom
+	// call that produced base.
+	Stale DirtyRegion
+	// InPlace repairs the donor's coarse-level buffers directly instead of
+	// cloning them — only sound when no live snapshot references the donor
+	// (the arena's collectible condition).
+	InPlace bool
+	// Crossover is the per-level repair-cost fraction above which a level
+	// is recoarsened outright; BuildFromOpts.Crossover semantics (0 means
+	// DefaultCrossover, negative always repairs).
+	Crossover float64
+}
+
+// PyramidFrom derives the pyramid of base incrementally: the donor's
+// coarse levels are patched only inside the dirty box mapped up level by
+// level (coarseDirty), each repair O(dirty box) via the stencil plus a
+// restricted cumulative sweep. The result is bit-identical to
+// NewPyramid(base, opts.Opts). An empty Stale rewraps the donor's coarse
+// levels around base without touching a bucket.
+func PyramidFrom(base *Histogram, opts PyramidFromOpts) *Pyramid {
+	d := opts.Donor
+	if d == nil || len(d.levels) == 0 || d.levels[0].lx != base.lx || d.levels[0].ly != base.ly {
+		return NewPyramid(base, opts.Opts)
+	}
+	levels := []*Histogram{base}
+	dirty := opts.Stale
+	for k := 1; k < len(d.levels); k++ {
+		fine := levels[k-1]
+		donor := d.levels[k]
+		dirty = coarseDirty(dirty)
+		levels = append(levels, repairLevel(fine, donor, dirty, opts))
+	}
+	// The donor may have been shallower than the options allow (it never
+	// is in steady state — the shape is fixed per store — but a cold donor
+	// built under different options must not truncate the stack).
+	for opts.Opts.MaxLevels <= 0 || len(levels)-1 < opts.Opts.MaxLevels {
+		fine := levels[len(levels)-1]
+		if !opts.Opts.canCoarsen(fine.g) {
+			break
+		}
+		levels = append(levels, coarsenHistogram(fine, nil, opts.Opts.Workers))
+	}
+	return &Pyramid{levels: levels}
+}
+
+// repairLevel produces the coarse level above fine from a donor level
+// whose content differs from the target only inside dirty (coarse
+// coordinates). Outside the crossover it recoarsens the whole level into
+// the donor's buffers (or fresh ones).
+func repairLevel(fine, donor *Histogram, dirty DirtyRegion, opts PyramidFromOpts) *Histogram {
+	if dirty.Empty() {
+		// Untouched: the donor's arrays are already exact. Rewrap so the
+		// returned level carries the (unchanged) count of the new base.
+		return &Histogram{g: donor.g, lx: donor.lx, ly: donor.ly, h: donor.h, hc: donor.hc, n: fine.n}
+	}
+	target := donor
+	if !opts.InPlace {
+		target = &Histogram{
+			g: donor.g, lx: donor.lx, ly: donor.ly,
+			h:  append([]int64(nil), donor.h...),
+			hc: donor.hc.Clone(),
+		}
+	}
+	crossover := opts.Crossover
+	if crossover == 0 {
+		crossover = DefaultCrossover
+	}
+	lattice := float64(donor.lx) * float64(donor.ly)
+	if crossover >= 0 && levelRepairCost(donor, dirty, donor.n != fine.n) > crossover*3*lattice {
+		return coarsenHistogram(fine, target, opts.Opts.Workers)
+	}
+	u1, v1, u2, v2 := dirty.U1, dirty.V1, dirty.U2, dirty.V2
+	bw := v2 - v1 + 1
+	delta := make([]int64, int(dirty.Area()))
+	coarsenRange(fine, target.h, target.ly, u1, v1, u2, v2)
+	// The stencil wrote the new values over the dirty box; the cumulative
+	// form still holds the old ones, so read each delta back out of the
+	// prefix array via a 1-cell range sum before patching it.
+	for u := u1; u <= u2; u++ {
+		drow := delta[(u-u1)*bw : (u-u1+1)*bw]
+		for v := v1; v <= v2; v++ {
+			drow[v-v1] = target.h[u*target.ly+v] - target.hc.RangeSum(u, v, u, v)
+		}
+	}
+	target.hc.AddRegionDelta(u1, v1, u2, v2, delta)
+	return &Histogram{g: target.g, lx: target.lx, ly: target.ly, h: target.h, hc: target.hc, n: fine.n}
+}
+
+// levelRepairCost mirrors Builder.repairCost for a coarse-level repair:
+// the box is visited for the stencil gather (9 reads per bucket ≈ two
+// box passes) and the delta add, the prefix tails and strips once, and
+// the quadrant only when the object count changed.
+func levelRepairCost(donor *Histogram, r DirtyRegion, countChanged bool) float64 {
+	box := float64(r.Area())
+	bh := float64(r.U2 - r.U1 + 1)
+	bw := float64(r.V2 - r.V1 + 1)
+	cost := 3*box + bh*float64(donor.ly-r.V2-1) + float64(donor.lx-r.U2-1)*bw
+	if countChanged {
+		cost += float64(donor.lx-r.U2-1) * float64(donor.ly-r.V2-1)
+	}
+	return cost
+}

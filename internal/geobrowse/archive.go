@@ -146,7 +146,7 @@ func (s *ArchiveServer) handleBrowse(w http.ResponseWriter, r *http.Request) {
 
 	// The filter participates in the cache key via its raw parameters.
 	facets := r.URL.Query().Get("subjects") + "|" + r.URL.Query().Get("from") + "|" + r.URL.Query().Get("to")
-	key := browseKey(0, span, cols, rows, facets)
+	key := browseKey(0, 0, span, cols, rows, facets)
 	data, err := s.cache.Do(key, func() ([]byte, error) {
 		matching, err := s.a.MatchCount(f)
 		if err != nil {

@@ -240,7 +240,7 @@ func (s *Server) handleBrowse(w http.ResponseWriter, r *http.Request) {
 	// generation's histogram buffers.
 	est, gen, release := acquireEstimator(s.src)
 	defer release()
-	key := browseKey(gen, span, cols, rows, "")
+	key := browseKey(gen, resolvedLevel(est, span, cols, rows), span, cols, rows, "")
 	data, err := s.cache.Do(key, func() ([]byte, error) {
 		ests, err := s.estimateTiles(est, span, cols, rows)
 		if err != nil {
@@ -339,14 +339,31 @@ func tileEstimates(g *grid.Grid, region grid.Span, cols, rows int, ests []core.E
 	return tiles
 }
 
+// resolvedLevel returns the pyramid level a zoom-routing estimator would
+// serve this tile map from, and 0 for plain estimators. The browse cache
+// key must carry it: two requests over the same base-grid region and
+// tiling can still resolve different levels once a snapshot swap changes
+// the stack depth, and — more fundamentally — the level is part of what
+// was computed, so keying on the request alone would be lying to the
+// cache if routing rules ever coarsen differently per request.
+func resolvedLevel(est core.Estimator, span grid.Span, cols, rows int) int {
+	if z, ok := est.(*core.Zoom); ok {
+		level, _ := z.RouteGrid(span, cols, rows)
+		return level
+	}
+	return 0
+}
+
 // browseKey identifies one browse computation. gen is the snapshot
 // generation the response was computed against (0 for fixed summaries), so
 // publishing a new generation invalidates exactly the stale entries:
 // fresh requests form new keys and miss, while entries for other
 // generations are left to age out of the LRU rather than being flushed.
-// facets distinguishes faceted (archive) requests over the same region.
-func browseKey(gen uint64, span grid.Span, cols, rows int, facets string) string {
-	return fmt.Sprintf("g%d:%d,%d,%d,%d/%dx%d;%s", gen, span.I1, span.J1, span.I2, span.J2, cols, rows, facets)
+// level is the resolved pyramid level the map is served from (0 when no
+// pyramid is in play). facets distinguishes faceted (archive) requests
+// over the same region.
+func browseKey(gen uint64, level int, span grid.Span, cols, rows int, facets string) string {
+	return fmt.Sprintf("g%d:l%d:%d,%d,%d,%d/%dx%d;%s", gen, level, span.I1, span.J1, span.I2, span.J2, cols, rows, facets)
 }
 
 // parseBrowse reads the region and tiling of a browse request, bounding

@@ -21,9 +21,16 @@ import (
 // repairs dirty ∪ stale, which keeps donated buffers bit-identical to a
 // fresh build.
 
-// histLease tracks one retained histogram of one partition.
+// histLease tracks one retained histogram of one partition, together with
+// the pyramid published over it (nil when pyramids are disabled). A
+// collectible lease donates both: the base arrays go to euler.BuildFrom as
+// scratch and the pyramid's coarse levels to euler.PyramidFrom for
+// in-place repair — the collectible condition covers them jointly, since
+// the snapshots referencing the histogram are exactly the ones whose zoom
+// estimator references the coarse levels.
 type histLease struct {
 	hist  *euler.Histogram
+	pyr   *euler.Pyramid
 	stale euler.DirtyRegion
 	snaps []*Snapshot // snapshots whose estimator references hist
 }
@@ -102,14 +109,15 @@ func (a *genArena) damage(i int, dmg euler.DirtyRegion) {
 	}
 }
 
-// track registers a freshly published histogram for partition i.
-func (a *genArena) track(i int, h *euler.Histogram, sn *Snapshot) {
-	a.parts[i] = append(a.parts[i], &histLease{hist: h, stale: euler.EmptyRegion(), snaps: []*Snapshot{sn}})
+// track registers a freshly published histogram (and its pyramid, when
+// enabled) for partition i.
+func (a *genArena) track(i int, h *euler.Histogram, p *euler.Pyramid, sn *Snapshot) {
+	a.parts[i] = append(a.parts[i], &histLease{hist: h, pyr: p, stale: euler.EmptyRegion(), snaps: []*Snapshot{sn}})
 }
 
 // attach records that sn shares partition i's histogram h with earlier
 // snapshots (the partition was untouched between their generations).
-func (a *genArena) attach(i int, h *euler.Histogram, sn *Snapshot) {
+func (a *genArena) attach(i int, h *euler.Histogram, p *euler.Pyramid, sn *Snapshot) {
 	for _, l := range a.parts[i] {
 		if l.hist == h {
 			l.snaps = append(l.snaps, sn)
@@ -117,7 +125,7 @@ func (a *genArena) attach(i int, h *euler.Histogram, sn *Snapshot) {
 		}
 	}
 	// h predates the arena (first generations) — start tracking it.
-	a.track(i, h, sn)
+	a.track(i, h, p, sn)
 }
 
 // prune drops the oldest retired leases past maxLeases.

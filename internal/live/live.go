@@ -114,6 +114,15 @@ type Config struct {
 	// falls back to a full cumulative pass instead of dirty-region repair.
 	// 0 means euler.DefaultCrossover; negative always repairs.
 	RebuildCrossover float64
+	// PyramidLevels enables multi-resolution serving: each generation
+	// carries up to this many coarse histogram levels above the base, kept
+	// incrementally by propagating the rebuild's dirty region up the stack,
+	// and the published estimator routes level-aligned tile maps to the
+	// coarsest level that answers them exactly. <= 0 disables pyramids.
+	PyramidLevels int
+	// PyramidMinGrid stops coarsening before either axis would drop below
+	// this many cells. 0 means euler.DefaultPyramidMinGrid.
+	PyramidMinGrid int
 	// Telemetry receives the store's metrics; nil means telemetry.Default().
 	Telemetry *telemetry.Registry
 }
@@ -192,6 +201,7 @@ type Store struct {
 
 	rebuildMu sync.Mutex // serializes rebuilds so generations publish in order
 	lastHists []*euler.Histogram
+	lastPyrs  []*euler.Pyramid // nil entries when pyramids are disabled
 	arena     *genArena
 	snap      atomic.Pointer[Snapshot]
 	gen       atomic.Uint64
@@ -222,6 +232,7 @@ func Open(cfg Config) (*Store, error) {
 		done:      make(chan struct{}),
 		m:         newMetrics(cfg.Telemetry),
 		lastHists: make([]*euler.Histogram, cfg.groups()),
+		lastPyrs:  make([]*euler.Pyramid, cfg.groups()),
 		arena:     newGenArena(cfg.groups()),
 	}
 
@@ -410,6 +421,7 @@ func (s *Store) rebuild() {
 	lattice := (2*s.cfg.Grid.NX() - 1) * (2*s.cfg.Grid.NY() - 1)
 	hists := make([]*euler.Histogram, len(s.builders))
 	dmg := make([]euler.DirtyRegion, len(s.builders))
+	leases := make([]*histLease, len(s.builders))
 	incremental := true
 	var dirtyArea float64
 
@@ -427,6 +439,7 @@ func (s *Store) rebuild() {
 		}
 		if lease := s.arena.take(i); lease != nil {
 			opts.Scratch, opts.Stale = lease.hist, lease.stale
+			leases[i] = lease
 		}
 		h, stats := b.BuildFrom(prev, opts)
 		hists[i] = h
@@ -458,7 +471,8 @@ func (s *Store) rebuild() {
 		return
 	}
 
-	est := s.estimatorFor(hists)
+	pyrs := s.derivePyramids(hists, dmg, leases)
+	est := s.estimatorFor(hists, pyrs)
 	snap := &Snapshot{
 		Gen:       s.gen.Add(1),
 		Est:       est,
@@ -470,16 +484,19 @@ func (s *Store) rebuild() {
 
 	for i := range hists {
 		if hists[i] == s.lastHists[i] && s.lastHists[i] != nil {
-			s.arena.attach(i, hists[i], snap)
+			s.arena.attach(i, hists[i], s.pyrAt(pyrs, i), snap)
 			continue
 		}
 		// Everything retained for this partition now lags the published
 		// content by the repaired region; record that before tracking the
 		// new histogram (whose lag is empty).
 		s.arena.damage(i, dmg[i])
-		s.arena.track(i, hists[i], snap)
+		s.arena.track(i, hists[i], s.pyrAt(pyrs, i), snap)
 		s.arena.prune(i)
 		s.lastHists[i] = hists[i]
+		if pyrs != nil {
+			s.lastPyrs[i] = pyrs[i]
+		}
 	}
 
 	old := s.snap.Swap(snap)
@@ -501,16 +518,77 @@ func (s *Store) rebuild() {
 	s.m.lastRebuild.Set(snap.BuiltAt.Unix())
 }
 
+// derivePyramids builds the generation's coarse levels — nil when
+// pyramids are disabled. An untouched partition shares the previous
+// pyramid wholesale. A rebuilt one is repaired from a donor: when the
+// rebuild recycled an arena lease, the lease's pyramid is repaired in
+// place (its base arrays are already the new histogram's, and the
+// collectible condition guarantees no snapshot still reads its coarse
+// buffers); otherwise the last published pyramid is clone-repaired.
+// Either way the dirty bound is BuildStats.Dirty — the builder's dirty
+// region unioned with the donated buffer's staleness — which is exactly
+// where the donor's content can differ from the new base.
+func (s *Store) derivePyramids(hists []*euler.Histogram, dmg []euler.DirtyRegion, leases []*histLease) []*euler.Pyramid {
+	if s.cfg.PyramidLevels <= 0 {
+		return nil
+	}
+	popts := euler.PyramidOpts{
+		MaxLevels: s.cfg.PyramidLevels,
+		MinGrid:   s.cfg.PyramidMinGrid,
+	}
+	pyrs := make([]*euler.Pyramid, len(hists))
+	for i, h := range hists {
+		if h == s.lastHists[i] && s.lastPyrs[i] != nil {
+			pyrs[i] = s.lastPyrs[i]
+			continue
+		}
+		opts := euler.PyramidFromOpts{
+			Opts:      popts,
+			Donor:     s.lastPyrs[i],
+			Stale:     dmg[i],
+			Crossover: s.cfg.RebuildCrossover,
+		}
+		opts.Opts.Workers = euler.AutoWorkers((2*s.cfg.Grid.NX()-1)*(2*s.cfg.Grid.NY()-1), int(h.Count()))
+		if lease := leases[i]; lease != nil && lease.pyr != nil {
+			opts.Donor, opts.InPlace = lease.pyr, true
+		}
+		pyrs[i] = euler.PyramidFrom(h, opts)
+	}
+	return pyrs
+}
+
+// pyrAt indexes pyrs tolerating the disabled (nil) case.
+func (s *Store) pyrAt(pyrs []*euler.Pyramid, i int) *euler.Pyramid {
+	if pyrs == nil {
+		return nil
+	}
+	return pyrs[i]
+}
+
 // estimatorFor assembles the configured estimator from finalized
-// histograms. The config was validated at Open and every histogram shares
-// the store's grid, so assembly cannot fail.
-func (s *Store) estimatorFor(hists []*euler.Histogram) core.Estimator {
+// histograms — zoom-routing stacks when pyramids are enabled. The config
+// was validated at Open and every histogram shares the store's grid, so
+// assembly cannot fail.
+func (s *Store) estimatorFor(hists []*euler.Histogram, pyrs []*euler.Pyramid) core.Estimator {
 	switch s.cfg.Algo {
 	case AlgoSEuler:
+		if pyrs != nil {
+			return core.ZoomSEuler(pyrs[0])
+		}
 		return core.NewSEuler(hists[0])
 	case AlgoEuler:
+		if pyrs != nil {
+			return core.ZoomEuler(pyrs[0])
+		}
 		return core.NewEuler(hists[0])
 	default:
+		if pyrs != nil {
+			z, err := core.ZoomMEuler(s.cfg.Areas, pyrs)
+			if err != nil {
+				panic(fmt.Sprintf("live: rebuilding validated config: %v", err))
+			}
+			return z
+		}
 		m, err := core.MEulerFromHistograms(s.cfg.Areas, hists)
 		if err != nil {
 			panic(fmt.Sprintf("live: rebuilding validated config: %v", err))
@@ -591,6 +669,9 @@ type Status struct {
 	SnapshotSwapped int64   `json:"snapshotMutations"`
 	GridNX          int     `json:"gridNX"`
 	GridNY          int     `json:"gridNY"`
+	// PyramidLevels is the number of coarse levels above the base in the
+	// current snapshot's zoom stack; 0 when pyramids are disabled.
+	PyramidLevels int `json:"pyramidLevels"`
 }
 
 // Status reports the store's current generation, staleness and journal
@@ -609,6 +690,10 @@ func (s *Store) Status() Status {
 		walBytes = s.wal.size
 	}
 	s.mu.Unlock()
+	pyramidLevels := 0
+	if z, ok := snap.Est.(*core.Zoom); ok {
+		pyramidLevels = z.NumLevels() - 1
+	}
 	return Status{
 		Algorithm:       snap.Est.Name(),
 		Generation:      snap.Gen,
@@ -625,6 +710,7 @@ func (s *Store) Status() Status {
 		SnapshotSwapped: snap.Mutations,
 		GridNX:          s.cfg.Grid.NX(),
 		GridNY:          s.cfg.Grid.NY(),
+		PyramidLevels:   pyramidLevels,
 	}
 }
 

@@ -209,6 +209,24 @@ func escapeLabel(v string) string {
 	return b.String()
 }
 
+// CounterValues reads every counter in a family, keyed by the rendered
+// label suffix ({k="v"} sorted by key, "" for the unlabeled series). It is
+// the read-side companion of Counter for periodic self-reports that want
+// per-label breakdowns — e.g. pyramid level hit rates — without scraping
+// the text endpoint.
+func (r *Registry) CounterValues(name string) map[string]int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]int64)
+	for _, s := range r.series {
+		if s.c == nil || s.family != name {
+			continue
+		}
+		out[s.labels] = s.c.Value()
+	}
+	return out
+}
+
 // FamilySnapshot merges the snapshots of every histogram in a family
 // (i.e. across its label variants), for aggregate quantiles such as a
 // server-wide p99 over per-endpoint latency histograms. Histograms whose

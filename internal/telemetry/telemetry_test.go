@@ -218,3 +218,22 @@ func TestTypeMismatchPanics(t *testing.T) {
 	}()
 	r.Gauge("m", "")
 }
+
+func TestCounterValues(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "", "level", "0").Add(7)
+	r.Counter("hits_total", "", "level", "1").Add(3)
+	r.Counter("hits_total", "")
+	r.Counter("other_total", "").Inc()
+	r.Gauge("hits_gauge", "") // different family, different type
+	got := r.CounterValues("hits_total")
+	want := map[string]int64{`{level="0"}`: 7, `{level="1"}`: 3, "": 0}
+	if len(got) != len(want) {
+		t.Fatalf("CounterValues = %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("CounterValues[%q] = %d, want %d", k, got[k], v)
+		}
+	}
+}
