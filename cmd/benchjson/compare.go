@@ -52,21 +52,28 @@ func Compare(cur, base *Report) []Delta {
 }
 
 // writeComparison prints one GitHub workflow annotation per compared
-// benchmark: ::warning for a slowdown beyond tolerance, ::notice
-// otherwise. The job stays green either way — machine variance on shared
-// CI runners makes a hard gate flakier than it is protective; the
-// annotation puts the number in front of the reviewer instead.
-func writeComparison(w io.Writer, deltas []Delta, tolerance float64) {
+// benchmark and returns how many regressed beyond tolerance. In
+// informational mode (gate false) a slowdown is a ::warning — machine
+// variance on shared CI runners makes a hard gate on noisy benchmarks
+// flakier than it is protective. With gate true the slowdown is an
+// ::error instead: callers promote hermetic benchmarks (deterministic
+// input, generous tolerance) to a failing check via -fail-on-regression.
+func writeComparison(w io.Writer, deltas []Delta, tolerance float64, gate bool) (regressions int) {
 	if len(deltas) == 0 {
 		fmt.Fprintln(w, "::notice::benchjson: no benchmarks in common with the baseline")
-		return
+		return 0
+	}
+	slow := "::warning::"
+	if gate {
+		slow = "::error::"
 	}
 	for _, d := range deltas {
 		pct := (d.Ratio - 1) * 100
 		switch {
 		case d.Ratio > 1+tolerance:
-			fmt.Fprintf(w, "::warning::%s regressed %+.1f%% vs baseline (%.0f -> %.0f ns/op)\n",
-				d.Name, pct, d.Base, d.Current)
+			regressions++
+			fmt.Fprintf(w, "%s%s regressed %+.1f%% vs baseline (%.0f -> %.0f ns/op)\n",
+				slow, d.Name, pct, d.Base, d.Current)
 		case d.Ratio < 1-tolerance:
 			fmt.Fprintf(w, "::notice::%s improved %+.1f%% vs baseline (%.0f -> %.0f ns/op)\n",
 				d.Name, pct, d.Base, d.Current)
@@ -75,4 +82,5 @@ func writeComparison(w io.Writer, deltas []Delta, tolerance float64) {
 				d.Name, pct, d.Base, d.Current)
 		}
 	}
+	return regressions
 }

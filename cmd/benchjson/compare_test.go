@@ -34,8 +34,11 @@ func TestCompare(t *testing.T) {
 	}
 
 	var sb strings.Builder
-	writeComparison(&sb, deltas, 0.20)
+	n := writeComparison(&sb, deltas, 0.20, false)
 	out := sb.String()
+	if n != 1 {
+		t.Errorf("regression count = %d, want 1", n)
+	}
 	if !strings.Contains(out, "::warning::BenchmarkRebuildFull regressed +60.0%") {
 		t.Errorf("missing regression warning in:\n%s", out)
 	}
@@ -47,11 +50,37 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+// TestCompareGateMode checks the -fail-on-regression rendering: the same
+// slowdown becomes an ::error and is counted, improvements stay notices.
+func TestCompareGateMode(t *testing.T) {
+	base := report(map[string]float64{"BenchmarkSlow": 1000, "BenchmarkFast": 1000, "BenchmarkFlat": 1000})
+	cur := report(map[string]float64{"BenchmarkSlow": 4000, "BenchmarkFast": 400, "BenchmarkFlat": 1050})
+	var sb strings.Builder
+	n := writeComparison(&sb, Compare(cur, base), 2.0, true)
+	out := sb.String()
+	if n != 1 {
+		t.Fatalf("regression count = %d, want 1:\n%s", n, out)
+	}
+	if !strings.Contains(out, "::error::BenchmarkSlow regressed +300.0%") {
+		t.Errorf("gate mode must annotate with ::error:\n%s", out)
+	}
+	if strings.Contains(out, "::error::BenchmarkFast") || strings.Contains(out, "::error::BenchmarkFlat") {
+		t.Errorf("only slowdowns beyond tolerance may be errors:\n%s", out)
+	}
+	// A generous tolerance passes everything.
+	sb.Reset()
+	if n := writeComparison(&sb, Compare(cur, base), 10.0, true); n != 0 {
+		t.Fatalf("within-tolerance gate counted %d regressions:\n%s", n, sb.String())
+	}
+}
+
 func TestCompareWithinTolerance(t *testing.T) {
 	base := report(map[string]float64{"BenchmarkX": 1000})
 	cur := report(map[string]float64{"BenchmarkX": 1100})
 	var sb strings.Builder
-	writeComparison(&sb, Compare(cur, base), 0.20)
+	if n := writeComparison(&sb, Compare(cur, base), 0.20, false); n != 0 {
+		t.Errorf("within-tolerance compare counted %d regressions", n)
+	}
 	if !strings.Contains(sb.String(), "::notice::BenchmarkX within tolerance (+10.0%") {
 		t.Errorf("want within-tolerance notice, got:\n%s", sb.String())
 	}
@@ -60,7 +89,7 @@ func TestCompareWithinTolerance(t *testing.T) {
 func TestCompareNoOverlap(t *testing.T) {
 	var sb strings.Builder
 	writeComparison(&sb, Compare(report(map[string]float64{"BenchmarkA": 1}),
-		report(map[string]float64{"BenchmarkB": 1})), 0.20)
+		report(map[string]float64{"BenchmarkB": 1})), 0.20, true)
 	if !strings.Contains(sb.String(), "no benchmarks in common") {
 		t.Errorf("want no-overlap notice, got:\n%s", sb.String())
 	}

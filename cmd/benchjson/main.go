@@ -16,10 +16,16 @@
 //
 // With -baseline it additionally compares the current medians against a
 // committed benchjson document and emits one GitHub workflow annotation
-// per benchmark (::warning beyond -tolerance, ::notice otherwise). The
-// comparison is informational: it never changes the exit status.
+// per benchmark (::warning beyond -tolerance, ::notice otherwise). By
+// default the comparison is informational — it never changes the exit
+// status. With -fail-on-regression, slowdowns beyond -tolerance become
+// ::error annotations and benchjson exits non-zero after writing the
+// artifact, turning the comparison into a CI gate. Reserve the gate for
+// hermetic benchmarks with a generous tolerance; wall-clock ratios on
+// shared runners are noisy.
 //
 //	go test -bench 'Rebuild' | benchjson -out BENCH_ci.json -baseline BENCH_pr4.json -tolerance 0.20
+//	go test -bench 'Estimate' | benchjson -baseline BENCH_pr7.json -tolerance 2.0 -fail-on-regression
 package main
 
 import (
@@ -36,8 +42,9 @@ func main() {
 	log.SetPrefix("benchjson: ")
 	in := flag.String("in", "", "bench output file (default stdin)")
 	out := flag.String("out", "", "JSON output file (default stdout)")
-	baseline := flag.String("baseline", "", "benchjson document to compare medians against (informational, never fails)")
-	tolerance := flag.Float64("tolerance", 0.20, "fractional ns/op change beyond which a comparison becomes a ::warning")
+	baseline := flag.String("baseline", "", "benchjson document to compare medians against (informational unless -fail-on-regression)")
+	tolerance := flag.Float64("tolerance", 0.20, "fractional ns/op change beyond which a comparison becomes a ::warning (or ::error with -fail-on-regression)")
+	failOnRegression := flag.Bool("fail-on-regression", false, "exit non-zero when any benchmark regresses beyond -tolerance (after writing -out)")
 	flag.Parse()
 
 	src := io.Reader(os.Stdin)
@@ -57,14 +64,8 @@ func main() {
 		log.Fatal("no benchmark results in input")
 	}
 
-	if *baseline != "" {
-		base, err := loadReport(*baseline)
-		if err != nil {
-			log.Fatal(err)
-		}
-		writeComparison(os.Stdout, Compare(report, base), *tolerance)
-	}
-
+	// Write the artifact before gating: a failing comparison must still
+	// leave the JSON document behind for the uploaded build artifact.
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -72,11 +73,22 @@ func main() {
 	data = append(data, '\n')
 	if *out == "" {
 		os.Stdout.Write(data)
-		return
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d runs of %d benchmarks -> %s\n",
+			len(report.Runs), len(report.Summary), *out)
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		log.Fatal(err)
+
+	if *baseline != "" {
+		base, err := loadReport(*baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		regressions := writeComparison(os.Stdout, Compare(report, base), *tolerance, *failOnRegression)
+		if *failOnRegression && regressions > 0 {
+			log.Fatalf("%d benchmark(s) regressed beyond %.0f%% vs %s", regressions, *tolerance*100, *baseline)
+		}
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: %d runs of %d benchmarks -> %s\n",
-		len(report.Runs), len(report.Summary), *out)
 }

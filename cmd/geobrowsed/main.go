@@ -25,6 +25,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -63,6 +64,11 @@ func main() {
 		pyrLevels  = flag.Int("pyramid-levels", 4, "coarse histogram levels above the base for zoom-native browse routing (0 disables the pyramid)")
 		pyrMinGrid = flag.Int("pyramid-min-grid", euler.DefaultPyramidMinGrid, "stop pyramid coarsening before either grid axis would drop below this many cells")
 
+		tenantsArg   = flag.String("tenants", "", `serve multiple datasets behind /api/{tenant}/: comma-separated name=dataset[:n] specs (e.g. "west=adl:100000,east=uni")`)
+		tenantBudget = flag.Int64("tenant-budget", 0, "memory budget in MiB for resident tenant estimators (0 = unlimited); cold tenants are evicted LRU-first")
+		maxInflight  = flag.Int("max-inflight", 0, "admission control: concurrent browse-path requests admitted (0 disables)")
+		shedAfter    = flag.Duration("shed-after", geobrowse.DefaultShedAfter, "admission control: bounded wait before a queued request is shed with 429")
+
 		liveMode  = flag.Bool("live", false, "serve a mutable ingestion store (POST /api/ingest, /api/delete) instead of a fixed summary")
 		walPath   = flag.String("wal", "", "live mode: write-ahead log file (empty = in-memory, no durability)")
 		ckptPath  = flag.String("checkpoint", "", "live mode: checkpoint file written on shutdown and loaded on start")
@@ -77,9 +83,49 @@ func main() {
 	if *logReq {
 		opts.AccessLog = os.Stderr
 	}
+	if *maxInflight > 0 {
+		opts.Limiter = geobrowse.NewLimiter(geobrowse.AdmissionConfig{
+			MaxInflight: *maxInflight,
+			ShedAfter:   *shedAfter,
+			Telemetry:   telemetry.Default(),
+		})
+		log.Printf("admission control: %d in-flight, shed after %v", *maxInflight, *shedAfter)
+	}
 
 	if *liveMode && *loadSum != "" {
 		log.Fatal("geobrowsed: -live builds its own store; it cannot serve a -load summary")
+	}
+
+	if *tenantsArg != "" {
+		if *liveMode || *loadSum != "" || *file != "" {
+			log.Fatal("geobrowsed: -tenants generates its datasets; it composes with -algo/-n/-seed only")
+		}
+		tenants, err := parseTenants(*tenantsArg, *n, func(dsName string, count int, seed int64) (core.Estimator, error) {
+			d, err := dataset.Generate(dsName, count, seed)
+			if err != nil {
+				return nil, err
+			}
+			est, err := buildEstimator(*algo, *areasArg, grid.New(d.Extent, *gridW, *gridH), d)
+			if err != nil {
+				return nil, err
+			}
+			return zoomWrap(est, *pyrLevels, *pyrMinGrid), nil
+		}, *seed)
+		if err != nil {
+			log.Fatalf("geobrowsed: %v", err)
+		}
+		reg, err := geobrowse.NewRegistry(tenants, geobrowse.RegistryOptions{
+			MemoryBudget: *tenantBudget << 20,
+			Server:       opts,
+		})
+		if err != nil {
+			log.Fatalf("geobrowsed: %v", err)
+		}
+		ms := geobrowse.NewMultiServer(reg)
+		log.Printf("serving %d tenants (%s), budget %d MiB, lazy-loaded on first touch",
+			len(tenants), strings.Join(reg.Tenants(), ", "), *tenantBudget)
+		run(*addr, ms, ms.StartDrain, nil, *pprofOn, *report, nil)
+		return
 	}
 
 	if *loadSum != "" {
@@ -138,7 +184,8 @@ func main() {
 		st := store.Status()
 		log.Printf("live store open in %v: %s, %d objects, generation %d, %d replayed mutations (wal %q, %d bytes)",
 			time.Since(start).Round(time.Millisecond), st.Algorithm, st.LiveObjects, st.Generation, st.Mutations, *walPath, st.WALBytes)
-		run(*addr, geobrowse.NewLiveServer(d.Name, store, opts), *pprofOn, *report, store)
+		gb := geobrowse.NewLiveServer(d.Name, store, opts)
+		run(*addr, gb, gb.StartDrain, gb, *pprofOn, *report, store)
 		return
 	}
 
@@ -208,19 +255,21 @@ func zoomWrap(est core.Estimator, levels, minGrid int) core.Estimator {
 
 // serve runs the GeoBrowse handler over a fixed estimator.
 func serve(addr, name string, est core.Estimator, opts geobrowse.Options, pprofOn bool, report time.Duration) {
-	run(addr, geobrowse.NewServerOpts(name, est, opts), pprofOn, report, nil)
+	gb := geobrowse.NewServerOpts(name, est, opts)
+	run(addr, gb, gb.StartDrain, gb, pprofOn, report, nil)
 }
 
-// run serves gb (which exposes Prometheus metrics at /metrics), optionally
-// mounts net/http/pprof, and starts the periodic self-report loop. On
-// SIGINT/SIGTERM it drains in-flight requests and, when fronting a live
-// store, closes it — syncing the journal and writing the checkpoint — so a
-// clean shutdown never loses acknowledged mutations.
-func run(addr string, gb *geobrowse.Server, pprofOn bool, report time.Duration, store *live.Store) {
-	handler := http.Handler(gb)
+// run serves handler (which exposes Prometheus metrics at /metrics),
+// optionally mounts net/http/pprof, and starts the periodic self-report
+// loop (gb may be nil in multi-tenant mode; cache stats are skipped). On
+// SIGINT/SIGTERM it calls drain — flipping /healthz to 503 so load
+// balancers stop routing here — then drains in-flight requests and, when
+// fronting a live store, closes it — syncing the journal and writing the
+// checkpoint — so a clean shutdown never loses acknowledged mutations.
+func run(addr string, handler http.Handler, drain func(), gb *geobrowse.Server, pprofOn bool, report time.Duration, store *live.Store) {
 	if pprofOn {
 		mux := http.NewServeMux()
-		mux.Handle("/", gb)
+		mux.Handle("/", handler)
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -249,6 +298,9 @@ func run(addr string, gb *geobrowse.Server, pprofOn bool, report time.Duration, 
 		log.Fatal(err)
 	case got := <-sig:
 		log.Printf("received %v, shutting down", got)
+		if drain != nil {
+			drain()
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
@@ -279,12 +331,20 @@ func selfReport(s *geobrowse.Server, every time.Duration, store *live.Store) {
 	prev := reg.FamilySnapshot("geobrowse_http_request_seconds")
 	prevRebuild := reg.FamilySnapshot("live_rebuild_seconds")
 	prevDirty := reg.FamilySnapshot("live_rebuild_dirty_frac")
-	prevHits, prevMisses := s.CacheStats()
+	cacheStats := func() (int64, int64) {
+		if s == nil { // multi-tenant mode: caches are per tenant
+			return 0, 0
+		}
+		return s.CacheStats()
+	}
+	prevHits, prevMisses := cacheStats()
 	prevLevels := reg.CounterValues(pyramidHitsMetric)
-	for range time.Tick(every) {
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for range ticker.C {
 		snap := reg.FamilySnapshot("geobrowse_http_request_seconds")
 		delta := snap.Sub(prev)
-		hits, misses := s.CacheStats()
+		hits, misses := cacheStats()
 		dh, dm := hits-prevHits, misses-prevMisses
 		hitRate := 0.0
 		if dh+dm > 0 {
@@ -372,6 +432,51 @@ func buildEstimator(algo, areasArg string, g *grid.Grid, d *dataset.Dataset) (co
 		return core.NewMEuler(g, areas, d.Rects)
 	}
 	return nil, fmt.Errorf("unknown algorithm %q (want seuler, euler or meuler)", algo)
+}
+
+// parseTenants expands a "-tenants" spec — comma-separated
+// name=dataset[:n] entries — into registry TenantConfigs whose loaders
+// call build. Each tenant derives its generation seed from the base seed
+// and its position in the spec, so tenant datasets are distinct but the
+// whole fleet stays reproducible from one -seed.
+func parseTenants(spec string, defaultN int,
+	build func(dsName string, n int, seed int64) (core.Estimator, error),
+	baseSeed int64) ([]geobrowse.TenantConfig, error) {
+	var tenants []geobrowse.TenantConfig
+	for idx, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(entry, "=")
+		if !ok || name == "" || rest == "" {
+			return nil, fmt.Errorf("tenant spec %q: want name=dataset[:n]", entry)
+		}
+		dsName, count := rest, defaultN
+		if ds, nStr, hasN := strings.Cut(rest, ":"); hasN {
+			v, err := strconv.Atoi(nStr)
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("tenant spec %q: bad object count %q", entry, nStr)
+			}
+			dsName, count = ds, v
+		}
+		// Validate eagerly: loaders run lazily on first touch, and a
+		// typo'd dataset name must fail at startup, not as 500s under
+		// traffic hours later.
+		if !slices.Contains(dataset.Names(), dsName) {
+			return nil, fmt.Errorf("tenant spec %q: unknown dataset %q (want one of %v)",
+				entry, dsName, dataset.Names())
+		}
+		seed := baseSeed + int64(idx)
+		tenants = append(tenants, geobrowse.TenantConfig{
+			Name: name,
+			Load: func() (core.Estimator, error) { return build(dsName, count, seed) },
+		})
+	}
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("tenant spec %q declares no tenants", spec)
+	}
+	return tenants, nil
 }
 
 func parseAreas(areasArg string) ([]float64, error) {

@@ -3,9 +3,55 @@ package main
 import (
 	"testing"
 
+	"spatialhist/internal/core"
 	"spatialhist/internal/dataset"
 	"spatialhist/internal/grid"
 )
+
+func TestParseTenants(t *testing.T) {
+	type built struct {
+		ds   string
+		n    int
+		seed int64
+	}
+	var calls []built
+	build := func(ds string, n int, seed int64) (core.Estimator, error) {
+		calls = append(calls, built{ds, n, seed})
+		return nil, nil
+	}
+	tenants, err := parseTenants("west=adl:1000, east=ca_road ,south=sp_skew:5", 42, build, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tenants) != 3 {
+		t.Fatalf("parsed %d tenants, want 3", len(tenants))
+	}
+	wantNames := []string{"west", "east", "south"}
+	for i, tc := range tenants {
+		if tc.Name != wantNames[i] {
+			t.Errorf("tenant %d = %q, want %q", i, tc.Name, wantNames[i])
+		}
+		if _, err := tc.Load(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Loaders capture their own dataset, count (default when omitted) and
+	// a per-tenant seed derived from the base.
+	want := []built{{"adl", 1000, 100}, {"ca_road", 42, 101}, {"sp_skew", 5, 102}}
+	for i, c := range calls {
+		if c != want[i] {
+			t.Errorf("loader %d built %+v, want %+v", i, c, want[i])
+		}
+	}
+
+	// "uni" is the kind of typo that must fail at startup, not as 500s
+	// at first lazy touch.
+	for _, bad := range []string{"", "noequals", "=adl", "west=", "west=adl:0", "west=adl:x", " , ", "east=uni"} {
+		if _, err := parseTenants(bad, 42, build, 1); err == nil {
+			t.Errorf("spec %q must error", bad)
+		}
+	}
+}
 
 func TestBuildEstimator(t *testing.T) {
 	d := dataset.SpSkew(200, 1)

@@ -1,0 +1,410 @@
+// Command loadgen replays deterministic browse-session traces against a
+// geobrowsed server and reports per-endpoint latency quantiles, error
+// and shed counts, and achieved throughput — the measurement half of the
+// CI latency-SLO gate.
+//
+// Sessions are seeded state machines (see trace.go): zoom/pan/drill
+// walks over Zipf-skewed hotspots with optional flash-crowd bursts and
+// ingest sidecars. The request stream is a pure function of -seed and
+// the target grid, so a run is reproducible and -dry-run can print the
+// stream (and its hash) without a server.
+//
+// Modes:
+//
+//	loadgen -target URL -duration 30s -slo slo.json   run, then gate
+//	loadgen -slocheck -report report.json -slo slo.json  re-check a report
+//	loadgen -dry-run 5 -grid 360x180                  print the stream
+//
+// Exit status: 0 on success, 1 on usage or run errors, 2 when the SLO is
+// violated.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spatialhist/internal/geobrowse"
+	"spatialhist/internal/geom"
+	"spatialhist/internal/grid"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+type config struct {
+	target      string
+	seed        int64
+	duration    time.Duration
+	requests    int64
+	concurrency int
+	sidecars    int
+	tenants     string
+	hotspots    int
+	zipfS       float64
+	flashEvery  int
+	flashLen    int
+	maxCols     int
+	maxRows     int
+	gridSpec    string
+	out         string
+	md          string
+	sloPath     string
+	sloCheck    bool
+	reportPath  string
+	dryRun      int
+	wait        time.Duration
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var c config
+	fs.StringVar(&c.target, "target", "http://localhost:8080", "base URL of the geobrowsed server")
+	fs.Int64Var(&c.seed, "seed", 1, "trace seed; same seed, same request stream")
+	fs.DurationVar(&c.duration, "duration", 30*time.Second, "run length (0 with -requests runs to the budget)")
+	fs.Int64Var(&c.requests, "requests", 0, "total request budget across workers (0 = duration only)")
+	fs.IntVar(&c.concurrency, "concurrency", 8, "closed-loop browse workers")
+	fs.IntVar(&c.sidecars, "sidecars", 0, "ingest sidecar workers (live stores only)")
+	fs.StringVar(&c.tenants, "tenants", "", "comma-separated tenant names for /api/{tenant}/ routing")
+	fs.IntVar(&c.hotspots, "hotspots", 16, "Zipf focal points")
+	fs.Float64Var(&c.zipfS, "zipf", 1.4, "Zipf exponent over hotspot ranks (> 1)")
+	fs.IntVar(&c.flashEvery, "flash-every", 400, "per-session flash-crowd period in requests (0 disables)")
+	fs.IntVar(&c.flashLen, "flash-len", 40, "flash-crowd window length in requests")
+	fs.IntVar(&c.maxCols, "max-cols", 12, "tile-map width bound")
+	fs.IntVar(&c.maxRows, "max-rows", 8, "tile-map height bound")
+	fs.StringVar(&c.gridSpec, "grid", "360x180", "grid WxH for -dry-run (live runs read /api/info)")
+	fs.StringVar(&c.out, "out", "", "write the JSON report to this file (default stdout)")
+	fs.StringVar(&c.md, "md", "", "also write a markdown latency table to this file")
+	fs.StringVar(&c.sloPath, "slo", "", "check the report against this SLO file; violations exit 2")
+	fs.BoolVar(&c.sloCheck, "slocheck", false, "standalone mode: check -report against -slo and exit")
+	fs.StringVar(&c.reportPath, "report", "", "existing report for -slocheck")
+	fs.IntVar(&c.dryRun, "dry-run", 0, "print the first N requests per session and the trace hash; no HTTP")
+	fs.DurationVar(&c.wait, "wait", 0, "poll target /healthz until ready for up to this long before starting")
+	if err := fs.Parse(argv); err != nil {
+		return 1
+	}
+
+	switch {
+	case c.sloCheck:
+		return runSLOCheck(c, stdout, stderr)
+	case c.dryRun > 0:
+		return runDryRun(c, stdout, stderr)
+	default:
+		return runLoad(c, stdout, stderr)
+	}
+}
+
+// runSLOCheck re-evaluates an existing report against an SLO file —
+// the cheap path CI uses to re-gate an uploaded artifact.
+func runSLOCheck(c config, stdout, stderr io.Writer) int {
+	if c.reportPath == "" || c.sloPath == "" {
+		fmt.Fprintln(stderr, "loadgen: -slocheck needs -report and -slo")
+		return 1
+	}
+	data, err := os.ReadFile(c.reportPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 1
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		fmt.Fprintf(stderr, "loadgen: parsing %s: %v\n", c.reportPath, err)
+		return 1
+	}
+	return gateSLO(&r, c.sloPath, stdout, stderr)
+}
+
+// gateSLO checks a report against the SLO file and reports the verdict.
+func gateSLO(r *Report, sloPath string, stdout, stderr io.Writer) int {
+	slo, err := LoadSLO(sloPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 1
+	}
+	violations := CheckSLO(r, slo)
+	if len(violations) == 0 {
+		fmt.Fprintf(stdout, "SLO %s: PASS (%d requests, %d errors, %d shed)\n",
+			sloPath, r.Requests, r.Errors, r.Shed)
+		return 0
+	}
+	fmt.Fprintf(stderr, "SLO %s: FAIL, %d violation(s):\n", sloPath, len(violations))
+	for _, v := range violations {
+		fmt.Fprintf(stderr, "  - %s\n", v)
+	}
+	return 2
+}
+
+// runDryRun prints each session's opening requests and the trace hash.
+// Two invocations with the same seed and options print identical bytes —
+// the determinism witness.
+func runDryRun(c config, stdout, stderr io.Writer) int {
+	g, err := parseGridSpec(c.gridSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 1
+	}
+	o := c.traceOpts(g)
+	for w := 0; w < c.concurrency; w++ {
+		s := NewSession(o, w)
+		for k := 0; k < c.dryRun; k++ {
+			req := s.Next()
+			fmt.Fprintf(stdout, "w%d %s %s\n", w, req.Method, req.Path)
+		}
+	}
+	for w := 0; w < c.sidecars; w++ {
+		s := NewIngestSession(o, w)
+		for k := 0; k < c.dryRun; k++ {
+			req := s.Next()
+			fmt.Fprintf(stdout, "i%d %s %s %s\n", w, req.Method, req.Path, req.Body)
+		}
+	}
+	fmt.Fprintf(stdout, "trace_hash %016x\n", TraceHash(o, c.concurrency, c.sidecars, c.dryRun))
+	return 0
+}
+
+func (c config) traceOpts(g *grid.Grid) TraceOpts {
+	return TraceOpts{
+		Seed:       c.seed,
+		Grid:       g,
+		Tenants:    splitTenants(c.tenants),
+		Hotspots:   c.hotspots,
+		ZipfS:      c.zipfS,
+		MaxCols:    c.maxCols,
+		MaxRows:    c.maxRows,
+		FlashEvery: c.flashEvery,
+		FlashLen:   c.flashLen,
+	}
+}
+
+func splitTenants(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseGridSpec(spec string) (*grid.Grid, error) {
+	w, h, ok := strings.Cut(spec, "x")
+	if ok {
+		nx, err1 := strconv.Atoi(w)
+		ny, err2 := strconv.Atoi(h)
+		if err1 == nil && err2 == nil && nx > 0 && ny > 0 {
+			return grid.NewUnit(nx, ny), nil
+		}
+	}
+	return nil, fmt.Errorf("bad -grid %q, want WxH like 360x180", spec)
+}
+
+// discoverGrid reads the target's /api/info and rebuilds its grid. Same
+// extent and cell counts mean the same cell geometry arithmetic, so the
+// coordinates loadgen generates align exactly on the server.
+func discoverGrid(client *http.Client, base, tenant string) (*grid.Grid, error) {
+	url := base + "/api/info"
+	if tenant != "" {
+		url = base + "/api/" + tenant + "/info"
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("GET %s: %d: %s", url, resp.StatusCode, bytes.TrimSpace(body))
+	}
+	var info geobrowse.Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", url, err)
+	}
+	if info.GridNX <= 0 || info.GridNY <= 0 {
+		return nil, fmt.Errorf("%s reports degenerate grid %dx%d", url, info.GridNX, info.GridNY)
+	}
+	e := info.Extent
+	return grid.New(geom.NewRect(e[0], e[1], e[2], e[3]), info.GridNX, info.GridNY), nil
+}
+
+// waitReady polls /healthz until it answers 200 or the budget runs out.
+func waitReady(client *http.Client, base string, budget time.Duration, stderr io.Writer) error {
+	deadline := time.Now().Add(budget)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err == nil {
+				return fmt.Errorf("target not ready after %v", budget)
+			}
+			return fmt.Errorf("target not ready after %v: %v", budget, err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// runLoad is the main mode: drive the target with closed-loop session
+// workers, build the report, write it, and gate on the SLO if given.
+func runLoad(c config, stdout, stderr io.Writer) int {
+	if c.concurrency <= 0 {
+		fmt.Fprintln(stderr, "loadgen: -concurrency must be positive")
+		return 1
+	}
+	if c.duration <= 0 && c.requests <= 0 {
+		fmt.Fprintln(stderr, "loadgen: need -duration or -requests")
+		return 1
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	if c.wait > 0 {
+		if err := waitReady(client, c.target, c.wait, stderr); err != nil {
+			fmt.Fprintf(stderr, "loadgen: %v\n", err)
+			return 1
+		}
+	}
+	tenants := splitTenants(c.tenants)
+	firstTenant := ""
+	if len(tenants) > 0 {
+		firstTenant = tenants[0]
+	}
+	g, err := discoverGrid(client, c.target, firstTenant)
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: discovering grid: %v\n", err)
+		return 1
+	}
+	o := c.traceOpts(g)
+
+	ctx := context.Background()
+	var cancel context.CancelFunc = func() {}
+	if c.duration > 0 {
+		ctx, cancel = context.WithTimeout(ctx, c.duration)
+	}
+	defer cancel()
+
+	// budget hands out request tokens across workers; <= 0 is unlimited.
+	var budget atomic.Int64
+	budget.Store(c.requests)
+	takeToken := func() bool {
+		if c.requests <= 0 {
+			return true
+		}
+		return budget.Add(-1) >= 0
+	}
+
+	col := newCollector()
+	var wg sync.WaitGroup
+	worker := func(next func() Request) {
+		defer wg.Done()
+		for ctx.Err() == nil && takeToken() {
+			issue(ctx, client, c.target, next(), col)
+		}
+	}
+	for w := 0; w < c.concurrency; w++ {
+		s := NewSession(o, w)
+		wg.Add(1)
+		go worker(s.Next)
+	}
+	for w := 0; w < c.sidecars; w++ {
+		s := NewIngestSession(o, w)
+		wg.Add(1)
+		go worker(s.Next)
+	}
+	wg.Wait()
+
+	r := col.build()
+	r.Target = c.target
+	r.Seed = c.seed
+	r.TraceHash = fmt.Sprintf("%016x", TraceHash(o, c.concurrency, c.sidecars, 64))
+	r.Workers = c.concurrency
+	r.Sidecars = c.sidecars
+	r.Tenants = len(tenants)
+
+	if err := writeReport(r, c, stdout); err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 1
+	}
+	if c.sloPath != "" {
+		return gateSLO(r, c.sloPath, stdout, stderr)
+	}
+	return 0
+}
+
+// issue sends one request and records its sample. Transport failures are
+// samples too — a run that can't reach the server must fail its SLO, not
+// vanish from the report.
+func issue(ctx context.Context, client *http.Client, base string, req Request, col *collector) {
+	var body io.Reader
+	if req.Body != nil {
+		body = bytes.NewReader(req.Body)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, req.Method, base+req.Path, body)
+	if err != nil {
+		col.record(sample{endpoint: req.Endpoint, err: true})
+		return
+	}
+	if req.Body != nil {
+		hreq.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	resp, err := client.Do(hreq)
+	if err != nil {
+		// A request cut off by the run deadline is not a server error.
+		if ctx.Err() == nil {
+			col.record(sample{endpoint: req.Endpoint, err: true, latency: time.Since(start)})
+		}
+		return
+	}
+	n, _ := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	col.record(sample{
+		endpoint: req.Endpoint,
+		status:   resp.StatusCode,
+		latency:  time.Since(start),
+		bytes:    n,
+	})
+}
+
+// writeReport emits the JSON report (and optional markdown table).
+func writeReport(r *Report, c config, stdout io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if c.out == "" {
+		if _, err := stdout.Write(data); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(c.out, data, 0o644); err != nil {
+		return err
+	}
+	if c.md != "" {
+		var buf bytes.Buffer
+		writeMarkdown(&buf, r)
+		if c.md == "-" {
+			_, err = stdout.Write(buf.Bytes())
+			return err
+		}
+		return os.WriteFile(c.md, buf.Bytes(), 0o644)
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spatialhist/internal/core"
+	"spatialhist/internal/euler"
+	"spatialhist/internal/geobrowse"
+	"spatialhist/internal/geom"
+	"spatialhist/internal/grid"
+	"spatialhist/internal/telemetry"
+)
+
+// startServer runs an in-process geobrowsed-equivalent server for
+// end-to-end loadgen runs.
+func startServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	g := grid.NewUnit(36, 18)
+	h := euler.FromRects(g, []geom.Rect{
+		geom.NewRect(2, 2, 4, 4),
+		geom.NewRect(10, 5, 30, 15),
+	})
+	srv := httptest.NewServer(geobrowse.NewServerOpts("e2e", core.NewEuler(h),
+		geobrowse.Options{Telemetry: telemetry.NewRegistry()}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestEndToEndRunAndSLOGate runs loadgen against a live in-process
+// server, gates the report on a passing SLO, then re-gates on an
+// impossible SLO and expects the violation exit code — the behavior the
+// CI slo job depends on.
+func TestEndToEndRunAndSLOGate(t *testing.T) {
+	srv := startServer(t)
+	dir := t.TempDir()
+	reportPath := filepath.Join(dir, "report.json")
+	mdPath := filepath.Join(dir, "report.md")
+	passSLO := filepath.Join(dir, "slo_pass.json")
+	failSLO := filepath.Join(dir, "slo_fail.json")
+	writeJSONFile(t, passSLO, SLO{
+		MinRequests:  50,
+		MaxErrorRate: 0,
+		MaxShedRate:  0,
+		Endpoints: map[string]EndpointSLO{
+			"/api/browse": {P99Ms: 60_000},
+			"/api/query":  {P99Ms: 60_000},
+		},
+	})
+	writeJSONFile(t, failSLO, SLO{
+		MinRequests: 1,
+		Endpoints:   map[string]EndpointSLO{"/api/browse": {P99Ms: 0.000001}},
+	})
+
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-target", srv.URL,
+		"-seed", "42",
+		"-duration", "0",
+		"-requests", "200",
+		"-concurrency", "4",
+		"-wait", "5s",
+		"-out", reportPath,
+		"-md", mdPath,
+		"-slo", passSLO,
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("loadgen run exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Fatalf("expected SLO PASS, got %q", out.String())
+	}
+
+	var r Report
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Requests < 200 {
+		t.Fatalf("report requests = %d, want >= 200", r.Requests)
+	}
+	if r.Errors != 0 {
+		t.Fatalf("errors against healthy server: %d\n%s", r.Errors, data)
+	}
+	if len(r.TraceHash) != 16 {
+		t.Fatalf("trace hash %q", r.TraceHash)
+	}
+	browse := r.Endpoints["/api/browse"]
+	if browse == nil || browse.P99Ms <= 0 || browse.P50Ms > browse.P99Ms {
+		t.Fatalf("browse stats implausible: %+v", browse)
+	}
+	md, err := os.ReadFile(mdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(md), "| /api/browse |") {
+		t.Fatalf("markdown table missing browse row:\n%s", md)
+	}
+
+	// The impossible SLO must fail with the dedicated exit code via the
+	// standalone -slocheck path.
+	out.Reset()
+	errOut.Reset()
+	code = run([]string{"-slocheck", "-report", reportPath, "-slo", failSLO}, &out, &errOut)
+	if code != 2 {
+		t.Fatalf("impossible SLO exit = %d, want 2\nstderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "FAIL") {
+		t.Fatalf("expected FAIL verdict, got %q", errOut.String())
+	}
+}
+
+// TestRunDeterministicReports runs the same seeded budget twice and
+// checks the request mix (not latencies) is identical — the replay
+// property the trace hash witnesses.
+func TestRunDeterministicReports(t *testing.T) {
+	srv := startServer(t)
+	dir := t.TempDir()
+	mix := func(path string) (string, map[string]int) {
+		var out, errOut bytes.Buffer
+		code := run([]string{
+			"-target", srv.URL, "-seed", "7", "-duration", "0",
+			"-requests", "150", "-concurrency", "3", "-out", path,
+		}, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("exit %d: %s", code, errOut.String())
+		}
+		var r Report
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &r); err != nil {
+			t.Fatal(err)
+		}
+		counts := make(map[string]int)
+		for name, ep := range r.Endpoints {
+			counts[name] = ep.Requests
+		}
+		return r.TraceHash, counts
+	}
+	h1, _ := mix(filepath.Join(dir, "a.json"))
+	h2, _ := mix(filepath.Join(dir, "b.json"))
+	if h1 != h2 {
+		t.Fatalf("trace hashes diverged across identical runs: %s != %s", h1, h2)
+	}
+}
+
+// TestDryRunDeterministic checks -dry-run output is bit-identical across
+// invocations and needs no server.
+func TestDryRunDeterministic(t *testing.T) {
+	args := []string{"-dry-run", "5", "-seed", "11", "-concurrency", "3",
+		"-sidecars", "1", "-grid", "360x180"}
+	var a, b, errOut bytes.Buffer
+	if code := run(args, &a, &errOut); code != 0 {
+		t.Fatalf("dry run exit %d: %s", code, errOut.String())
+	}
+	if code := run(args, &b, &errOut); code != 0 {
+		t.Fatalf("dry run exit %d: %s", code, errOut.String())
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("dry runs diverged:\n%s\n---\n%s", a.String(), b.String())
+	}
+	if !strings.Contains(a.String(), "trace_hash ") {
+		t.Fatalf("dry run missing trace hash:\n%s", a.String())
+	}
+	lines := strings.Count(a.String(), "\n")
+	if lines != 3*5+1*5+1 {
+		t.Fatalf("dry run line count = %d, want 21:\n%s", lines, a.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	cases := [][]string{
+		{"-slocheck"},                        // missing -report/-slo
+		{"-duration", "0"},                   // no duration and no budget
+		{"-dry-run", "2", "-grid", "banana"}, // bad grid spec
+		{"-concurrency", "0", "-duration", "1s"},
+	}
+	for _, args := range cases {
+		if code := run(args, &out, &errOut); code != 1 {
+			t.Fatalf("run(%v) = %d, want 1", args, code)
+		}
+	}
+}
+
+func writeJSONFile(t *testing.T, path string, v any) {
+	t.Helper()
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The report side of loadgen: workers record one sample per request into
+// a collector, and at the end of the run the collector folds them into
+// per-endpoint latency quantiles, error and shed counts, and achieved
+// throughput. Samples are kept whole (one float per request) rather than
+// binned so p99 over a 30s smoke is exact, not interpolated from bucket
+// edges — at smoke-test request volumes the memory cost is trivial and
+// the SLO gate gets honest tail numbers.
+
+// sample is one completed request.
+type sample struct {
+	endpoint string
+	status   int
+	err      bool // transport failure (no status)
+	latency  time.Duration
+	bytes    int64
+}
+
+// collector accumulates samples from concurrent workers.
+type collector struct {
+	mu      sync.Mutex
+	samples []sample
+	started time.Time
+}
+
+func newCollector() *collector {
+	return &collector{started: time.Now()}
+}
+
+func (c *collector) record(s sample) {
+	c.mu.Lock()
+	c.samples = append(c.samples, s)
+	c.mu.Unlock()
+}
+
+// EndpointStats is the per-endpoint section of a Report.
+type EndpointStats struct {
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"` // transport failures + any 4xx/5xx except 429
+	Shed     int     `json:"shed"`   // 429 responses
+	Bytes    int64   `json:"bytes"`
+	MeanMs   float64 `json:"mean_ms"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MaxMs    float64 `json:"max_ms"`
+}
+
+// Report is loadgen's JSON output, the input to SLO checking.
+type Report struct {
+	Target      string  `json:"target"`
+	Seed        int64   `json:"seed"`
+	TraceHash   string  `json:"trace_hash"`
+	DurationSec float64 `json:"duration_sec"`
+	Workers     int     `json:"workers"`
+	Sidecars    int     `json:"sidecars"`
+	Tenants     int     `json:"tenants"`
+
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	Shed        int     `json:"shed"`
+	AchievedQPS float64 `json:"achieved_qps"`
+
+	Endpoints map[string]*EndpointStats `json:"endpoints"`
+}
+
+// build folds the collected samples into a Report. Shed responses (429)
+// are excluded from the latency distribution — they measure the
+// limiter's rejection path, not the serving path the SLO bounds — but
+// counted separately so the SLO can bound the shed rate itself.
+func (c *collector) build() *Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	elapsed := time.Since(c.started).Seconds()
+	r := &Report{
+		DurationSec: elapsed,
+		Endpoints:   make(map[string]*EndpointStats),
+	}
+	lat := make(map[string][]float64)
+	for _, s := range c.samples {
+		ep := r.Endpoints[s.endpoint]
+		if ep == nil {
+			ep = &EndpointStats{}
+			r.Endpoints[s.endpoint] = ep
+		}
+		ep.Requests++
+		ep.Bytes += s.bytes
+		r.Requests++
+		switch {
+		case s.status == 429:
+			ep.Shed++
+			r.Shed++
+		case s.err || s.status >= 400:
+			// Any non-shed failure is an error, 4xx included: loadgen
+			// only generates requests the server must accept, so a 404
+			// or 400 means the harness or the server is broken, and it
+			// must fail the SLO rather than pose as a fast success.
+			ep.Errors++
+			r.Errors++
+		default:
+			lat[s.endpoint] = append(lat[s.endpoint], float64(s.latency)/float64(time.Millisecond))
+		}
+	}
+	for name, ms := range lat {
+		ep := r.Endpoints[name]
+		sort.Float64s(ms)
+		var sum float64
+		for _, v := range ms {
+			sum += v
+		}
+		ep.MeanMs = round2(sum / float64(len(ms)))
+		ep.P50Ms = round2(quantile(ms, 0.50))
+		ep.P95Ms = round2(quantile(ms, 0.95))
+		ep.P99Ms = round2(quantile(ms, 0.99))
+		ep.MaxMs = round2(ms[len(ms)-1])
+	}
+	if elapsed > 0 {
+		r.AchievedQPS = round2(float64(r.Requests) / elapsed)
+	}
+	return r
+}
+
+// quantile returns the q-th quantile of sorted samples by the
+// nearest-rank method (exact order statistic, no interpolation).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}
+
+// writeMarkdown renders the report as a GitHub-flavored markdown table,
+// the shape $GITHUB_STEP_SUMMARY expects.
+func writeMarkdown(w io.Writer, r *Report) {
+	fmt.Fprintf(w, "### loadgen report\n\n")
+	fmt.Fprintf(w, "seed `%d` · trace `%s` · %.1fs · %d workers · %.1f req/s achieved · %d errors · %d shed\n\n",
+		r.Seed, r.TraceHash, r.DurationSec, r.Workers, r.AchievedQPS, r.Errors, r.Shed)
+	fmt.Fprintf(w, "| endpoint | requests | p50 ms | p95 ms | p99 ms | max ms | errors | shed |\n")
+	fmt.Fprintf(w, "|---|---|---|---|---|---|---|---|\n")
+	names := make([]string, 0, len(r.Endpoints))
+	for name := range r.Endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ep := r.Endpoints[name]
+		fmt.Fprintf(w, "| %s | %d | %.2f | %.2f | %.2f | %.2f | %d | %d |\n",
+			name, ep.Requests, ep.P50Ms, ep.P95Ms, ep.P99Ms, ep.MaxMs, ep.Errors, ep.Shed)
+	}
+}

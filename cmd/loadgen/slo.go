@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// SLO checking: a committed slo.json declares what "acceptable" looks
+// like for a seeded smoke run, and CheckSLO compares a Report against
+// it. The gate is designed to actually fail — loadgen exits non-zero on
+// any violation — so thresholds are written for the worst shared CI
+// runner, not the median laptop: generous absolute latencies, a
+// min_requests floor so a silently idle run can't pass vacuously, and
+// error/shed rate bounds that catch functional regressions (500s, a
+// limiter shedding at rest) independent of machine speed.
+
+// EndpointSLO bounds one endpoint's latency distribution. Zero-valued
+// fields are unchecked.
+type EndpointSLO struct {
+	P50Ms float64 `json:"p50_ms,omitempty"`
+	P95Ms float64 `json:"p95_ms,omitempty"`
+	P99Ms float64 `json:"p99_ms,omitempty"`
+}
+
+// SLO is the committed service-level objective for a loadgen run.
+type SLO struct {
+	// MinRequests guards against vacuous passes: a run that issued fewer
+	// total requests than this violates the SLO no matter how fast they
+	// were (it means the harness, not the server, is broken).
+	MinRequests int `json:"min_requests"`
+	// MaxErrorRate bounds (transport errors + 5xx) / requests.
+	MaxErrorRate float64 `json:"max_error_rate"`
+	// MaxShedRate bounds 429s / requests. A correctly provisioned smoke
+	// should shed little; a limiter misconfigured to shed at rest fails.
+	MaxShedRate float64 `json:"max_shed_rate"`
+	// Endpoints bounds per-endpoint latency quantiles. An endpoint listed
+	// here that the run never exercised is itself a violation.
+	Endpoints map[string]EndpointSLO `json:"endpoints"`
+}
+
+// LoadSLO reads an SLO file.
+func LoadSLO(path string) (*SLO, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s SLO
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// CheckSLO evaluates a report against an SLO and returns the violations,
+// one human-readable line each. Empty means the SLO holds.
+func CheckSLO(r *Report, slo *SLO) []string {
+	var v []string
+	if r.Requests < slo.MinRequests {
+		v = append(v, fmt.Sprintf("total requests %d < min_requests %d", r.Requests, slo.MinRequests))
+	}
+	if r.Requests > 0 {
+		if rate := float64(r.Errors) / float64(r.Requests); rate > slo.MaxErrorRate {
+			v = append(v, fmt.Sprintf("error rate %.4f > max_error_rate %.4f (%d/%d)",
+				rate, slo.MaxErrorRate, r.Errors, r.Requests))
+		}
+		if rate := float64(r.Shed) / float64(r.Requests); rate > slo.MaxShedRate {
+			v = append(v, fmt.Sprintf("shed rate %.4f > max_shed_rate %.4f (%d/%d)",
+				rate, slo.MaxShedRate, r.Shed, r.Requests))
+		}
+	}
+	names := make([]string, 0, len(slo.Endpoints))
+	for name := range slo.Endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		bound := slo.Endpoints[name]
+		ep := r.Endpoints[name]
+		if ep == nil || ep.Requests == 0 {
+			v = append(v, fmt.Sprintf("%s: SLO declared but endpoint never exercised", name))
+			continue
+		}
+		check := func(label string, got, max float64) {
+			if max > 0 && got > max {
+				v = append(v, fmt.Sprintf("%s: %s %.2fms > %.2fms", name, label, got, max))
+			}
+		}
+		check("p50", ep.P50Ms, bound.P50Ms)
+		check("p95", ep.P95Ms, bound.P95Ms)
+		check("p99", ep.P99Ms, bound.P99Ms)
+	}
+	return v
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testReport() *Report {
+	c := newCollector()
+	for i := 0; i < 100; i++ {
+		c.record(sample{endpoint: "/api/browse", status: 200,
+			latency: time.Duration(i+1) * time.Millisecond, bytes: 100})
+	}
+	c.record(sample{endpoint: "/api/browse", status: 429})
+	c.record(sample{endpoint: "/api/query", status: 500})
+	c.record(sample{endpoint: "/api/query", err: true})
+	c.record(sample{endpoint: "/api/query", status: 404})
+	r := c.build()
+	r.Seed = 42
+	r.TraceHash = "deadbeef00000000"
+	r.Workers = 4
+	return r
+}
+
+func TestReportQuantiles(t *testing.T) {
+	r := testReport()
+	ep := r.Endpoints["/api/browse"]
+	if ep == nil {
+		t.Fatal("missing /api/browse stats")
+	}
+	// 100 samples of 1..100ms: nearest-rank p50 = 50, p95 = 95, p99 = 99.
+	if ep.P50Ms != 50 || ep.P95Ms != 95 || ep.P99Ms != 99 || ep.MaxMs != 100 {
+		t.Fatalf("quantiles = %+v", ep)
+	}
+	if ep.Requests != 101 || ep.Shed != 1 || ep.Errors != 0 {
+		t.Fatalf("browse counts = %+v", ep)
+	}
+	// 500, transport failure and 404 are all errors: loadgen only sends
+	// requests the server must accept, so 4xx means something is broken.
+	q := r.Endpoints["/api/query"]
+	if q.Errors != 3 || q.Requests != 3 {
+		t.Fatalf("query counts = %+v", q)
+	}
+	if r.Requests != 104 || r.Errors != 3 || r.Shed != 1 {
+		t.Fatalf("totals = %d/%d/%d", r.Requests, r.Errors, r.Shed)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	if quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile must be 0")
+	}
+	one := []float64{7}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if quantile(one, q) != 7 {
+			t.Fatalf("single-sample quantile %v = %v", q, quantile(one, q))
+		}
+	}
+}
+
+func TestCheckSLOPasses(t *testing.T) {
+	r := testReport()
+	slo := &SLO{
+		MinRequests:  50,
+		MaxErrorRate: 0.05,
+		MaxShedRate:  0.05,
+		Endpoints: map[string]EndpointSLO{
+			"/api/browse": {P50Ms: 60, P95Ms: 100, P99Ms: 200},
+		},
+	}
+	if v := CheckSLO(r, slo); len(v) != 0 {
+		t.Fatalf("expected pass, got %v", v)
+	}
+}
+
+func TestCheckSLOViolations(t *testing.T) {
+	r := testReport()
+	slo := &SLO{
+		MinRequests:  10_000, // too few requests
+		MaxErrorRate: 0.001,  // 2/103 errors exceeds this
+		MaxShedRate:  0.001,  // 1/103 shed exceeds this
+		Endpoints: map[string]EndpointSLO{
+			"/api/browse": {P95Ms: 1},   // way too strict
+			"/api/drill":  {P50Ms: 100}, // never exercised
+		},
+	}
+	v := CheckSLO(r, slo)
+	if len(v) != 5 {
+		t.Fatalf("want 5 violations, got %d: %v", len(v), v)
+	}
+	wantSubstrings := []string{
+		"min_requests", "error rate", "shed rate", "p95", "never exercised",
+	}
+	for i, want := range wantSubstrings {
+		if !strings.Contains(v[i], want) {
+			t.Fatalf("violation %d = %q, want substring %q (all: %v)", i, v[i], want, v)
+		}
+	}
+}
+
+func TestCheckSLOZeroFieldsUnchecked(t *testing.T) {
+	r := testReport()
+	// An all-zero SLO only enforces rates at zero; with errors present it
+	// must still flag them, but no latency bounds apply.
+	v := CheckSLO(r, &SLO{})
+	for _, viol := range v {
+		if strings.Contains(viol, "ms") {
+			t.Fatalf("zero-valued latency bound enforced: %v", viol)
+		}
+	}
+}
+
+func TestMarkdownTable(t *testing.T) {
+	var buf bytes.Buffer
+	writeMarkdown(&buf, testReport())
+	out := buf.String()
+	for _, want := range []string{
+		"| endpoint |", "| /api/browse |", "| /api/query |",
+		"seed `42`", "trace `deadbeef00000000`",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

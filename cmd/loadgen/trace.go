@@ -1,0 +1,404 @@
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"spatialhist/internal/grid"
+)
+
+// The trace model: a browse session is a state machine over a viewport,
+// not a stream of independent random probes. A user lands on an
+// overview, zooms toward something interesting, pans around it, drills
+// into a hot tile, zooms back out, or abandons the region for a new
+// focus. Interest is shared and skewed: focal points are drawn from a
+// small set of hotspots with Zipf-ranked popularity (GeoBlocks makes the
+// same workload argument — spatial exploration concentrates on hot
+// regions, so uniform random probes overstate cache misses and
+// understate contention). Flash crowds sharpen the skew further: during
+// periodic burst windows every session converges on the top hotspot.
+//
+// Everything is a pure function of the seed: hotspot placement, focus
+// choices, op sequences and viewport geometry derive from seeded PRNGs
+// split per session, so two runs with the same seed and target grid
+// issue bit-identical request streams (the determinism the CI SLO gate
+// and the -dry-run trace hash rely on).
+
+// Op is one session-machine transition.
+type Op uint8
+
+const (
+	opZoomIn Op = iota
+	opPan
+	opZoomOut
+	opDrill
+	opQuery
+	opNewFocus
+)
+
+// opWeights is the cumulative transition distribution: mostly zooming
+// and panning (each re-renders a tile map), occasional drills and
+// single-tile queries, and a steady trickle of focus abandonment.
+var opWeights = []struct {
+	op Op
+	w  float64
+}{
+	{opZoomIn, 0.30},
+	{opPan, 0.30},
+	{opZoomOut, 0.10},
+	{opDrill, 0.10},
+	{opQuery, 0.10},
+	{opNewFocus, 0.10},
+}
+
+// Request is one generated HTTP request of a trace.
+type Request struct {
+	// Endpoint is the route pattern the request targets (the report and
+	// SLO keys), e.g. "/api/browse".
+	Endpoint string
+	// Method and Path are the wire request; Path carries the query
+	// string and, for tenant traffic, the /api/{tenant}/ prefix.
+	Method string
+	Path   string
+	// Body is the JSON body of ingest sidecar requests, nil otherwise.
+	Body []byte
+}
+
+// TraceOpts parameterizes a trace. The grid must match the target
+// server's (loadgen reads it from /api/info), since every generated
+// region is expressed in that grid's cell geometry.
+type TraceOpts struct {
+	Seed     int64
+	Grid     *grid.Grid
+	Tenants  []string // empty: untenanted /api/... paths
+	Hotspots int      // Zipf focal points (default 16)
+	ZipfS    float64  // Zipf exponent, > 1 (default 1.4)
+	MaxCols  int      // tile-map width bound per request (default 12)
+	MaxRows  int      // tile-map height bound per request (default 8)
+	// FlashEvery/FlashLen define burst windows by request index: during
+	// requests n with n mod FlashEvery < FlashLen, every session focuses
+	// on the top hotspot. 0 disables flash crowds.
+	FlashEvery int
+	FlashLen   int
+}
+
+func (o TraceOpts) withDefaults() TraceOpts {
+	if o.Hotspots <= 0 {
+		o.Hotspots = 16
+	}
+	if o.ZipfS <= 1 {
+		o.ZipfS = 1.4
+	}
+	if o.MaxCols <= 0 {
+		o.MaxCols = 12
+	}
+	if o.MaxRows <= 0 {
+		o.MaxRows = 8
+	}
+	return o
+}
+
+// cell is a grid coordinate.
+type cell struct{ i, j int }
+
+// Session generates one worker's deterministic request stream.
+type Session struct {
+	o        TraceOpts
+	rng      *rand.Rand
+	zipf     *rand.Zipf
+	hotspots []cell
+	tenant   string
+
+	viewport grid.Span
+	cols     int
+	rows     int
+	focus    cell
+	reqs     int // requests generated so far (flash-crowd clock)
+}
+
+// NewSession derives worker w's session machine from the trace seed.
+// Hotspots are shared across workers (same seed-derived placement);
+// everything else is split per worker.
+func NewSession(o TraceOpts, w int) *Session {
+	o = o.withDefaults()
+	g := o.Grid
+	// Hotspot placement comes from the base seed so all sessions share
+	// one notion of "where the interesting regions are".
+	hrng := rand.New(rand.NewSource(o.Seed))
+	hotspots := make([]cell, o.Hotspots)
+	for i := range hotspots {
+		hotspots[i] = cell{hrng.Intn(g.NX()), hrng.Intn(g.NY())}
+	}
+	rng := rand.New(rand.NewSource(o.Seed ^ (int64(w)+1)*0x1E3779B97F4A7C15))
+	s := &Session{
+		o:        o,
+		rng:      rng,
+		zipf:     rand.NewZipf(rng, o.ZipfS, 1, uint64(o.Hotspots-1)),
+		hotspots: hotspots,
+	}
+	if len(o.Tenants) > 0 {
+		s.tenant = o.Tenants[w%len(o.Tenants)]
+	}
+	s.reset()
+	return s
+}
+
+// reset starts a fresh sub-session: full-extent viewport, new focus.
+func (s *Session) reset() {
+	g := s.o.Grid
+	s.viewport = grid.Span{I1: 0, J1: 0, I2: g.NX() - 1, J2: g.NY() - 1}
+	s.cols = largestDivisorAtMost(g.NX(), s.o.MaxCols)
+	s.rows = largestDivisorAtMost(g.NY(), s.o.MaxRows)
+	s.focus = s.hotspots[s.zipf.Uint64()]
+}
+
+// largestDivisorAtMost returns the largest divisor of n that is <= max
+// (at least 1), keeping every tiling an exact division of its region.
+func largestDivisorAtMost(n, max int) int {
+	for d := max; d > 1; d-- {
+		if n%d == 0 {
+			return d
+		}
+	}
+	return 1
+}
+
+// Next generates the session's next request. The stream is infinite;
+// the driver stops on its duration or request budget.
+func (s *Session) Next() Request {
+	// Flash crowd: during burst windows every session converges on the
+	// top hotspot, the worst case for cache contention and admission.
+	focus := s.focus
+	if s.o.FlashEvery > 0 && s.reqs%s.o.FlashEvery < s.o.FlashLen {
+		focus = s.hotspots[0]
+	}
+	s.reqs++
+
+	x := s.rng.Float64()
+	var op Op
+	acc := 0.0
+	for _, ow := range opWeights {
+		acc += ow.w
+		if x < acc {
+			op = ow.op
+			break
+		}
+	}
+	switch op {
+	case opZoomIn:
+		s.zoomToward(focus, true)
+		return s.browseRequest()
+	case opZoomOut:
+		s.zoomToward(focus, false)
+		return s.browseRequest()
+	case opPan:
+		s.pan()
+		return s.browseRequest()
+	case opDrill:
+		return s.drillRequest()
+	case opQuery:
+		return s.queryRequest()
+	default: // opNewFocus
+		s.reset()
+		return s.browseRequest()
+	}
+}
+
+// zoomToward halves (or doubles) the viewport, keeping it centered on
+// the focus, clamped to the grid, and exactly divisible by the session's
+// tiling. All geometry is integer cell math, so it is exact.
+func (s *Session) zoomToward(focus cell, in bool) {
+	g := s.o.Grid
+	w, h := s.viewport.Width(), s.viewport.Height()
+	if in {
+		w, h = w/2, h/2
+	} else {
+		w, h = w*2, h*2
+	}
+	w = clampInt(roundToMultiple(w, s.cols), s.cols, g.NX()-g.NX()%s.cols)
+	h = clampInt(roundToMultiple(h, s.rows), s.rows, g.NY()-g.NY()%s.rows)
+	i1 := clampInt(focus.i-w/2, 0, g.NX()-w)
+	j1 := clampInt(focus.j-h/2, 0, g.NY()-h)
+	s.viewport = grid.Span{I1: i1, J1: j1, I2: i1 + w - 1, J2: j1 + h - 1}
+}
+
+// pan shifts the viewport by one tile in a random direction, clamped to
+// the grid.
+func (s *Session) pan() {
+	g := s.o.Grid
+	tw := s.viewport.Width() / s.cols
+	th := s.viewport.Height() / s.rows
+	di := (s.rng.Intn(3) - 1) * tw
+	dj := (s.rng.Intn(3) - 1) * th
+	w, h := s.viewport.Width(), s.viewport.Height()
+	i1 := clampInt(s.viewport.I1+di, 0, g.NX()-w)
+	j1 := clampInt(s.viewport.J1+dj, 0, g.NY()-h)
+	s.viewport = grid.Span{I1: i1, J1: j1, I2: i1 + w - 1, J2: j1 + h - 1}
+}
+
+func (s *Session) browseRequest() Request {
+	r := s.o.Grid.SpanRect(s.viewport)
+	return Request{
+		Endpoint: "/api/browse",
+		Method:   "GET",
+		Path: s.prefix() + "/browse?" + regionParams(r.XMin, r.YMin, r.XMax, r.YMax) +
+			"&cols=" + strconv.Itoa(s.cols) + "&rows=" + strconv.Itoa(s.rows),
+	}
+}
+
+// queryRequest estimates one tile of the current viewport — the hover
+// interaction.
+func (s *Session) queryRequest() Request {
+	tw := s.viewport.Width() / s.cols
+	th := s.viewport.Height() / s.rows
+	col, row := s.rng.Intn(s.cols), s.rng.Intn(s.rows)
+	span := grid.Span{
+		I1: s.viewport.I1 + col*tw,
+		J1: s.viewport.J1 + row*th,
+	}
+	span.I2 = span.I1 + tw - 1
+	span.J2 = span.J1 + th - 1
+	r := s.o.Grid.SpanRect(span)
+	return Request{
+		Endpoint: "/api/query",
+		Method:   "GET",
+		Path:     s.prefix() + "/query?" + regionParams(r.XMin, r.YMin, r.XMax, r.YMax),
+	}
+}
+
+func (s *Session) drillRequest() Request {
+	r := s.o.Grid.SpanRect(s.viewport)
+	hot := 1 + s.rng.Intn(64)
+	depth := 2 + s.rng.Intn(3)
+	return Request{
+		Endpoint: "/api/drill",
+		Method:   "GET",
+		Path: s.prefix() + "/drill?" + regionParams(r.XMin, r.YMin, r.XMax, r.YMax) +
+			"&relation=overlap&hot=" + strconv.Itoa(hot) + "&depth=" + strconv.Itoa(depth),
+	}
+}
+
+func (s *Session) prefix() string {
+	if s.tenant == "" {
+		return "/api"
+	}
+	return "/api/" + s.tenant
+}
+
+// regionParams renders exact region coordinates. 'g'/-1 formatting is
+// shortest-round-trip, so the server parses back the identical float64
+// and the span aligns exactly.
+func regionParams(x1, y1, x2, y2 float64) string {
+	var b strings.Builder
+	for i, v := range []float64{x1, y1, x2, y2} {
+		if i > 0 {
+			b.WriteByte('&')
+		}
+		fmt.Fprintf(&b, "%s=%s", [4]string{"x1", "y1", "x2", "y2"}[i],
+			strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// IngestSession generates the ingest sidecar's deterministic mutation
+// stream: small batches of seeded rects POSTed to /api/ingest, modeling
+// the background ingestion that accompanies interactive browsing on a
+// live store.
+type IngestSession struct {
+	o      TraceOpts
+	rng    *rand.Rand
+	tenant string
+}
+
+// NewIngestSession derives sidecar worker w's stream; the seed space is
+// split away from browse sessions so adding sidecars never perturbs the
+// browse trace.
+func NewIngestSession(o TraceOpts, w int) *IngestSession {
+	o = o.withDefaults()
+	s := &IngestSession{
+		o:   o,
+		rng: rand.New(rand.NewSource(o.Seed ^ 0x1005 ^ (int64(w)+1)*0x3F58476D1CE4E5B9)),
+	}
+	if len(o.Tenants) > 0 {
+		s.tenant = o.Tenants[w%len(o.Tenants)]
+	}
+	return s
+}
+
+// Next generates one ingest batch of up to 8 cell-aligned rects.
+func (s *IngestSession) Next() Request {
+	g := s.o.Grid
+	n := 1 + s.rng.Intn(8)
+	var b strings.Builder
+	b.WriteString(`{"rects":[`)
+	for k := 0; k < n; k++ {
+		i := s.rng.Intn(g.NX())
+		j := s.rng.Intn(g.NY())
+		w := 1 + s.rng.Intn(4)
+		h := 1 + s.rng.Intn(4)
+		span := grid.Span{I1: i, J1: j,
+			I2: clampInt(i+w-1, 0, g.NX()-1), J2: clampInt(j+h-1, 0, g.NY()-1)}
+		r := g.SpanRect(span)
+		if k > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "[%s,%s,%s,%s]",
+			strconv.FormatFloat(r.XMin, 'g', -1, 64), strconv.FormatFloat(r.YMin, 'g', -1, 64),
+			strconv.FormatFloat(r.XMax, 'g', -1, 64), strconv.FormatFloat(r.YMax, 'g', -1, 64))
+	}
+	b.WriteString(`]}`)
+	prefix := "/api"
+	if s.tenant != "" {
+		prefix = "/api/" + s.tenant
+	}
+	return Request{
+		Endpoint: "/api/ingest",
+		Method:   "POST",
+		Path:     prefix + "/ingest",
+		Body:     []byte(b.String()),
+	}
+}
+
+// TraceHash fingerprints the first n requests of every browse session
+// (and sidecar, when sidecars > 0): the determinism witness reported by
+// -dry-run and asserted by the trace tests. Same seed, same grid, same
+// options — same hash, bit for bit.
+func TraceHash(o TraceOpts, workers, sidecars, n int) uint64 {
+	h := fnv.New64a()
+	for w := 0; w < workers; w++ {
+		s := NewSession(o, w)
+		for k := 0; k < n; k++ {
+			req := s.Next()
+			fmt.Fprintf(h, "%d %s %s\n", w, req.Method, req.Path)
+		}
+	}
+	for w := 0; w < sidecars; w++ {
+		s := NewIngestSession(o, w)
+		for k := 0; k < n; k++ {
+			req := s.Next()
+			fmt.Fprintf(h, "i%d %s %s %s\n", w, req.Method, req.Path, req.Body)
+		}
+	}
+	return h.Sum64()
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// roundToMultiple rounds v down to a multiple of m (at least m).
+func roundToMultiple(v, m int) int {
+	if v < m {
+		return m
+	}
+	return v / m * m
+}

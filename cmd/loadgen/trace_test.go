@@ -1,0 +1,181 @@
+package main
+
+import (
+	"net/url"
+	"strconv"
+	"strings"
+	"testing"
+
+	"spatialhist/internal/geom"
+	"spatialhist/internal/grid"
+)
+
+func testOpts(seed int64) TraceOpts {
+	return TraceOpts{
+		Seed:       seed,
+		Grid:       grid.NewUnit(360, 180),
+		Hotspots:   16,
+		ZipfS:      1.4,
+		FlashEvery: 100,
+		FlashLen:   10,
+	}
+}
+
+// TestTraceDeterministic is the determinism contract: the same seed and
+// options generate bit-identical request streams, across sessions and
+// across independent constructions.
+func TestTraceDeterministic(t *testing.T) {
+	const n = 500
+	for w := 0; w < 4; w++ {
+		a, b := NewSession(testOpts(42), w), NewSession(testOpts(42), w)
+		for k := 0; k < n; k++ {
+			ra, rb := a.Next(), b.Next()
+			if ra.Method != rb.Method || ra.Path != rb.Path || ra.Endpoint != rb.Endpoint {
+				t.Fatalf("worker %d request %d diverged:\n a: %+v\n b: %+v", w, k, ra, rb)
+			}
+		}
+	}
+	if h1, h2 := TraceHash(testOpts(42), 4, 2, 200), TraceHash(testOpts(42), 4, 2, 200); h1 != h2 {
+		t.Fatalf("trace hash not stable: %x != %x", h1, h2)
+	}
+	if h1, h2 := TraceHash(testOpts(42), 4, 0, 200), TraceHash(testOpts(7), 4, 0, 200); h1 == h2 {
+		t.Fatal("different seeds hashed identically")
+	}
+}
+
+// TestTraceSeedChangesStream guards against a session ignoring its seed.
+func TestTraceSeedChangesStream(t *testing.T) {
+	a, b := NewSession(testOpts(1), 0), NewSession(testOpts(2), 0)
+	same := true
+	for k := 0; k < 50; k++ {
+		if a.Next().Path != b.Next().Path {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed does not influence the request stream")
+	}
+}
+
+// TestIngestDeterministic covers the sidecar stream and checks that
+// sidecar seeds do not collide with browse-session seeds.
+func TestIngestDeterministic(t *testing.T) {
+	a, b := NewIngestSession(testOpts(42), 0), NewIngestSession(testOpts(42), 0)
+	for k := 0; k < 100; k++ {
+		ra, rb := a.Next(), b.Next()
+		if ra.Path != rb.Path || string(ra.Body) != string(rb.Body) {
+			t.Fatalf("sidecar request %d diverged", k)
+		}
+		if ra.Method != "POST" || ra.Endpoint != "/api/ingest" {
+			t.Fatalf("sidecar request shape: %+v", ra)
+		}
+	}
+}
+
+// TestTraceBrowseDivisible checks the invariant the server enforces via
+// query.Tiling: every browse viewport divides exactly by its tiling.
+func TestTraceBrowseDivisible(t *testing.T) {
+	for _, dims := range [][2]int{{360, 180}, {36, 18}, {100, 50}, {7, 13}} {
+		o := testOpts(3)
+		o.Grid = grid.NewUnit(dims[0], dims[1])
+		s := NewSession(o, 0)
+		for k := 0; k < 400; k++ {
+			req := s.Next()
+			if req.Endpoint != "/api/browse" {
+				continue
+			}
+			q := parseQuery(t, req.Path)
+			cols := atoi(t, q.Get("cols"))
+			rows := atoi(t, q.Get("rows"))
+			span := snapSpan(t, o.Grid, q)
+			if span.Width()%cols != 0 || span.Height()%rows != 0 {
+				t.Fatalf("grid %v request %d: span %dx%d not divisible by %dx%d (%s)",
+					dims, k, span.Width(), span.Height(), cols, rows, req.Path)
+			}
+		}
+	}
+}
+
+// TestTraceRegionsAligned checks that generated coordinates snap back to
+// exact grid spans — the server rejects misaligned regions.
+func TestTraceRegionsAligned(t *testing.T) {
+	o := testOpts(9)
+	s := NewSession(o, 1)
+	for k := 0; k < 400; k++ {
+		req := s.Next()
+		q := parseQuery(t, req.Path)
+		span := snapSpan(t, o.Grid, q)
+		if !span.Valid() {
+			t.Fatalf("request %d: invalid span %v from %s", k, span, req.Path)
+		}
+	}
+}
+
+// TestTraceTenantPrefix checks tenant assignment and path prefixes.
+func TestTraceTenantPrefix(t *testing.T) {
+	o := testOpts(5)
+	o.Tenants = []string{"alpha", "beta"}
+	for w := 0; w < 4; w++ {
+		req := NewSession(o, w).Next()
+		want := "/api/" + o.Tenants[w%2] + "/"
+		if !strings.HasPrefix(req.Path, want) {
+			t.Fatalf("worker %d path %q, want prefix %q", w, req.Path, want)
+		}
+	}
+	// Untenanted sessions keep plain /api/ paths.
+	if req := NewSession(testOpts(5), 0).Next(); !strings.HasPrefix(req.Path, "/api/") ||
+		strings.HasPrefix(req.Path, "/api/alpha") {
+		t.Fatalf("untenanted path %q", req.Path)
+	}
+}
+
+// TestLargestDivisorAtMost pins the tiling chooser.
+func TestLargestDivisorAtMost(t *testing.T) {
+	cases := []struct{ n, max, want int }{
+		{360, 12, 12}, {180, 8, 6}, {36, 12, 12}, {18, 8, 6},
+		{7, 12, 7}, {7, 6, 1}, {100, 8, 5}, {13, 8, 1},
+	}
+	for _, c := range cases {
+		if got := largestDivisorAtMost(c.n, c.max); got != c.want {
+			t.Errorf("largestDivisorAtMost(%d,%d) = %d, want %d", c.n, c.max, got, c.want)
+		}
+	}
+}
+
+func parseQuery(t *testing.T, path string) url.Values {
+	t.Helper()
+	u, err := url.Parse(path)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", path, err)
+	}
+	return u.Query()
+}
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatalf("atoi(%q): %v", s, err)
+	}
+	return v
+}
+
+// snapSpan converts a request's x1..y2 back to a span exactly, failing
+// on any misalignment.
+func snapSpan(t *testing.T, g *grid.Grid, q url.Values) grid.Span {
+	t.Helper()
+	var vals [4]float64
+	for i, name := range []string{"x1", "y1", "x2", "y2"} {
+		f, err := strconv.ParseFloat(q.Get(name), 64)
+		if err != nil {
+			t.Fatalf("param %s: %v", name, err)
+		}
+		vals[i] = f
+	}
+	span, err := g.AlignedSpan(geom.NewRect(vals[0], vals[1], vals[2], vals[3]), 1e-9)
+	if err != nil {
+		t.Fatalf("region %v not aligned: %v", vals, err)
+	}
+	return span
+}

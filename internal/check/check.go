@@ -152,6 +152,12 @@ func Oracles() []Check {
 			Doc:  "every pyramid level — cold-built or incrementally repaired through donor generations — is bit-identical to a fresh build of that coarse grid",
 			Run:  runPyramidVsFresh,
 		},
+		{
+			Name: "registry-evict-reload",
+			Kind: KindOracle,
+			Doc:  "a tenant evicted by the registry memory budget and rebuilt by its loader estimates bit-identically to its first incarnation",
+			Run:  runRegistryEvictReload,
+		},
 	}
 }
 

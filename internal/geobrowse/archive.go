@@ -50,14 +50,14 @@ func NewArchiveServerOpts(name string, a *archive.Archive, opts Options) *Archiv
 		name:  name,
 		a:     a,
 		mux:   http.NewServeMux(),
-		cache: newBrowseCache(opts.CacheSize, opts.Telemetry),
+		cache: newBrowseCache(opts.CacheSize, opts.Telemetry, opts.Tenant),
 		sem:   make(chan struct{}, opts.Workers),
 		pool:  newPoolMetrics(opts.Telemetry, opts.Workers),
 	}
 	// The facet endpoints run behind the same telemetry middleware as the
 	// plain Server's, so archive traffic shows up in the identical metric
 	// families.
-	m := newHTTPMetrics(opts.Telemetry, opts.accessLogger())
+	m := newHTTPMetrics(opts.Telemetry, opts.accessLogger(), opts.Tenant)
 	s.mux.HandleFunc("GET /api/info", m.wrap("/api/info", s.handleInfo))
 	s.mux.HandleFunc("GET /api/browse", m.wrap("/api/browse", s.handleBrowse))
 	s.mux.Handle("GET /metrics", opts.Telemetry.Handler())

@@ -49,10 +49,16 @@ type flight struct {
 
 // newBrowseCache returns a cache holding up to capacity responses;
 // capacity <= 0 disables storage but keeps single-flight deduplication.
-// Cache events are recorded into reg (nil means telemetry.Default()).
-func newBrowseCache(capacity int, reg *telemetry.Registry) *browseCache {
+// Cache events are recorded into reg (nil means telemetry.Default());
+// tenant, when non-empty, labels the counters so a registry front's
+// per-tenant cache partitions stay distinguishable.
+func newBrowseCache(capacity int, reg *telemetry.Registry, tenant string) *browseCache {
 	if reg == nil {
 		reg = telemetry.Default()
+	}
+	var labels []string
+	if tenant != "" {
+		labels = []string{"tenant", tenant}
 	}
 	return &browseCache{
 		capacity: capacity,
@@ -60,15 +66,15 @@ func newBrowseCache(capacity int, reg *telemetry.Registry) *browseCache {
 		entries:  make(map[string]*list.Element),
 		inflight: make(map[string]*flight),
 		mHits: reg.Counter("geobrowse_cache_hits_total",
-			"Browse requests served from a stored response."),
+			"Browse requests served from a stored response.", labels...),
 		mMisses: reg.Counter("geobrowse_cache_misses_total",
-			"Browse requests that computed their response."),
+			"Browse requests that computed their response.", labels...),
 		mDedup: reg.Counter("geobrowse_cache_dedup_total",
-			"Browse requests that waited on an identical in-flight computation."),
+			"Browse requests that waited on an identical in-flight computation.", labels...),
 		mEvictions: reg.Counter("geobrowse_cache_evictions_total",
-			"Stored responses evicted by the LRU bound."),
+			"Stored responses evicted by the LRU bound.", labels...),
 		mEntries: reg.Gauge("geobrowse_cache_entries",
-			"Stored responses currently in the cache."),
+			"Stored responses currently in the cache.", labels...),
 	}
 }
 

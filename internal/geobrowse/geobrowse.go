@@ -32,6 +32,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"spatialhist/internal/core"
 	"spatialhist/internal/geom"
@@ -68,6 +69,21 @@ type Options struct {
 	// AccessLog, when non-nil, receives one structured JSON line per API
 	// request (endpoint, status, bytes, duration).
 	AccessLog io.Writer
+	// Tenant labels this server's request and cache metrics when serving
+	// as one tenant of a Registry, and names the tenant in admission
+	// accounting. Empty for single-dataset servers.
+	Tenant string
+	// Limiter applies admission control to the browse-path endpoints
+	// (query, browse, drill): bounded concurrency, bounded wait,
+	// 429 load-shedding. nil admits everything. A Registry shares one
+	// Limiter across its tenants so fairness spans the process.
+	Limiter *Limiter
+
+	// sem and pool, when set, share one tile-row worker pool across
+	// servers (the Registry sets them so N tenants contend for one CPU
+	// budget instead of N).
+	sem  chan struct{}
+	pool *poolMetrics
 }
 
 func (o Options) withDefaults() Options {
@@ -118,13 +134,16 @@ func newPoolMetrics(reg *telemetry.Registry, capacity int) *poolMetrics {
 // same estimator at generation 0) or a live ingestion store whose
 // snapshots advance generations.
 type Server struct {
-	name  string
-	src   EstimatorSource
-	g     *grid.Grid // constant across generations
-	mux   *http.ServeMux
-	cache *browseCache
-	sem   chan struct{} // bounded tile-row worker pool
-	pool  *poolMetrics
+	name    string
+	src     EstimatorSource
+	g       *grid.Grid // constant across generations
+	mux     *http.ServeMux
+	cache   *browseCache
+	sem     chan struct{} // bounded tile-row worker pool
+	pool    *poolMetrics
+	tenant  string
+	limiter *Limiter
+	drain   atomic.Bool
 }
 
 // NewServer creates a Server for a named dataset summarized by est, with
@@ -148,22 +167,48 @@ func NewSourceServer(name string, src EstimatorSource, opts Options) *Server {
 	est, _, release := acquireEstimator(src)
 	defer release()
 	s := &Server{
-		name:  name,
-		src:   src,
-		g:     est.Grid(),
-		mux:   http.NewServeMux(),
-		cache: newBrowseCache(opts.CacheSize, opts.Telemetry),
-		sem:   make(chan struct{}, opts.Workers),
-		pool:  newPoolMetrics(opts.Telemetry, opts.Workers),
+		name:    name,
+		src:     src,
+		g:       est.Grid(),
+		mux:     http.NewServeMux(),
+		cache:   newBrowseCache(opts.CacheSize, opts.Telemetry, opts.Tenant),
+		sem:     opts.sem,
+		pool:    opts.pool,
+		tenant:  opts.Tenant,
+		limiter: opts.Limiter,
 	}
-	m := newHTTPMetrics(opts.Telemetry, opts.accessLogger())
+	if s.sem == nil {
+		s.sem = make(chan struct{}, opts.Workers)
+		s.pool = newPoolMetrics(opts.Telemetry, opts.Workers)
+	}
+	m := newHTTPMetrics(opts.Telemetry, opts.accessLogger(), opts.Tenant)
 	s.mux.HandleFunc("GET /api/info", m.wrap("/api/info", s.handleInfo))
-	s.mux.HandleFunc("GET /api/query", m.wrap("/api/query", s.handleQuery))
-	s.mux.HandleFunc("GET /api/browse", m.wrap("/api/browse", s.handleBrowse))
-	s.mux.HandleFunc("GET /api/drill", m.wrap("/api/drill", s.handleDrill))
+	s.mux.HandleFunc("GET /api/query", m.wrap("/api/query", s.admit(s.handleQuery)))
+	s.mux.HandleFunc("GET /api/browse", m.wrap("/api/browse", s.admit(s.handleBrowse)))
+	s.mux.HandleFunc("GET /api/drill", m.wrap("/api/drill", s.admit(s.handleDrill)))
+	s.mux.HandleFunc("GET /healthz", m.wrap("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /{$}", m.wrap("/", s.handleIndex))
 	s.mux.Handle("GET /metrics", opts.Telemetry.Handler())
 	return s
+}
+
+// admit applies the server's admission limiter to one browse-path
+// handler: the request runs with a slot held, or is shed with 429 and a
+// Retry-After hint. A nil limiter admits everything.
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	if s.limiter == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, err := s.limiter.Acquire(r.Context(), s.tenant)
+		if err != nil {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			return
+		}
+		defer release()
+		h(w, r)
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -172,6 +217,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // CacheStats reports browse-cache hits (served from memory or a shared
 // in-flight computation) and misses (computed).
 func (s *Server) CacheStats() (hits, misses int64) { return s.cache.Stats() }
+
+// Estimator returns the server's current estimator snapshot: the fixed
+// estimator for summaries, the latest published generation for live
+// stores. Differential checks use it to compare server incarnations
+// without going through HTTP.
+func (s *Server) Estimator() core.Estimator {
+	est, _ := s.src.CurrentEstimator()
+	return est
+}
 
 // Info is the /api/info response.
 type Info struct {

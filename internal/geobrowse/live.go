@@ -75,7 +75,7 @@ const maxMutationRects = 100_000
 func NewLiveServer(name string, store *live.Store, opts Options) *Server {
 	opts = opts.withDefaults()
 	s := NewSourceServer(name, store, opts)
-	m := newHTTPMetrics(opts.Telemetry, opts.accessLogger())
+	m := newHTTPMetrics(opts.Telemetry, opts.accessLogger(), opts.Tenant)
 	s.mux.HandleFunc("POST /api/ingest", m.wrap("/api/ingest", func(w http.ResponseWriter, r *http.Request) {
 		s.handleMutation(w, r, store, store.Insert)
 	}))
