@@ -7,13 +7,25 @@
 //	geobrowsed -dataset adl -n 500000 -algo meuler -addr :8080
 //	geobrowsed -file ca_road.bin -algo seuler
 //	geobrowsed -live -wal store.wal -rebuild-every 1024
+//	geobrowsed -live -shards 4 -wal store.wal -checkpoint store.ckpt
+//	geobrowsed -replica-of http://leader:8080 -checkpoint replica.ckpt
+//	geobrowsed -coordinator "http://s0:8080,http://s0r:8081;http://s1:8082"
 //
 // With -live the service fronts a mutable ingestion store instead of a
 // fixed summary: POST /api/ingest and /api/delete mutate it, every
 // mutation is journaled to the -wal file (replayed on restart), and
 // browse traffic reads generational snapshots published by the rebuild
 // policy. SIGINT/SIGTERM shut down gracefully, syncing the journal and
-// writing the -checkpoint file if one is configured.
+// writing the -checkpoint file if one is configured. A live node also
+// serves the shard/replication API (/api/shard/*, /api/replica/*) so it
+// can act as a scatter-gather backend or a replication leader.
+//
+// -shards N splits the live store across N column-band shards behind an
+// in-process scatter-gather coordinator (per-shard WAL and checkpoint
+// files get a .0, .1, ... suffix). -replica-of runs a WAL-shipped read
+// replica of a remote leader, and -coordinator scatter-gathers over
+// remote shard nodes: ';'-separated shards, each a ','-separated backend
+// list with the leader first.
 package main
 
 import (
@@ -39,6 +51,7 @@ import (
 	"spatialhist/internal/geobrowse"
 	"spatialhist/internal/grid"
 	"spatialhist/internal/live"
+	"spatialhist/internal/shard"
 	"spatialhist/internal/telemetry"
 )
 
@@ -76,6 +89,13 @@ func main() {
 		rebuildT  = flag.Duration("rebuild-interval", 0, "live mode: also publish a snapshot at this interval when mutations are pending (0 disables)")
 		syncEvery = flag.Int("sync-every", 0, "live mode: fsync the WAL every N mutations (0 = on flush/checkpoint/shutdown only)")
 		crossover = flag.Float64("rebuild-crossover", 0, "live mode: dirty-fraction cost threshold above which a rebuild falls back to a full pass (0 = tuned default, negative = always repair)")
+
+		shards    = flag.Int("shards", 0, "live mode: split the store across N column-band shards behind an in-process scatter-gather coordinator")
+		replicaOf = flag.String("replica-of", "", "serve a WAL-shipped read replica of the live leader at this base URL (requires -checkpoint)")
+		coordSpec = flag.String("coordinator", "", `scatter-gather over remote shard nodes: ';'-separated shards, each a ','-separated list of backend URLs with the leader first`)
+		maxLag    = flag.Int64("max-lag-bytes", 1<<20, "coordinator: WAL bytes a follower may lag before its reads route back to the leader (0 = fully caught-up only)")
+		probeIvl  = flag.Duration("probe-interval", 250*time.Millisecond, "coordinator: backend liveness/lag probe interval")
+		pollIvl   = flag.Duration("poll-interval", 50*time.Millisecond, "replica mode: WAL tail poll interval when caught up")
 	)
 	flag.Parse()
 
@@ -94,6 +114,70 @@ func main() {
 
 	if *liveMode && *loadSum != "" {
 		log.Fatal("geobrowsed: -live builds its own store; it cannot serve a -load summary")
+	}
+	if *shards != 0 && !*liveMode {
+		log.Fatal("geobrowsed: -shards partitions a live store; it requires -live")
+	}
+	if (*replicaOf != "" || *coordSpec != "") && (*liveMode || *tenantsArg != "" || *loadSum != "") {
+		log.Fatal("geobrowsed: -replica-of and -coordinator are serving topologies of their own; they do not compose with -live, -tenants or -load")
+	}
+
+	if *coordSpec != "" {
+		groups, err := parseShardSpec(*coordSpec)
+		if err != nil {
+			log.Fatalf("geobrowsed: %v", err)
+		}
+		c, err := shard.NewCoordinator(shard.Config{
+			Shards:        groups,
+			MaxLagBytes:   *maxLag,
+			ProbeInterval: *probeIvl,
+			Telemetry:     telemetry.Default(),
+		})
+		if err != nil {
+			log.Fatalf("geobrowsed: %v", err)
+		}
+		log.Printf("coordinator over %d shards (max follower lag %d bytes, probe every %v)",
+			c.Shards(), *maxLag, *probeIvl)
+		run(*addr, shard.NewServer(c, telemetry.Default()), nil, nil, *pprofOn, *report, nil,
+			func() {
+				if err := c.Close(); err != nil {
+					log.Printf("geobrowsed: closing coordinator: %v", err)
+				}
+			})
+		return
+	}
+
+	if *replicaOf != "" {
+		if *ckptPath == "" {
+			log.Fatal("geobrowsed: -replica-of needs -checkpoint for the replica's own durable state")
+		}
+		leader := &shard.HTTPHandle{Base: strings.TrimSuffix(*replicaOf, "/")}
+		info, err := leader.Info()
+		if err != nil {
+			log.Fatalf("geobrowsed: probing leader %s: %v", *replicaOf, err)
+		}
+		f, err := shard.StartFollower(shard.FollowerConfig{
+			Source:          leader,
+			CheckpointPath:  *ckptPath,
+			PollInterval:    *pollIvl,
+			RebuildEvery:    *rebuildN,
+			RebuildInterval: *rebuildT,
+			PyramidLevels:   *pyrLevels,
+			Telemetry:       telemetry.Default(),
+		})
+		if err != nil {
+			log.Fatalf("geobrowsed: starting replica: %v", err)
+		}
+		log.Printf("replica of %s (%s) tailing from seq %d, polling every %v",
+			*replicaOf, info.Dataset, f.Seq(), *pollIvl)
+		gb := geobrowse.NewLiveServer(info.Dataset, f.Store(), opts)
+		run(*addr, replicaHandler(gb, f.Store()), gb.StartDrain, gb, *pprofOn, *report, nil,
+			func() {
+				if err := f.Close(); err != nil {
+					log.Printf("geobrowsed: closing replica: %v", err)
+				}
+			})
+		return
 	}
 
 	if *tenantsArg != "" {
@@ -176,6 +260,10 @@ func main() {
 				log.Fatalf("geobrowsed: %v", err)
 			}
 		}
+		if *shards > 1 {
+			serveSharded(*addr, cfg, d, *shards, *maxLag, *probeIvl, *pprofOn, *report)
+			return
+		}
 		start := time.Now()
 		store, err := live.Open(cfg)
 		if err != nil {
@@ -185,7 +273,14 @@ func main() {
 		log.Printf("live store open in %v: %s, %d objects, generation %d, %d replayed mutations (wal %q, %d bytes)",
 			time.Since(start).Round(time.Millisecond), st.Algorithm, st.LiveObjects, st.Generation, st.Mutations, *walPath, st.WALBytes)
 		gb := geobrowse.NewLiveServer(d.Name, store, opts)
-		run(*addr, gb, gb.StartDrain, gb, *pprofOn, *report, store)
+		// Mount the shard/replication API beside the browse API so this
+		// node can serve as a scatter-gather backend or replication leader.
+		nh := shard.NodeHandler(store, telemetry.Default())
+		mux := http.NewServeMux()
+		mux.Handle("/", gb)
+		mux.Handle("/api/shard/", nh)
+		mux.Handle("/api/replica/", nh)
+		run(*addr, mux, gb.StartDrain, gb, *pprofOn, *report, store)
 		return
 	}
 
@@ -253,6 +348,121 @@ func zoomWrap(est core.Estimator, levels, minGrid int) core.Estimator {
 	return z
 }
 
+// serveSharded opens n live stores — one per column band — routes the
+// dataset's seed objects to their owning shards, and serves an
+// in-process scatter-gather coordinator over them. Per-shard WAL and
+// checkpoint files derive from the configured paths by suffix, so each
+// shard recovers its own band independently on restart.
+func serveSharded(addr string, base live.Config, d *dataset.Dataset, n int, maxLag int64, probe time.Duration, pprofOn bool, report time.Duration) {
+	part, err := shard.NewPartition(base.Grid, n)
+	if err != nil {
+		log.Fatalf("geobrowsed: %v", err)
+	}
+	seeds := part.RouteRects(d.Rects)
+	start := time.Now()
+	stores := make([]*live.Store, n)
+	groups := make([]shard.Backends, n)
+	for i := 0; i < n; i++ {
+		cfg := base
+		cfg.Seed = seeds[i]
+		if base.WALPath != "" {
+			cfg.WALPath = fmt.Sprintf("%s.%d", base.WALPath, i)
+		}
+		if base.CheckpointPath != "" {
+			cfg.CheckpointPath = fmt.Sprintf("%s.%d", base.CheckpointPath, i)
+		}
+		s, err := live.Open(cfg)
+		if err != nil {
+			log.Fatalf("geobrowsed: opening shard %d: %v", i, err)
+		}
+		stores[i] = s
+		groups[i] = shard.Backends{Leader: &shard.LocalHandle{
+			Store: s, Label: fmt.Sprintf("%s/shard%d", d.Name, i),
+		}}
+	}
+	c, err := shard.NewCoordinator(shard.Config{
+		Name:          d.Name,
+		Shards:        groups,
+		MaxLagBytes:   maxLag,
+		ProbeInterval: probe,
+		Telemetry:     telemetry.Default(),
+	})
+	if err != nil {
+		log.Fatalf("geobrowsed: %v", err)
+	}
+	var objects int64
+	for i, s := range stores {
+		st := s.Status()
+		objects += st.LiveObjects
+		c1, c2 := part.Band(i)
+		log.Printf("shard %d: columns [%d,%d], %d objects, generation %d", i, c1, c2, st.LiveObjects, st.Generation)
+	}
+	log.Printf("sharded live store open in %v: %d shards, %d objects total",
+		time.Since(start).Round(time.Millisecond), n, objects)
+	run(addr, shard.NewServer(c, telemetry.Default()), nil, nil, pprofOn, report, nil, func() {
+		if err := c.Close(); err != nil {
+			log.Printf("geobrowsed: closing coordinator: %v", err)
+		}
+		for i, s := range stores {
+			st := s.Status()
+			if err := s.Close(); err != nil {
+				log.Fatalf("geobrowsed: closing shard %d: %v", i, err)
+			}
+			log.Printf("shard %d closed at generation %d (%d mutations journaled)", i, st.Generation, st.Mutations)
+		}
+	})
+}
+
+// parseShardSpec expands a -coordinator spec into backend groups:
+// ';' separates shards (in band order), ',' separates a shard's backend
+// URLs, and the first URL of each group is the writer/leader.
+func parseShardSpec(spec string) ([]shard.Backends, error) {
+	var groups []shard.Backends
+	for _, group := range strings.Split(spec, ";") {
+		group = strings.TrimSpace(group)
+		if group == "" {
+			continue
+		}
+		var b shard.Backends
+		for j, u := range strings.Split(group, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				return nil, fmt.Errorf("coordinator spec %q: empty backend URL", spec)
+			}
+			h := &shard.HTTPHandle{Base: strings.TrimSuffix(u, "/")}
+			if j == 0 {
+				b.Leader = h
+			} else {
+				b.Followers = append(b.Followers, h)
+			}
+		}
+		groups = append(groups, b)
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("coordinator spec %q declares no shards", spec)
+	}
+	return groups, nil
+}
+
+// replicaHandler fronts a follower's store: browse reads and the shard
+// estimate API are served locally, but local mutations are refused —
+// writes belong to the leader, and a replica that accepted one would
+// silently diverge from the stream it tails.
+func replicaHandler(gb *geobrowse.Server, store *live.Store) http.Handler {
+	nh := shard.NodeHandler(store, telemetry.Default())
+	mux := http.NewServeMux()
+	mux.Handle("/", gb)
+	mux.Handle("/api/shard/", nh)
+	mux.Handle("/api/replica/", nh)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && (r.URL.Path == "/api/ingest" || r.URL.Path == "/api/delete") {
+			http.Error(w, "read-only replica: send writes to the leader", http.StatusForbidden)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
+}
+
 // serve runs the GeoBrowse handler over a fixed estimator.
 func serve(addr, name string, est core.Estimator, opts geobrowse.Options, pprofOn bool, report time.Duration) {
 	gb := geobrowse.NewServerOpts(name, est, opts)
@@ -266,7 +476,7 @@ func serve(addr, name string, est core.Estimator, opts geobrowse.Options, pprofO
 // balancers stop routing here — then drains in-flight requests and, when
 // fronting a live store, closes it — syncing the journal and writing the
 // checkpoint — so a clean shutdown never loses acknowledged mutations.
-func run(addr string, handler http.Handler, drain func(), gb *geobrowse.Server, pprofOn bool, report time.Duration, store *live.Store) {
+func run(addr string, handler http.Handler, drain func(), gb *geobrowse.Server, pprofOn bool, report time.Duration, store *live.Store, cleanup ...func()) {
 	if pprofOn {
 		mux := http.NewServeMux()
 		mux.Handle("/", handler)
@@ -312,6 +522,9 @@ func run(addr string, handler http.Handler, drain func(), gb *geobrowse.Server, 
 				log.Fatalf("geobrowsed: closing live store: %v", err)
 			}
 			log.Printf("live store closed at generation %d (%d mutations journaled)", st.Generation, st.Mutations)
+		}
+		for _, fn := range cleanup {
+			fn()
 		}
 	}
 }

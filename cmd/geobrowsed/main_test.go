@@ -79,3 +79,27 @@ func TestBuildEstimator(t *testing.T) {
 		t.Error("invalid thresholds must error")
 	}
 }
+
+func TestParseShardSpec(t *testing.T) {
+	groups, err := parseShardSpec(" http://a:1 , http://b:2/ ; http://c:3 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("parsed %d shards, want 2", len(groups))
+	}
+	if got := groups[0].Leader.Name(); got != "http://a:1" {
+		t.Errorf("shard 0 leader = %q", got)
+	}
+	if len(groups[0].Followers) != 1 || groups[0].Followers[0].Name() != "http://b:2" {
+		t.Errorf("shard 0 followers = %v", groups[0].Followers)
+	}
+	if len(groups[1].Followers) != 0 || groups[1].Leader.Name() != "http://c:3" {
+		t.Errorf("shard 1 = %+v", groups[1])
+	}
+	for _, bad := range []string{"", " ; ", "http://a:1,,http://b:2"} {
+		if _, err := parseShardSpec(bad); err == nil {
+			t.Errorf("spec %q must error", bad)
+		}
+	}
+}

@@ -49,6 +49,8 @@ type config struct {
 	duration    time.Duration
 	requests    int64
 	concurrency int
+	openLoop    bool
+	rate        float64
 	sidecars    int
 	tenants     string
 	hotspots    int
@@ -75,7 +77,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs.Int64Var(&c.seed, "seed", 1, "trace seed; same seed, same request stream")
 	fs.DurationVar(&c.duration, "duration", 30*time.Second, "run length (0 with -requests runs to the budget)")
 	fs.Int64Var(&c.requests, "requests", 0, "total request budget across workers (0 = duration only)")
-	fs.IntVar(&c.concurrency, "concurrency", 8, "closed-loop browse workers")
+	fs.IntVar(&c.concurrency, "concurrency", 8, "closed-loop browse workers (open-loop: issuing pool size)")
+	fs.BoolVar(&c.openLoop, "open-loop", false, "constant-rate dispatch at -rate instead of closed-loop workers")
+	fs.Float64Var(&c.rate, "rate", 0, "open-loop target browse request rate per second (requires -open-loop)")
 	fs.IntVar(&c.sidecars, "sidecars", 0, "ingest sidecar workers (live stores only)")
 	fs.StringVar(&c.tenants, "tenants", "", "comma-separated tenant names for /api/{tenant}/ routing")
 	fs.IntVar(&c.hotspots, "hotspots", 16, "Zipf focal points")
@@ -270,6 +274,10 @@ func runLoad(c config, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "loadgen: -concurrency must be positive")
 		return 1
 	}
+	if c.openLoop && c.rate <= 0 {
+		fmt.Fprintln(stderr, "loadgen: -open-loop requires a positive -rate")
+		return 1
+	}
 	if c.duration <= 0 && c.requests <= 0 {
 		fmt.Fprintln(stderr, "loadgen: need -duration or -requests")
 		return 1
@@ -311,6 +319,7 @@ func runLoad(c config, stdout, stderr io.Writer) int {
 	}
 
 	col := newCollector()
+	var dropped int64
 	var wg sync.WaitGroup
 	worker := func(next func() Request) {
 		defer wg.Done()
@@ -318,19 +327,32 @@ func runLoad(c config, stdout, stderr io.Writer) int {
 			issue(ctx, client, c.target, next(), col)
 		}
 	}
-	for w := 0; w < c.concurrency; w++ {
-		s := NewSession(o, w)
-		wg.Add(1)
-		go worker(s.Next)
-	}
+	// Ingest sidecars stay closed-loop in both modes: they model a feed,
+	// not an arrival process. They start first because the open-loop
+	// dispatcher below runs synchronously for the whole window.
 	for w := 0; w < c.sidecars; w++ {
 		s := NewIngestSession(o, w)
 		wg.Add(1)
 		go worker(s.Next)
 	}
+	if c.openLoop {
+		dropped = dispatchOpenLoop(ctx, c, o, client, col, takeToken, &wg)
+	} else {
+		for w := 0; w < c.concurrency; w++ {
+			s := NewSession(o, w)
+			wg.Add(1)
+			go worker(s.Next)
+		}
+	}
 	wg.Wait()
 
 	r := col.build()
+	r.Mode = "closed"
+	if c.openLoop {
+		r.Mode = "open"
+		r.TargetQPS = c.rate
+		r.Dropped = int(dropped)
+	}
 	r.Target = c.target
 	r.Seed = c.seed
 	r.TraceHash = fmt.Sprintf("%016x", TraceHash(o, c.concurrency, c.sidecars, 64))
@@ -348,6 +370,52 @@ func runLoad(c config, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// dispatchOpenLoop paces request arrivals at a constant -rate regardless
+// of how fast responses come back — the arrival process a closed loop
+// cannot model, where a slow server faces a growing backlog instead of
+// implicit back-pressure. A pool of -concurrency issuers drains a bounded
+// queue; an arrival landing on a full queue is dropped and counted, so
+// the report says how far the server fell behind the offered load rather
+// than silently coordinating with it. Returns the dropped-arrival count
+// once the run ends (the issuers are tracked by wg).
+func dispatchOpenLoop(ctx context.Context, c config, o TraceOpts, client *http.Client, col *collector, takeToken func() bool, wg *sync.WaitGroup) int64 {
+	queue := make(chan Request, c.concurrency)
+	for w := 0; w < c.concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for req := range queue {
+				issue(ctx, client, c.target, req, col)
+			}
+		}()
+	}
+	sessions := make([]*Session, c.concurrency)
+	for w := range sessions {
+		sessions[w] = NewSession(o, w)
+	}
+	interval := time.Duration(float64(time.Second) / c.rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	defer close(queue)
+	var dropped int64
+	for k := 0; takeToken(); k++ {
+		select {
+		case <-ctx.Done():
+			return dropped
+		case <-tick.C:
+		}
+		select {
+		case queue <- sessions[k%len(sessions)].Next():
+		default:
+			dropped++
+		}
+	}
+	return dropped
+}
+
 // issue sends one request and records its sample. Transport failures are
 // samples too — a run that can't reach the server must fail its SLO, not
 // vanish from the report.
@@ -358,7 +426,7 @@ func issue(ctx context.Context, client *http.Client, base string, req Request, c
 	}
 	hreq, err := http.NewRequestWithContext(ctx, req.Method, base+req.Path, body)
 	if err != nil {
-		col.record(sample{endpoint: req.Endpoint, err: true})
+		col.record(sample{endpoint: req.Endpoint, tenant: req.Tenant, err: true})
 		return
 	}
 	if req.Body != nil {
@@ -369,7 +437,7 @@ func issue(ctx context.Context, client *http.Client, base string, req Request, c
 	if err != nil {
 		// A request cut off by the run deadline is not a server error.
 		if ctx.Err() == nil {
-			col.record(sample{endpoint: req.Endpoint, err: true, latency: time.Since(start)})
+			col.record(sample{endpoint: req.Endpoint, tenant: req.Tenant, err: true, latency: time.Since(start)})
 		}
 		return
 	}
@@ -377,6 +445,7 @@ func issue(ctx context.Context, client *http.Client, base string, req Request, c
 	resp.Body.Close()
 	col.record(sample{
 		endpoint: req.Endpoint,
+		tenant:   req.Tenant,
 		status:   resp.StatusCode,
 		latency:  time.Since(start),
 		bytes:    n,

@@ -203,3 +203,67 @@ func writeJSONFile(t *testing.T, path string, v any) {
 		t.Fatal(err)
 	}
 }
+
+// TestOpenLoopRun runs loadgen in open-loop mode against a live server:
+// the report must say so, carry the offered rate, and still produce sane
+// stats (requests issued, drops accounted, no errors).
+func TestOpenLoopRun(t *testing.T) {
+	srv := startServer(t)
+	dir := t.TempDir()
+	reportPath := filepath.Join(dir, "report.json")
+
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-target", srv.URL,
+		"-seed", "7",
+		"-duration", "0",
+		"-requests", "150",
+		"-concurrency", "8",
+		"-open-loop",
+		"-rate", "2000",
+		"-wait", "5s",
+		"-out", reportPath,
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("open-loop run exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+
+	var r Report
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Mode != "open" {
+		t.Fatalf("report mode %q, want open", r.Mode)
+	}
+	if r.TargetQPS != 2000 {
+		t.Fatalf("report target_qps %v, want 2000", r.TargetQPS)
+	}
+	if r.Requests == 0 {
+		t.Fatal("open-loop run issued no requests")
+	}
+	if r.Errors > 0 {
+		t.Fatalf("open-loop run saw %d errors", r.Errors)
+	}
+	// Issued + dropped together account for every token the arrival
+	// process consumed.
+	if r.Requests+r.Dropped > 150 {
+		t.Fatalf("requests %d + dropped %d exceed the 150-token budget", r.Requests, r.Dropped)
+	}
+}
+
+// TestOpenLoopRequiresRate: -open-loop without a positive -rate is a
+// usage error, not a silent closed-loop fallback.
+func TestOpenLoopRequiresRate(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-target", "http://127.0.0.1:1", "-open-loop"}, &out, &errOut)
+	if code == 0 {
+		t.Fatal("open-loop without -rate should fail")
+	}
+	if !strings.Contains(errOut.String(), "rate") {
+		t.Fatalf("error does not mention -rate: %q", errOut.String())
+	}
+}

@@ -19,6 +19,7 @@ import (
 // sample is one completed request.
 type sample struct {
 	endpoint string
+	tenant   string
 	status   int
 	err      bool // transport failure (no status)
 	latency  time.Duration
@@ -65,12 +66,22 @@ type Report struct {
 	Sidecars    int     `json:"sidecars"`
 	Tenants     int     `json:"tenants"`
 
+	// Mode is "closed" (each worker waits for its response before the
+	// next request) or "open" (constant-rate dispatch at TargetQPS with
+	// bounded outstanding requests; arrivals past the bound are Dropped).
+	Mode      string  `json:"mode"`
+	TargetQPS float64 `json:"target_qps,omitempty"`
+	Dropped   int     `json:"dropped,omitempty"`
+
 	Requests    int     `json:"requests"`
 	Errors      int     `json:"errors"`
 	Shed        int     `json:"shed"`
 	AchievedQPS float64 `json:"achieved_qps"`
 
 	Endpoints map[string]*EndpointStats `json:"endpoints"`
+	// TenantEndpoints splits the same stats by tenant (tenanted runs
+	// only) — what tenants.{name} SLO bounds are checked against.
+	TenantEndpoints map[string]map[string]*EndpointStats `json:"tenant_endpoints,omitempty"`
 }
 
 // build folds the collected samples into a Report. Shed responses (429)
@@ -86,11 +97,30 @@ func (c *collector) build() *Report {
 		Endpoints:   make(map[string]*EndpointStats),
 	}
 	lat := make(map[string][]float64)
+	tenantLat := make(map[string]map[string][]float64)
 	for _, s := range c.samples {
 		ep := r.Endpoints[s.endpoint]
 		if ep == nil {
 			ep = &EndpointStats{}
 			r.Endpoints[s.endpoint] = ep
+		}
+		var tep *EndpointStats
+		if s.tenant != "" {
+			if r.TenantEndpoints == nil {
+				r.TenantEndpoints = make(map[string]map[string]*EndpointStats)
+			}
+			eps := r.TenantEndpoints[s.tenant]
+			if eps == nil {
+				eps = make(map[string]*EndpointStats)
+				r.TenantEndpoints[s.tenant] = eps
+			}
+			tep = eps[s.endpoint]
+			if tep == nil {
+				tep = &EndpointStats{}
+				eps[s.endpoint] = tep
+			}
+			tep.Requests++
+			tep.Bytes += s.bytes
 		}
 		ep.Requests++
 		ep.Bytes += s.bytes
@@ -99,6 +129,9 @@ func (c *collector) build() *Report {
 		case s.status == 429:
 			ep.Shed++
 			r.Shed++
+			if tep != nil {
+				tep.Shed++
+			}
 		case s.err || s.status >= 400:
 			// Any non-shed failure is an error, 4xx included: loadgen
 			// only generates requests the server must accept, so a 404
@@ -106,27 +139,48 @@ func (c *collector) build() *Report {
 			// must fail the SLO rather than pose as a fast success.
 			ep.Errors++
 			r.Errors++
+			if tep != nil {
+				tep.Errors++
+			}
 		default:
-			lat[s.endpoint] = append(lat[s.endpoint], float64(s.latency)/float64(time.Millisecond))
+			ms := float64(s.latency) / float64(time.Millisecond)
+			lat[s.endpoint] = append(lat[s.endpoint], ms)
+			if s.tenant != "" {
+				tl := tenantLat[s.tenant]
+				if tl == nil {
+					tl = make(map[string][]float64)
+					tenantLat[s.tenant] = tl
+				}
+				tl[s.endpoint] = append(tl[s.endpoint], ms)
+			}
 		}
 	}
 	for name, ms := range lat {
-		ep := r.Endpoints[name]
-		sort.Float64s(ms)
-		var sum float64
-		for _, v := range ms {
-			sum += v
+		fillQuantiles(r.Endpoints[name], ms)
+	}
+	for tenant, eps := range tenantLat {
+		for name, ms := range eps {
+			fillQuantiles(r.TenantEndpoints[tenant][name], ms)
 		}
-		ep.MeanMs = round2(sum / float64(len(ms)))
-		ep.P50Ms = round2(quantile(ms, 0.50))
-		ep.P95Ms = round2(quantile(ms, 0.95))
-		ep.P99Ms = round2(quantile(ms, 0.99))
-		ep.MaxMs = round2(ms[len(ms)-1])
 	}
 	if elapsed > 0 {
 		r.AchievedQPS = round2(float64(r.Requests) / elapsed)
 	}
 	return r
+}
+
+// fillQuantiles folds one latency sample set into its stats row.
+func fillQuantiles(ep *EndpointStats, ms []float64) {
+	sort.Float64s(ms)
+	var sum float64
+	for _, v := range ms {
+		sum += v
+	}
+	ep.MeanMs = round2(sum / float64(len(ms)))
+	ep.P50Ms = round2(quantile(ms, 0.50))
+	ep.P95Ms = round2(quantile(ms, 0.95))
+	ep.P99Ms = round2(quantile(ms, 0.99))
+	ep.MaxMs = round2(ms[len(ms)-1])
 }
 
 // quantile returns the q-th quantile of sorted samples by the

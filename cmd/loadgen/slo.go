@@ -38,6 +38,16 @@ type SLO struct {
 	// Endpoints bounds per-endpoint latency quantiles. An endpoint listed
 	// here that the run never exercised is itself a violation.
 	Endpoints map[string]EndpointSLO `json:"endpoints"`
+	// Tenants bounds per-tenant latency quantiles, keyed by tenant name
+	// then endpoint: in a multi-tenant run the aggregate numbers can look
+	// healthy while one tenant is starved, so a tenant listed here is
+	// gated on its own distribution (from the report's tenant_endpoints).
+	Tenants map[string]TenantSLO `json:"tenants,omitempty"`
+}
+
+// TenantSLO bounds one tenant's endpoints.
+type TenantSLO struct {
+	Endpoints map[string]EndpointSLO `json:"endpoints"`
 }
 
 // LoadSLO reads an SLO file.
@@ -70,21 +80,42 @@ func CheckSLO(r *Report, slo *SLO) []string {
 				rate, slo.MaxShedRate, r.Shed, r.Requests))
 		}
 	}
-	names := make([]string, 0, len(slo.Endpoints))
-	for name := range slo.Endpoints {
+	v = append(v, checkEndpoints("", slo.Endpoints, r.Endpoints)...)
+	tenants := make([]string, 0, len(slo.Tenants))
+	for name := range slo.Tenants {
+		tenants = append(tenants, name)
+	}
+	sort.Strings(tenants)
+	for _, tenant := range tenants {
+		eps := r.TenantEndpoints[tenant]
+		if len(eps) == 0 {
+			v = append(v, fmt.Sprintf("tenant %s: SLO declared but tenant saw no traffic", tenant))
+			continue
+		}
+		v = append(v, checkEndpoints(tenant+" ", slo.Tenants[tenant].Endpoints, eps)...)
+	}
+	return v
+}
+
+// checkEndpoints gates one endpoint-stats map (aggregate or one tenant's)
+// against its declared bounds.
+func checkEndpoints(prefix string, bounds map[string]EndpointSLO, stats map[string]*EndpointStats) []string {
+	var v []string
+	names := make([]string, 0, len(bounds))
+	for name := range bounds {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		bound := slo.Endpoints[name]
-		ep := r.Endpoints[name]
+		bound := bounds[name]
+		ep := stats[name]
 		if ep == nil || ep.Requests == 0 {
-			v = append(v, fmt.Sprintf("%s: SLO declared but endpoint never exercised", name))
+			v = append(v, fmt.Sprintf("%s%s: SLO declared but endpoint never exercised", prefix, name))
 			continue
 		}
 		check := func(label string, got, max float64) {
 			if max > 0 && got > max {
-				v = append(v, fmt.Sprintf("%s: %s %.2fms > %.2fms", name, label, got, max))
+				v = append(v, fmt.Sprintf("%s%s: %s %.2fms > %.2fms", prefix, name, label, got, max))
 			}
 		}
 		check("p50", ep.P50Ms, bound.P50Ms)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -123,5 +124,78 @@ func TestMarkdownTable(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("markdown missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestTenantStatsAndSLO(t *testing.T) {
+	c := newCollector()
+	for i := 0; i < 50; i++ {
+		c.record(sample{endpoint: "/api/browse", tenant: "osm", status: 200,
+			latency: time.Duration(i+1) * time.Millisecond})
+		c.record(sample{endpoint: "/api/browse", tenant: "census", status: 200,
+			latency: time.Duration(10*(i+1)) * time.Millisecond})
+	}
+	r := c.build()
+
+	osm := r.TenantEndpoints["osm"]["/api/browse"]
+	census := r.TenantEndpoints["census"]["/api/browse"]
+	if osm == nil || census == nil {
+		t.Fatalf("tenant stats missing: %+v", r.TenantEndpoints)
+	}
+	if osm.Requests != 50 || census.Requests != 50 {
+		t.Fatalf("tenant requests %d/%d, want 50/50", osm.Requests, census.Requests)
+	}
+	if census.P99Ms <= osm.P99Ms {
+		t.Fatalf("census p99 %.2f not slower than osm %.2f", census.P99Ms, osm.P99Ms)
+	}
+	agg := r.Endpoints["/api/browse"]
+	if agg.Requests != 100 {
+		t.Fatalf("aggregate requests %d, want 100", agg.Requests)
+	}
+
+	// A bound the slow tenant violates while the aggregate and the fast
+	// tenant pass — the starvation case per-tenant SLOs exist for.
+	slo := &SLO{
+		Endpoints: map[string]EndpointSLO{"/api/browse": {P99Ms: 60_000}},
+		Tenants: map[string]TenantSLO{
+			"osm":    {Endpoints: map[string]EndpointSLO{"/api/browse": {P99Ms: 60_000}}},
+			"census": {Endpoints: map[string]EndpointSLO{"/api/browse": {P99Ms: osm.P99Ms}}},
+		},
+	}
+	v := CheckSLO(r, slo)
+	if len(v) != 1 || !strings.Contains(v[0], "census /api/browse") {
+		t.Fatalf("violations = %v, want exactly the census p99 breach", v)
+	}
+
+	// A tenant with declared bounds but no traffic is itself a violation.
+	slo.Tenants["idle"] = TenantSLO{Endpoints: map[string]EndpointSLO{"/api/browse": {P99Ms: 1}}}
+	v = CheckSLO(r, slo)
+	found := false
+	for _, line := range v {
+		if strings.Contains(line, "tenant idle") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no violation for an idle tenant with a declared SLO: %v", v)
+	}
+}
+
+func TestTenantSLORoundTripsThroughJSON(t *testing.T) {
+	// The -slocheck path re-reads reports from disk; tenant stats must
+	// survive the round trip.
+	c := newCollector()
+	c.record(sample{endpoint: "/api/browse", tenant: "osm", status: 200, latency: 5 * time.Millisecond})
+	r := c.build()
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.TenantEndpoints["osm"]["/api/browse"] == nil {
+		t.Fatalf("tenant stats lost in round trip: %s", data)
 	}
 }

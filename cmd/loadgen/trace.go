@@ -63,6 +63,9 @@ type Request struct {
 	// string and, for tenant traffic, the /api/{tenant}/ prefix.
 	Method string
 	Path   string
+	// Tenant is the tenant the request addresses ("" untenanted) — the
+	// per-tenant SLO key.
+	Tenant string
 	// Body is the JSON body of ingest sidecar requests, nil otherwise.
 	Body []byte
 }
@@ -169,6 +172,12 @@ func largestDivisorAtMost(n, max int) int {
 // Next generates the session's next request. The stream is infinite;
 // the driver stops on its duration or request budget.
 func (s *Session) Next() Request {
+	req := s.next()
+	req.Tenant = s.tenant
+	return req
+}
+
+func (s *Session) next() Request {
 	// Flash crowd: during burst windows every session converges on the
 	// top hotspot, the worst case for cache contention and admission.
 	focus := s.focus
@@ -330,6 +339,12 @@ func NewIngestSession(o TraceOpts, w int) *IngestSession {
 
 // Next generates one ingest batch of up to 8 cell-aligned rects.
 func (s *IngestSession) Next() Request {
+	req := s.next()
+	req.Tenant = s.tenant
+	return req
+}
+
+func (s *IngestSession) next() Request {
 	g := s.o.Grid
 	n := 1 + s.rng.Intn(8)
 	var b strings.Builder

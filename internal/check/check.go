@@ -158,6 +158,18 @@ func Oracles() []Check {
 			Doc:  "a tenant evicted by the registry memory budget and rebuilt by its loader estimates bit-identically to its first incarnation",
 			Run:  runRegistryEvictReload,
 		},
+		{
+			Name: "sharded-vs-single",
+			Kind: KindOracle,
+			Doc:  "a coordinator's merged scatter-gather answers over column-band shards are bit-identical to one store fed the same stream, including under concurrent reads",
+			Run:  runShardedVsSingle,
+		},
+		{
+			Name: "replica-failover",
+			Kind: KindOracle,
+			Doc:  "a WAL-shipped follower killed and restarted mid-stream catches up bit-identical to its leader, and serves failover reads identically",
+			Run:  runReplicaFailover,
+		},
 	}
 }
 

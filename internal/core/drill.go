@@ -30,6 +30,12 @@ type DrillTile struct {
 	Estimate Estimate
 }
 
+// SpanEvaluator answers a batch of grid-aligned spans, one Estimate per
+// span in order. It abstracts where the estimates come from: a local
+// estimator (EstimateSet), or a scatter-gather coordinator that fans the
+// batch out to shards and merges the raw sums.
+type SpanEvaluator func(spans []grid.Span) ([]Estimate, error)
+
 // Drilldown explores a region adaptively: it splits the region into up to
 // four tiles, estimates each, and recursively refines only the tiles whose
 // count for the chosen relation is hot — the interactive "zoom into where
@@ -40,6 +46,18 @@ type DrillTile struct {
 // The returned leaves partition the region and are ordered depth-first,
 // south-west first.
 func Drilldown(est Estimator, region grid.Span, opts DrillOptions) ([]DrillTile, error) {
+	return DrilldownBatch(func(spans []grid.Span) ([]Estimate, error) {
+		return EstimateSet(est, spans), nil
+	}, region, opts)
+}
+
+// DrilldownBatch is Drilldown over a SpanEvaluator: the refinement frontier
+// is evaluated one whole level at a time, so a distributed evaluator pays
+// one scatter-gather round per depth level instead of one per tile. The
+// refinement decisions, leaves and their depth-first order are identical to
+// Drilldown's — the recursion is data-dependent only through the estimates,
+// and those are evaluated for exactly the same spans.
+func DrilldownBatch(eval SpanEvaluator, region grid.Span, opts DrillOptions) ([]DrillTile, error) {
 	if !region.Valid() {
 		return nil, fmt.Errorf("core: invalid drill region %v", region)
 	}
@@ -53,30 +71,92 @@ func Drilldown(est Estimator, region grid.Span, opts DrillOptions) ([]DrillTile,
 	if maxTiles == 0 {
 		maxTiles = 4096
 	}
-	var out []DrillTile
-	if err := drill(est, region, 0, opts, maxTiles, &out); err != nil {
-		return nil, err
-	}
-	return out, nil
-}
 
-func drill(est Estimator, span grid.Span, depth int, opts DrillOptions, maxTiles int, out *[]DrillTile) error {
-	for _, child := range Quarter(span) {
-		e := est.Estimate(child)
-		hot := e.Clamped().Get(opts.Relation) >= opts.HotThreshold
-		refinable := depth < opts.MaxDepth && child.Cells() > 1
-		if hot && refinable {
-			if err := drill(est, child, depth+1, opts, maxTiles, out); err != nil {
-				return err
+	// The expansion tree, grown breadth-first. Children sit contiguously in
+	// Quarter order, so a depth-first walk over child links reproduces the
+	// recursive emit order exactly.
+	type node struct {
+		span       grid.Span
+		est        Estimate
+		kids, nkid int32 // first child index and count; nkid == 0 is a leaf
+	}
+	var nodes []node
+	quarterInto := func(s grid.Span) (first, n int32) {
+		first = int32(len(nodes))
+		for _, child := range Quarter(s) {
+			nodes = append(nodes, node{span: child})
+		}
+		return first, int32(len(nodes)) - first
+	}
+
+	rootFirst, rootN := quarterInto(region)
+	frontier := []int32{} // node indices awaiting evaluation at the current depth
+	for i := int32(0); i < rootN; i++ {
+		frontier = append(frontier, rootFirst+i)
+	}
+	leaves := 0
+	spans := make([]grid.Span, 0, len(frontier))
+	for depth := 0; len(frontier) > 0; depth++ {
+		spans = spans[:0]
+		for _, ni := range frontier {
+			spans = append(spans, nodes[ni].span)
+		}
+		ests, err := eval(spans)
+		if err != nil {
+			return nil, fmt.Errorf("core: drill-down at depth %d: %w", depth, err)
+		}
+		if len(ests) != len(spans) {
+			return nil, fmt.Errorf("core: drill-down evaluator returned %d estimates for %d spans", len(ests), len(spans))
+		}
+		var next []int32
+		for k, ni := range frontier {
+			e := ests[k]
+			nodes[ni].est = e
+			hot := e.Clamped().Get(opts.Relation) >= opts.HotThreshold
+			refinable := depth < opts.MaxDepth && nodes[ni].span.Cells() > 1
+			if hot && refinable {
+				first, n := quarterInto(nodes[ni].span)
+				nodes[ni].kids, nodes[ni].nkid = first, n
+				for i := int32(0); i < n; i++ {
+					next = append(next, first+i)
+				}
+				continue
 			}
+			leaves++
+			// The leaf set only grows as levels expand, so overflow is final
+			// the moment it happens — same error the per-tile recursion
+			// raises when appending one leaf too many.
+			if leaves > maxTiles {
+				return nil, fmt.Errorf("core: drill-down exceeded %d tiles; raise HotThreshold or MaxTiles", maxTiles)
+			}
+		}
+		frontier = next
+	}
+
+	// Depth-first emit over the finished tree, south-west first — the order
+	// the recursive walk produces.
+	out := make([]DrillTile, 0, leaves)
+	type frame struct {
+		idx   int32
+		depth int
+	}
+	stack := make([]frame, 0, 64)
+	for i := rootN - 1; i >= 0; i-- {
+		stack = append(stack, frame{rootFirst + i, 0})
+	}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := &nodes[f.idx]
+		if nd.nkid == 0 {
+			out = append(out, DrillTile{Span: nd.span, Depth: f.depth, Estimate: nd.est})
 			continue
 		}
-		if len(*out) >= maxTiles {
-			return fmt.Errorf("core: drill-down exceeded %d tiles; raise HotThreshold or MaxTiles", maxTiles)
+		for i := nd.nkid - 1; i >= 0; i-- {
+			stack = append(stack, frame{nd.kids + i, f.depth + 1})
 		}
-		*out = append(*out, DrillTile{Span: child, Depth: depth, Estimate: e})
 	}
-	return nil
+	return out, nil
 }
 
 // Quarter splits a span into up to four sub-spans at its cell midpoints

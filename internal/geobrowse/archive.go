@@ -159,7 +159,7 @@ func (s *ArchiveServer) handleBrowse(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		resp := FacetedBrowseResponse{Cols: cols, Rows: rows, Matching: matching,
-			Tiles: tileEstimates(sc.Grid, span, cols, rows, ests)}
+			Tiles: TileEstimates(sc.Grid, span, cols, rows, ests)}
 		return json.Marshal(resp)
 	})
 	if err != nil {

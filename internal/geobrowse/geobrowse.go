@@ -144,6 +144,9 @@ type Server struct {
 	tenant  string
 	limiter *Limiter
 	drain   atomic.Bool
+
+	warms  *telemetry.Counter // drill-triggered cache warmups
+	warmWG sync.WaitGroup     // in-flight warmers, awaited by tests and Close paths
 }
 
 // NewServer creates a Server for a named dataset summarized by est, with
@@ -181,6 +184,12 @@ func NewSourceServer(name string, src EstimatorSource, opts Options) *Server {
 		s.sem = make(chan struct{}, opts.Workers)
 		s.pool = newPoolMetrics(opts.Telemetry, opts.Workers)
 	}
+	var warmLabels []string
+	if opts.Tenant != "" {
+		warmLabels = []string{"tenant", opts.Tenant}
+	}
+	s.warms = opts.Telemetry.Counter("geobrowse_drill_warm_total",
+		"Browse-cache entries pre-populated by drill-down requests.", warmLabels...)
 	m := newHTTPMetrics(opts.Telemetry, opts.accessLogger(), opts.Tenant)
 	s.mux.HandleFunc("GET /api/info", m.wrap("/api/info", s.handleInfo))
 	s.mux.HandleFunc("GET /api/query", m.wrap("/api/query", s.admit(s.handleQuery)))
@@ -294,20 +303,27 @@ func (s *Server) handleBrowse(w http.ResponseWriter, r *http.Request) {
 	// generation's histogram buffers.
 	est, gen, release := acquireEstimator(s.src)
 	defer release()
-	key := browseKey(gen, resolvedLevel(est, span, cols, rows), span, cols, rows, "")
-	data, err := s.cache.Do(key, func() ([]byte, error) {
-		ests, err := s.estimateTiles(est, span, cols, rows)
-		if err != nil {
-			return nil, err
-		}
-		resp := BrowseResponse{Cols: cols, Rows: rows, Tiles: tileEstimates(s.g, span, cols, rows, ests)}
-		return json.Marshal(resp)
-	})
+	data, err := s.browseBytes(est, gen, span, cols, rows)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	writeJSONBytes(w, data)
+}
+
+// browseBytes computes (or serves from cache) the marshaled browse
+// response for one tiling against a pinned estimator — the shared body of
+// handleBrowse and the drill-triggered cache warmer.
+func (s *Server) browseBytes(est core.Estimator, gen uint64, span grid.Span, cols, rows int) ([]byte, error) {
+	key := browseKey(gen, resolvedLevel(est, span, cols, rows), span, cols, rows, "")
+	return s.cache.Do(key, func() ([]byte, error) {
+		ests, err := s.estimateTiles(est, span, cols, rows)
+		if err != nil {
+			return nil, err
+		}
+		resp := BrowseResponse{Cols: cols, Rows: rows, Tiles: TileEstimates(s.g, span, cols, rows, ests)}
+		return json.Marshal(resp)
+	})
 }
 
 // estimateTiles answers a tile map with the batch path, fanning tile rows
@@ -370,9 +386,11 @@ func rowParallel(sem chan struct{}, pm *poolMetrics, region grid.Span, cols, row
 	return out, nil
 }
 
-// tileEstimates pairs clamped estimates with their tile rectangles in
-// row-major order.
-func tileEstimates(g *grid.Grid, region grid.Span, cols, rows int, ests []core.Estimate) []TileEstimate {
+// TileEstimates pairs clamped estimates with their tile rectangles in
+// row-major order — the browse response body. Exported so a scatter-gather
+// coordinator can render merged raw estimates into the identical wire form
+// a single server produces.
+func TileEstimates(g *grid.Grid, region grid.Span, cols, rows int, ests []core.Estimate) []TileEstimate {
 	tw := region.Width() / cols
 	th := region.Height() / rows
 	tiles := make([]TileEstimate, len(ests))
@@ -380,17 +398,23 @@ func tileEstimates(g *grid.Grid, region grid.Span, cols, rows int, ests []core.E
 		col, row := k%cols, k/cols
 		i1 := region.I1 + col*tw
 		j1 := region.J1 + row*th
-		rect := g.SpanRect(grid.Span{I1: i1, J1: j1, I2: i1 + tw - 1, J2: j1 + th - 1})
-		c := est.Clamped()
-		tiles[k] = TileEstimate{
-			Rect:      [4]float64{rect.XMin, rect.YMin, rect.XMax, rect.YMax},
-			Disjoint:  c.Disjoint,
-			Contains:  c.Contains,
-			Contained: c.Contained,
-			Overlap:   c.Overlap,
-		}
+		tiles[k] = NewTileEstimate(g, grid.Span{I1: i1, J1: j1, I2: i1 + tw - 1, J2: j1 + th - 1}, est)
 	}
 	return tiles
+}
+
+// NewTileEstimate renders one raw estimate for a span into the clamped
+// wire form of a browse tile.
+func NewTileEstimate(g *grid.Grid, span grid.Span, e core.Estimate) TileEstimate {
+	rect := g.SpanRect(span)
+	c := e.Clamped()
+	return TileEstimate{
+		Rect:      [4]float64{rect.XMin, rect.YMin, rect.XMax, rect.YMax},
+		Disjoint:  c.Disjoint,
+		Contains:  c.Contains,
+		Contained: c.Contained,
+		Overlap:   c.Overlap,
+	}
 }
 
 // resolvedLevel returns the pyramid level a zoom-routing estimator would
@@ -443,17 +467,28 @@ func parseBrowse(g *grid.Grid, r *http.Request) (span grid.Span, cols, rows int,
 }
 
 func tileFor(est core.Estimator, span grid.Span) TileEstimate {
-	g := est.Grid()
-	rect := g.SpanRect(span)
-	e := est.Estimate(span).Clamped()
-	return TileEstimate{
-		Rect:      [4]float64{rect.XMin, rect.YMin, rect.XMax, rect.YMax},
-		Disjoint:  e.Disjoint,
-		Contains:  e.Contains,
-		Contained: e.Contained,
-		Overlap:   e.Overlap,
-	}
+	return NewTileEstimate(est.Grid(), span, est.Estimate(span))
 }
+
+// ParseBrowseRequest reads the region and tiling parameters of a browse
+// request against g — exported for front-ends (the shard coordinator) that
+// must accept exactly the requests a Server accepts.
+func ParseBrowseRequest(g *grid.Grid, r *http.Request) (span grid.Span, cols, rows int, err error) {
+	return parseBrowse(g, r)
+}
+
+// ParseRegionRequest reads the x1..y2 region parameters of a request
+// against g.
+func ParseRegionRequest(g *grid.Grid, r *http.Request) (grid.Span, error) {
+	return parseRegion(g, r)
+}
+
+// ParseRelation converts a relation query parameter to its geom.Rel2.
+func ParseRelation(arg string) (geom.Rel2, error) { return parseRelation(arg) }
+
+// WriteJSON marshals v and writes it with the JSON content type — the
+// Server's own response writer, exported for coordinator front-ends.
+func WriteJSON(w http.ResponseWriter, v any) { writeJSON(w, v) }
 
 // parseRegion reads x1..y2 and converts them to a grid-aligned span.
 func (s *Server) parseRegion(r *http.Request) (grid.Span, error) {

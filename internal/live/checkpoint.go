@@ -43,19 +43,24 @@ func (s *Store) Checkpoint() error {
 	return s.writeCheckpoint(s.cfg.CheckpointPath)
 }
 
-func (s *Store) writeCheckpoint(path string) error {
+// checkpointState captures the store's builder state at a consistent
+// journal position. For a journaled store the offset is its WAL size,
+// synced first so the recorded bytes are all on disk; for a journal-less
+// store (a read replica) it is the shipped leader sequence, making a
+// replica checkpoint self-contained: state plus the exact leader offset
+// to resume tailing from.
+func (s *Store) checkpointState() (hists []*euler.Histogram, walOff, applied int64, err error) {
 	s.mu.Lock()
-	// The recorded offset is only meaningful if every byte below it is on
-	// disk, so sync before capturing it.
-	var walOff int64
+	defer s.mu.Unlock()
 	if s.wal != nil {
 		if err := s.wal.sync(); err != nil {
-			s.mu.Unlock()
-			return fmt.Errorf("live: syncing WAL before checkpoint: %w", err)
+			return nil, 0, 0, fmt.Errorf("live: syncing WAL before checkpoint: %w", err)
 		}
 		walOff = s.wal.size
+	} else {
+		walOff = s.seq
 	}
-	hists := make([]*euler.Histogram, len(s.builders))
+	hists = make([]*euler.Histogram, len(s.builders))
 	for i, b := range s.builders {
 		// Build resets the builder's dirty box, but the incremental
 		// rebuild baseline is the last *published* snapshot, not this
@@ -64,9 +69,39 @@ func (s *Store) writeCheckpoint(path string) error {
 		hists[i] = b.Build()
 		b.MarkDirty(d)
 	}
-	applied := s.applied
-	s.mu.Unlock()
+	return hists, walOff, s.applied, nil
+}
 
+// writeCheckpointPayload renders the checkpoint wire form: magic, config
+// header, offsets, one histogram per partition. Shared by the on-disk
+// checkpoint writer and the replica bootstrap stream, so a shipped
+// checkpoint is byte-compatible with a local one.
+func writeCheckpointPayload(w io.Writer, header []byte, walOff, applied int64, hists []*euler.Histogram) error {
+	if _, err := w.Write(ckptMagic[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(header); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(walOff)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(applied)); err != nil {
+		return err
+	}
+	for _, h := range hists {
+		if err := h.Write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) writeCheckpoint(path string) error {
+	hists, walOff, applied, err := s.checkpointState()
+	if err != nil {
+		return err
+	}
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
@@ -76,22 +111,8 @@ func (s *Store) writeCheckpoint(path string) error {
 	// kill the writer mid-payload and assert the previous checkpoint (and
 	// the rename-into-place protocol) survives.
 	bw := bufio.NewWriterSize(failpoint.Wrap(FailpointCheckpointWrite, tmp), 1<<20)
-	if _, err := bw.Write(ckptMagic[:]); err != nil {
+	if err := writeCheckpointPayload(bw, s.header, walOff, applied, hists); err != nil {
 		return err
-	}
-	if _, err := bw.Write(s.header); err != nil {
-		return err
-	}
-	if err := binary.Write(bw, binary.LittleEndian, uint64(walOff)); err != nil {
-		return err
-	}
-	if err := binary.Write(bw, binary.LittleEndian, uint64(applied)); err != nil {
-		return err
-	}
-	for _, h := range hists {
-		if err := h.Write(bw); err != nil {
-			return err
-		}
 	}
 	if err := bw.Flush(); err != nil {
 		return err

@@ -175,6 +175,10 @@ type Snapshot struct {
 	// Mutations is how many journal mutations (including replayed ones)
 	// were folded in when the generation was built.
 	Mutations int64
+	// Seq is the replication sequence the generation was built at: the
+	// leader's journal byte offset covered by this snapshot (see Store.Seq).
+	// Zero for stores that neither journal nor replicate.
+	Seq int64
 	// BuiltAt is when the generation was published.
 	BuiltAt time.Time
 
@@ -193,10 +197,11 @@ type Store struct {
 	cfg    Config
 	header []byte // config-pinning WAL/checkpoint header
 
-	mu       sync.Mutex // guards builders, wal appends, applied, closed
+	mu       sync.Mutex // guards builders, wal appends, applied, seq, closed
 	builders []*euler.Builder
 	wal      *wal
 	applied  int64 // mutations applied to the builders (incl. replayed)
+	seq      int64 // replication sequence: leader journal bytes folded in
 	closed   bool
 
 	rebuildMu sync.Mutex // serializes rebuilds so generations publish in order
@@ -206,6 +211,7 @@ type Store struct {
 	snap      atomic.Pointer[Snapshot]
 	gen       atomic.Uint64
 	pending   atomic.Int64 // mutations applied since the last rebuild
+	visible   atomic.Int64 // sequence the published snapshot is exact through
 
 	rejected atomic.Int64
 
@@ -243,6 +249,10 @@ func Open(cfg Config) (*Store, error) {
 		switch {
 		case err == nil:
 			s.builders, walOff, s.applied = builders, off, applied
+			// For a journal-less store the checkpoint offset is the leader
+			// sequence its state embodies (see ApplyReplicated); a journaled
+			// store overwrites this with its own WAL size below.
+			s.seq = off
 			seeded = true
 		case errors.Is(err, errNoCheckpoint):
 			// First start: fall through to the seed.
@@ -266,6 +276,7 @@ func Open(cfg Config) (*Store, error) {
 			return nil, err
 		}
 		s.wal = w
+		s.seq = w.size
 		if torn {
 			s.m.tornTails.Inc()
 		}
@@ -329,6 +340,7 @@ func (s *Store) mutate(rec walRecord) (bool, error) {
 			s.mu.Unlock()
 			return false, fmt.Errorf("live: journaling mutation: %w", err)
 		}
+		s.seq = s.wal.size
 		s.m.walBytes.Add(n)
 	}
 	ok := s.apply(rec)
@@ -450,6 +462,7 @@ func (s *Store) rebuild() {
 		dirtyArea += stats.DirtyFrac * float64(lattice)
 	}
 	applied := s.applied
+	seq := s.seq
 	s.mu.Unlock()
 
 	prevSnap := s.snap.Load()
@@ -462,7 +475,10 @@ func (s *Store) rebuild() {
 	if !changed && prevSnap != nil {
 		// Every mutation since the last publish was rejected or net-zero:
 		// the published snapshot is already exact. Skip the generation
-		// bump so browse caches stay warm.
+		// bump so browse caches stay warm. The snapshot is nonetheless
+		// exact through the captured sequence — advance the visibility
+		// watermark so replica-lag gating doesn't stall on no-op records.
+		s.visible.Store(seq)
 		s.pending.Store(0)
 		s.m.pendingG.Set(0)
 		s.m.rebuildIncremental.Inc()
@@ -478,6 +494,7 @@ func (s *Store) rebuild() {
 		Est:       est,
 		Count:     est.Count(),
 		Mutations: applied,
+		Seq:       seq,
 		BuiltAt:   time.Now(),
 	}
 	snap.refs.Store(1) // the published ref, dropped at retirement
@@ -500,6 +517,7 @@ func (s *Store) rebuild() {
 	}
 
 	old := s.snap.Swap(snap)
+	s.visible.Store(seq)
 	s.pending.Store(0)
 	if old != nil {
 		s.release(old)
@@ -672,6 +690,13 @@ type Status struct {
 	// PyramidLevels is the number of coarse levels above the base in the
 	// current snapshot's zoom stack; 0 when pyramids are disabled.
 	PyramidLevels int `json:"pyramidLevels"`
+	// AppliedSeq is the replication sequence the builders have consumed:
+	// the store's own WAL size for journaled stores, the shipped leader
+	// offset for read replicas (see Store.Seq).
+	AppliedSeq int64 `json:"appliedSeq"`
+	// SnapshotSeq is the sequence the published snapshot is exact through;
+	// coordinators gate stale-bounded replica reads on it.
+	SnapshotSeq int64 `json:"snapshotSeq"`
 }
 
 // Status reports the store's current generation, staleness and journal
@@ -685,6 +710,7 @@ func (s *Store) Status() Status {
 		live += b.Count()
 	}
 	applied := s.applied
+	seq := s.seq
 	var walBytes int64
 	if s.wal != nil {
 		walBytes = s.wal.size
@@ -711,6 +737,8 @@ func (s *Store) Status() Status {
 		GridNX:          s.cfg.Grid.NX(),
 		GridNY:          s.cfg.Grid.NY(),
 		PyramidLevels:   pyramidLevels,
+		AppliedSeq:      seq,
+		SnapshotSeq:     s.visible.Load(),
 	}
 }
 

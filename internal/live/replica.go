@@ -1,0 +1,243 @@
+package live
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"spatialhist/internal/geom"
+)
+
+// Replication surface of the store: the WAL doubles as a shipping log.
+//
+// A leader (a journaled store) exposes its record stream by byte offset —
+// WALSegment — and its full state at a known offset — StreamCheckpoint.
+// A follower is a journal-less store fed through ApplyReplicated: it
+// bootstraps from a shipped checkpoint (whose walOff field is the leader
+// offset the state embodies), then tails the leader's WAL, decoding
+// shipped bytes with DecodeRecords and applying each record through the
+// exact code path a local mutation takes. Because replay is deterministic
+// and the apply path is shared, a caught-up follower is bit-identical to
+// its leader.
+//
+// The replication sequence ("seq") is the leader's WAL byte offset: the
+// store's own WAL size on a leader, the shipped offset on a follower. A
+// follower's checkpoint records its seq as walOff, so a restarted
+// follower resumes tailing exactly where it stopped.
+
+// Exported mutation opcodes, the Record.Op values of the shipping stream.
+// They match the on-disk WAL opcodes.
+const (
+	OpInsert = opInsert
+	OpDelete = opDelete
+	OpUpdate = opUpdate
+)
+
+// Record is one decoded journal mutation, the unit of WAL shipping.
+type Record struct {
+	// Op is OpInsert, OpDelete or OpUpdate.
+	Op byte
+	// Rect is the object MBR (the post-image for updates).
+	Rect geom.Rect
+	// Old is the update pre-image; zero otherwise.
+	Old geom.Rect
+}
+
+// EncodedLen is the record's journal wire size in bytes — what applying
+// it advances the replication sequence by.
+func (r Record) EncodedLen() int64 {
+	if r.Op == OpUpdate {
+		return updateRecordBytes
+	}
+	return recordBytes
+}
+
+// DecodeRecords decodes whole records from the front of a shipped WAL
+// segment. A segment may end mid-record (the leader keeps appending while
+// bytes are in flight); the partial tail is not consumed and not an error
+// — the tailer re-requests from the consumed offset. A complete record
+// that fails its CRC, or an unknown opcode, is corruption and errors.
+func DecodeRecords(buf []byte) (recs []Record, consumed int, err error) {
+	for consumed < len(buf) {
+		op := buf[consumed]
+		var plen int
+		switch op {
+		case opInsert, opDelete:
+			plen = rectBytes
+		case opUpdate:
+			plen = 2 * rectBytes
+		default:
+			return recs, consumed, fmt.Errorf("live: unknown opcode %d at segment offset %d", op, consumed)
+		}
+		total := 1 + plen + 4
+		if consumed+total > len(buf) {
+			return recs, consumed, nil // partial tail: wait for more bytes
+		}
+		body := buf[consumed+1 : consumed+total]
+		if crc32.ChecksumIEEE(buf[consumed:consumed+1+plen]) != binary.LittleEndian.Uint32(body[plen:]) {
+			return recs, consumed, fmt.Errorf("live: record CRC mismatch at segment offset %d", consumed)
+		}
+		rec := Record{Op: op}
+		if op == opUpdate {
+			rec.Old = getRect(body[:rectBytes])
+			rec.Rect = getRect(body[rectBytes : 2*rectBytes])
+		} else {
+			rec.Rect = getRect(body[:rectBytes])
+		}
+		recs = append(recs, rec)
+		consumed += total
+	}
+	return recs, consumed, nil
+}
+
+// Seq returns the store's replication sequence: the WAL byte offset its
+// builders have consumed. On a leader this is the journal size (header
+// included); on a follower, the shipped leader offset. Zero for a store
+// that neither journals nor replicates.
+func (s *Store) Seq() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// VisibleSeq returns the sequence the published snapshot is exact
+// through — the staleness bound a reader of this store observes.
+func (s *Store) VisibleSeq() int64 { return s.visible.Load() }
+
+// ErrNotReplica is returned by ApplyReplicated on a journaled store:
+// replicated records already live in the leader's journal, and journaling
+// them again would fork the offset arithmetic.
+var ErrNotReplica = errors.New("live: store has its own journal; ApplyReplicated is for journal-less replicas")
+
+// ApplyReplicated applies one shipped record and advances the replication
+// sequence to seq (the leader offset just past the record). It reports
+// whether the record changed the store, exactly as the leader's own apply
+// did — rejected records reject identically here, which is what keeps
+// applied/rejected accounting in lockstep. The store's rebuild policy
+// publishes snapshots for replicated mutations just as for local ones.
+func (s *Store) ApplyReplicated(rec Record, seq int64) (bool, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false, ErrClosed
+	}
+	if s.wal != nil {
+		s.mu.Unlock()
+		return false, ErrNotReplica
+	}
+	if seq < s.seq {
+		s.mu.Unlock()
+		return false, fmt.Errorf("live: replicated sequence %d behind applied sequence %d", seq, s.seq)
+	}
+	ok := s.apply(walRecord{op: rec.Op, r: rec.Rect, old: rec.Old})
+	s.applied++
+	s.seq = seq
+	s.mu.Unlock()
+
+	s.m.mutation(rec.Op)
+	if !ok {
+		s.rejected.Add(1)
+		s.m.rejected.Inc()
+	}
+	p := s.pending.Add(1)
+	s.m.pendingG.Set(p)
+	if every := s.rebuildEvery(); every > 0 && p >= int64(every) {
+		s.rebuild()
+	}
+	return ok, nil
+}
+
+// WALSegment returns up to max journal bytes starting at byte offset
+// from, together with the journal's current size — the leader half of
+// WAL-tail shipping. from == 0 means the start of the record stream
+// (just past the header). Buffered records are flushed (not fsynced)
+// first so every acknowledged mutation is shippable; the returned bytes
+// may end mid-record, which DecodeRecords handles.
+func (s *Store) WALSegment(from int64, max int) (data []byte, size int64, err error) {
+	s.mu.Lock()
+	if s.wal == nil {
+		s.mu.Unlock()
+		return nil, 0, errors.New("live: store has no journal to ship")
+	}
+	if err := s.wal.flush(); err != nil {
+		s.mu.Unlock()
+		return nil, 0, fmt.Errorf("live: flushing WAL for shipping: %w", err)
+	}
+	size = s.wal.size
+	f := s.wal.f
+	s.mu.Unlock()
+
+	headerLen := int64(len(s.header))
+	if from == 0 {
+		from = headerLen
+	}
+	if from < headerLen || from > size {
+		return nil, size, fmt.Errorf("live: segment offset %d outside journal [%d, %d]", from, headerLen, size)
+	}
+	n := size - from
+	if max > 0 && n > int64(max) {
+		n = int64(max)
+	}
+	if n == 0 {
+		return nil, size, nil
+	}
+	// The journal is append-only and everything below size is flushed, so
+	// reading outside the mutex races with nothing.
+	data = make([]byte, n)
+	if _, err := f.ReadAt(data, from); err != nil {
+		return nil, size, fmt.Errorf("live: reading journal segment: %w", err)
+	}
+	return data, size, nil
+}
+
+// StreamCheckpoint writes a checkpoint of the store's current state to w
+// — the replica bootstrap stream. The payload is byte-compatible with an
+// on-disk checkpoint: a follower saves it to its CheckpointPath and Opens
+// from it, inheriting the embedded leader offset to resume tailing from.
+// The journal (when present) is synced first, so the recorded offset
+// never points past durable bytes.
+func (s *Store) StreamCheckpoint(w io.Writer) error {
+	hists, walOff, applied, err := s.checkpointState()
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if err := writeCheckpointPayload(bw, s.header, walOff, applied, hists); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// PeekCheckpoint reads just the configuration pinned in a checkpoint
+// file: the grid, algorithm and area thresholds the state was built
+// under. A follower bootstrapping from a shipped checkpoint derives its
+// Config from this, so replica topology needs no out-of-band config
+// distribution — the checkpoint is self-describing.
+func PeekCheckpoint(path string) (Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Config{}, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return Config{}, fmt.Errorf("live: reading checkpoint magic: %w", err)
+	}
+	if magic != ckptMagic {
+		return Config{}, fmt.Errorf("live: %s is not a checkpoint (magic %q)", path, magic)
+	}
+	algo, g, areas, err := decodeHeader(br)
+	if err != nil {
+		return Config{}, fmt.Errorf("live: checkpoint %s: %w", path, err)
+	}
+	cfg := Config{Grid: g, Algo: Algo(algo), Areas: areas}
+	if err := cfg.validate(); err != nil {
+		return Config{}, fmt.Errorf("live: checkpoint %s: %w", path, err)
+	}
+	return cfg, nil
+}

@@ -90,6 +90,50 @@ func encodeHeader(algo uint8, g *grid.Grid, areas []float64) []byte {
 	return b.Bytes()
 }
 
+// decodeHeader parses a config-pinning header from r — the inverse of
+// encodeHeader, used to reconstruct a store configuration from a shipped
+// checkpoint. Re-encoding the result reproduces the input bytes exactly
+// (the fields are raw float64/uint32 little-endian), so a config derived
+// this way passes the byte-for-byte header checks of openWAL and
+// loadCheckpoint.
+func decodeHeader(r io.Reader) (algo uint8, g *grid.Grid, areas []float64, err error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return 0, nil, nil, fmt.Errorf("live: reading header magic: %w", err)
+	}
+	if magic != walMagic {
+		return 0, nil, nil, fmt.Errorf("live: bad header magic %q", magic)
+	}
+	var a [1]byte
+	if _, err := io.ReadFull(r, a[:]); err != nil {
+		return 0, nil, nil, fmt.Errorf("live: reading header algorithm: %w", err)
+	}
+	var ext [4]float64
+	for i := range ext {
+		if err := binary.Read(r, binary.LittleEndian, &ext[i]); err != nil {
+			return 0, nil, nil, fmt.Errorf("live: reading header extent: %w", err)
+		}
+	}
+	var nx, ny, m uint32
+	for _, p := range []*uint32{&nx, &ny, &m} {
+		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
+			return 0, nil, nil, fmt.Errorf("live: reading header grid: %w", err)
+		}
+	}
+	if nx == 0 || ny == 0 || nx > 1<<20 || ny > 1<<20 || m > 64 {
+		return 0, nil, nil, fmt.Errorf("live: implausible header (grid %dx%d, %d areas)", nx, ny, m)
+	}
+	if m > 0 {
+		areas = make([]float64, m)
+		for i := range areas {
+			if err := binary.Read(r, binary.LittleEndian, &areas[i]); err != nil {
+				return 0, nil, nil, fmt.Errorf("live: reading header areas: %w", err)
+			}
+		}
+	}
+	return a[0], grid.New(geom.Rect{XMin: ext[0], YMin: ext[1], XMax: ext[2], YMax: ext[3]}, int(nx), int(ny)), areas, nil
+}
+
 func putRect(buf []byte, r geom.Rect) {
 	binary.LittleEndian.PutUint64(buf[0:], math.Float64bits(r.XMin))
 	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(r.YMin))
@@ -264,6 +308,11 @@ func (w *wal) append(rec walRecord) (int64, error) {
 	}
 	return n, nil
 }
+
+// flush pushes buffered records to the file without fsyncing: every
+// appended byte becomes readable (the WAL-shipping read path needs that)
+// while durability still waits for the sync policy.
+func (w *wal) flush() error { return w.w.Flush() }
 
 // sync flushes buffered records and fsyncs the file.
 func (w *wal) sync() error {

@@ -1,0 +1,200 @@
+package shard
+
+import (
+	"fmt"
+	"net/http"
+
+	"spatialhist/internal/core"
+	"spatialhist/internal/geobrowse"
+	"spatialhist/internal/geom"
+	"spatialhist/internal/grid"
+	"spatialhist/internal/live"
+	"spatialhist/internal/telemetry"
+)
+
+// NewServer mounts the coordinator behind the geobrowse API surface:
+//
+//	GET  /api/info      aggregated dataset metadata
+//	GET  /api/query     one merged estimate
+//	GET  /api/browse    merged tile maps (scatter-gather per request)
+//	GET  /api/drill     adaptive refinement, one scatter per depth level
+//	POST /api/ingest    inserts routed to the owning writer shards
+//	POST /api/delete    deletes routed to the owning writer shards
+//	GET  /healthz       200 while every shard has an alive backend
+//	GET  /metrics       the registry's exposition
+//
+// Requests are parsed with the geobrowse parsers and responses rendered
+// with the geobrowse tile helpers, so the coordinator's wire format —
+// including clamping, tile order and rectangle geometry — is byte-for-byte
+// the single-server format. The merge happens on raw sums; clamping is
+// applied only afterward, exactly once, like a single store does.
+func NewServer(c *Coordinator, reg *telemetry.Registry) http.Handler {
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	s := &server{c: c}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/info", s.handleInfo)
+	mux.HandleFunc("GET /api/query", s.handleQuery)
+	mux.HandleFunc("GET /api/browse", s.handleBrowse)
+	mux.HandleFunc("GET /api/drill", s.handleDrill)
+	mux.HandleFunc("POST /api/ingest", func(w http.ResponseWriter, r *http.Request) {
+		s.handleMutation(w, r, live.OpInsert)
+	})
+	mux.HandleFunc("POST /api/delete", func(w http.ResponseWriter, r *http.Request) {
+		s.handleMutation(w, r, live.OpDelete)
+	})
+	mux.HandleFunc("GET /api/shards", s.handleTopology)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", reg.Handler())
+	return mux
+}
+
+type server struct{ c *Coordinator }
+
+func (s *server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	info, err := s.c.Info()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	writeJSON(w, info)
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	span, err := geobrowse.ParseRegionRequest(s.c.Grid(), r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ests, err := s.c.EstimateSpans([]grid.Span{span})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	writeJSON(w, geobrowse.NewTileEstimate(s.c.Grid(), span, ests[0]))
+}
+
+func (s *server) handleBrowse(w http.ResponseWriter, r *http.Request) {
+	span, cols, rows, err := geobrowse.ParseBrowseRequest(s.c.Grid(), r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ests, err := s.c.EstimateGrid(span, cols, rows)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	writeJSON(w, geobrowse.BrowseResponse{
+		Cols: cols, Rows: rows,
+		Tiles: geobrowse.TileEstimates(s.c.Grid(), span, cols, rows, ests),
+	})
+}
+
+func (s *server) handleDrill(w http.ResponseWriter, r *http.Request) {
+	span, rel, hot, depth, err := geobrowse.ParseDrillRequest(s.c.Grid(), r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	leaves, err := core.DrilldownBatch(s.c.EstimateSpans, span, core.DrillOptions{
+		Relation:     rel,
+		HotThreshold: int64(hot),
+		MaxDepth:     depth,
+		MaxTiles:     geobrowse.DrillMaxTiles,
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := geobrowse.DrillResponse{Relation: rel.String(), Tiles: make([]geobrowse.DrillTile, 0, len(leaves))}
+	for _, l := range leaves {
+		resp.Tiles = append(resp.Tiles, geobrowse.DrillTile{
+			TileEstimate: geobrowse.NewTileEstimate(s.c.Grid(), l.Span, l.Estimate),
+			Depth:        l.Depth,
+		})
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) handleMutation(w http.ResponseWriter, r *http.Request, op byte) {
+	var req geobrowse.MutationRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Rects) == 0 {
+		http.Error(w, "body must carry at least one rect", http.StatusBadRequest)
+		return
+	}
+	if len(req.Rects) > maxSpanBatch {
+		http.Error(w, fmt.Sprintf("at most %d rects per request, got %d", maxSpanBatch, len(req.Rects)),
+			http.StatusBadRequest)
+		return
+	}
+	rects := make([]geom.Rect, len(req.Rects))
+	for i, q := range req.Rects {
+		rects[i] = geom.NewRect(q[0], q[1], q[2], q[3])
+	}
+	applied, rejected, gen, err := s.c.Ingest(op, rects, r.URL.Query().Get("flush") == "1")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, geobrowse.MutationResponse{Applied: applied, Rejected: rejected, Generation: gen})
+}
+
+// TopologyBackend is one backend's probed state in /api/shards.
+type TopologyBackend struct {
+	Name        string `json:"name"`
+	Role        string `json:"role"`
+	Alive       bool   `json:"alive"`
+	AppliedSeq  int64  `json:"appliedSeq"`
+	SnapshotSeq int64  `json:"snapshotSeq"`
+	LagBytes    int64  `json:"lagBytes"`
+	Generation  uint64 `json:"generation"`
+}
+
+// TopologyShard is one shard's band and backends in /api/shards.
+type TopologyShard struct {
+	Band     [2]int            `json:"band"` // inclusive column range
+	Backends []TopologyBackend `json:"backends"`
+}
+
+// TopologyResponse is the /api/shards response.
+type TopologyResponse struct {
+	Shards      []TopologyShard `json:"shards"`
+	MaxLagBytes int64           `json:"maxLagBytes"`
+}
+
+func (s *server) handleTopology(w http.ResponseWriter, r *http.Request) {
+	resp := TopologyResponse{MaxLagBytes: s.c.maxLag}
+	for si, grp := range s.c.shards {
+		c1, c2 := s.c.part.Band(si)
+		ts := TopologyShard{Band: [2]int{c1, c2}}
+		leaderSeq := grp.leader.appliedSeq.Load()
+		for _, be := range grp.all {
+			ts.Backends = append(ts.Backends, TopologyBackend{
+				Name:        be.h.Name(),
+				Role:        be.role,
+				Alive:       be.alive.Load(),
+				AppliedSeq:  be.appliedSeq.Load(),
+				SnapshotSeq: be.snapshotSeq.Load(),
+				LagBytes:    max(0, leaderSeq-be.snapshotSeq.Load()),
+				Generation:  be.gen.Load(),
+			})
+		}
+		resp.Shards = append(resp.Shards, ts)
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !s.c.Healthy() {
+		http.Error(w, "a shard has no alive backend", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
