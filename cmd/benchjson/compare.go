@@ -8,12 +8,20 @@ import (
 	"sort"
 )
 
-// Delta is one benchmark compared against its baseline median ns/op.
+// Delta is one benchmark compared against its baseline medians. The
+// memory columns are zero when either side lacks -benchmem data, and
+// such a pair is simply not compared on that axis.
 type Delta struct {
-	Name    string  // benchmark name
-	Base    float64 // baseline median ns/op
-	Current float64 // current median ns/op
-	Ratio   float64 // current / base
+	Name          string  // benchmark name
+	Base          float64 // baseline median ns/op
+	Current       float64 // current median ns/op
+	Ratio         float64 // current / base
+	BaseBytes     float64 // baseline median B/op, 0 when unmeasured
+	CurrentBytes  float64 // current median B/op
+	BytesRatio    float64 // current / base B/op, 0 when incomparable
+	BaseAllocs    float64 // baseline median allocs/op, 0 when unmeasured
+	CurrentAllocs float64 // current median allocs/op
+	AllocsRatio   float64 // current / base allocs/op, 0 when incomparable
 }
 
 // loadReport reads a benchjson JSON document back from disk.
@@ -35,17 +43,26 @@ func loadReport(path string) (*Report, error) {
 // earlier PR cannot know about benchmarks added later, and a renamed
 // benchmark should not read as a 100% regression.
 func Compare(cur, base *Report) []Delta {
-	baseMed := make(map[string]float64, len(base.Summary))
+	baseBy := make(map[string]Summary, len(base.Summary))
 	for _, s := range base.Summary {
-		baseMed[s.Name] = s.MedNsPerOp
+		baseBy[s.Name] = s
 	}
 	var out []Delta
 	for _, s := range cur.Summary {
-		b, ok := baseMed[s.Name]
-		if !ok || b == 0 {
+		b, ok := baseBy[s.Name]
+		if !ok || b.MedNsPerOp == 0 {
 			continue
 		}
-		out = append(out, Delta{Name: s.Name, Base: b, Current: s.MedNsPerOp, Ratio: s.MedNsPerOp / b})
+		d := Delta{Name: s.Name, Base: b.MedNsPerOp, Current: s.MedNsPerOp, Ratio: s.MedNsPerOp / b.MedNsPerOp}
+		if b.MedBytesPerOp > 0 && s.MedBytesPerOp > 0 {
+			d.BaseBytes, d.CurrentBytes = b.MedBytesPerOp, s.MedBytesPerOp
+			d.BytesRatio = s.MedBytesPerOp / b.MedBytesPerOp
+		}
+		if b.MedAllocsPerOp > 0 && s.MedAllocsPerOp > 0 {
+			d.BaseAllocs, d.CurrentAllocs = b.MedAllocsPerOp, s.MedAllocsPerOp
+			d.AllocsRatio = s.MedAllocsPerOp / b.MedAllocsPerOp
+		}
+		out = append(out, d)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Ratio > out[j].Ratio })
 	return out
@@ -80,6 +97,18 @@ func writeComparison(w io.Writer, deltas []Delta, tolerance float64, gate bool) 
 		default:
 			fmt.Fprintf(w, "::notice::%s within tolerance (%+.1f%%, %.0f -> %.0f ns/op)\n",
 				d.Name, pct, d.Base, d.Current)
+		}
+		// The memory axes gate alongside time: an allocation blow-up is a
+		// regression even when wall time hides it under allocator slack.
+		if d.BytesRatio > 1+tolerance {
+			regressions++
+			fmt.Fprintf(w, "%s%s allocates %+.1f%% more vs baseline (%.0f -> %.0f B/op)\n",
+				slow, d.Name, (d.BytesRatio-1)*100, d.BaseBytes, d.CurrentBytes)
+		}
+		if d.AllocsRatio > 1+tolerance {
+			regressions++
+			fmt.Fprintf(w, "%s%s allocates %+.1f%% more often vs baseline (%.0f -> %.0f allocs/op)\n",
+				slow, d.Name, (d.AllocsRatio-1)*100, d.BaseAllocs, d.CurrentAllocs)
 		}
 	}
 	return regressions

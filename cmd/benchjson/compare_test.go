@@ -86,6 +86,49 @@ func TestCompareWithinTolerance(t *testing.T) {
 	}
 }
 
+// TestCompareMemoryAxes checks that median B/op and allocs/op gate under
+// the same tolerance as ns/op, and that a side without -benchmem data is
+// simply not compared on the memory axes.
+func TestCompareMemoryAxes(t *testing.T) {
+	memReport := func(ns, bytes, allocs float64) *Report {
+		return &Report{Summary: []Summary{{Name: "BenchmarkSweep", Runs: 1,
+			MinNsPerOp: ns, MedNsPerOp: ns, MaxNsPerOp: ns,
+			MedBytesPerOp: bytes, MedAllocsPerOp: allocs}}}
+	}
+	base := memReport(1000, 4096, 4)
+	cur := memReport(1010, 9000, 10) // flat time, >2x memory on both axes
+
+	deltas := Compare(cur, base)
+	if len(deltas) != 1 || deltas[0].BytesRatio == 0 || deltas[0].AllocsRatio == 0 {
+		t.Fatalf("memory axes not compared: %+v", deltas)
+	}
+	var sb strings.Builder
+	n := writeComparison(&sb, deltas, 0.20, true)
+	out := sb.String()
+	if n != 2 {
+		t.Fatalf("regression count = %d, want 2 (bytes + allocs):\n%s", n, out)
+	}
+	if !strings.Contains(out, "::error::BenchmarkSweep allocates +119.7% more vs baseline (4096 -> 9000 B/op)") {
+		t.Errorf("missing bytes regression error in:\n%s", out)
+	}
+	if !strings.Contains(out, "::error::BenchmarkSweep allocates +150.0% more often vs baseline (4 -> 10 allocs/op)") {
+		t.Errorf("missing allocs regression error in:\n%s", out)
+	}
+	if !strings.Contains(out, "::notice::BenchmarkSweep within tolerance") {
+		t.Errorf("flat time must still be a notice in:\n%s", out)
+	}
+
+	// Memory-only baselines from before -benchmem: no memory comparison.
+	deltas = Compare(cur, report(map[string]float64{"BenchmarkSweep": 1000}))
+	if len(deltas) != 1 || deltas[0].BytesRatio != 0 || deltas[0].AllocsRatio != 0 {
+		t.Fatalf("baseline without memory columns must skip memory axes: %+v", deltas)
+	}
+	sb.Reset()
+	if n := writeComparison(&sb, deltas, 0.20, true); n != 0 {
+		t.Fatalf("memory-less baseline counted %d regressions:\n%s", n, sb.String())
+	}
+}
+
 func TestCompareNoOverlap(t *testing.T) {
 	var sb strings.Builder
 	writeComparison(&sb, Compare(report(map[string]float64{"BenchmarkA": 1}),

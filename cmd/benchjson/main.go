@@ -16,7 +16,10 @@
 //
 // With -baseline it additionally compares the current medians against a
 // committed benchjson document and emits one GitHub workflow annotation
-// per benchmark (::warning beyond -tolerance, ::notice otherwise). By
+// per benchmark (::warning beyond -tolerance, ::notice otherwise). When
+// both sides carry -benchmem columns, median B/op and allocs/op are
+// compared under the same tolerance — memory counters are deterministic,
+// so they gate more reliably than wall time. By
 // default the comparison is informational — it never changes the exit
 // status. With -fail-on-regression, slowdowns beyond -tolerance become
 // ::error annotations and benchjson exits non-zero after writing the

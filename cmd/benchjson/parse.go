@@ -20,13 +20,16 @@ type Run struct {
 	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
 }
 
-// Summary aggregates the runs of one benchmark name.
+// Summary aggregates the runs of one benchmark name. The memory columns
+// are medians over runs that reported them (-benchmem) and 0 otherwise.
 type Summary struct {
-	Name       string  `json:"name"`
-	Runs       int     `json:"runs"`
-	MinNsPerOp float64 `json:"min_ns_per_op"`
-	MedNsPerOp float64 `json:"median_ns_per_op"`
-	MaxNsPerOp float64 `json:"max_ns_per_op"`
+	Name           string  `json:"name"`
+	Runs           int     `json:"runs"`
+	MinNsPerOp     float64 `json:"min_ns_per_op"`
+	MedNsPerOp     float64 `json:"median_ns_per_op"`
+	MaxNsPerOp     float64 `json:"max_ns_per_op"`
+	MedBytesPerOp  float64 `json:"median_bytes_per_op,omitempty"`
+	MedAllocsPerOp float64 `json:"median_allocs_per_op,omitempty"`
 }
 
 // Report is the whole document: the bench environment header, every run
@@ -105,10 +108,31 @@ func parseRun(line string) (Run, error) {
 	return run, nil
 }
 
+// median returns the upper median of vs, or 0 when empty. It sorts in
+// place.
+func median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sort.Float64s(vs)
+	return vs[len(vs)/2]
+}
+
 func summarize(runs []Run) []Summary {
-	byName := make(map[string][]float64)
+	type cols struct{ ns, bytes, allocs []float64 }
+	byName := make(map[string]*cols)
 	for _, r := range runs {
-		byName[r.Name] = append(byName[r.Name], r.NsPerOp)
+		c := byName[r.Name]
+		if c == nil {
+			c = &cols{}
+			byName[r.Name] = c
+		}
+		c.ns = append(c.ns, r.NsPerOp)
+		// -benchmem columns: 0 B/op is a real measurement but also the
+		// zero value of runs without the flag. Both median to 0, which
+		// omitempty drops — either way there is nothing to gate on.
+		c.bytes = append(c.bytes, r.BytesPerOp)
+		c.allocs = append(c.allocs, r.AllocsPerOp)
 	}
 	names := make([]string, 0, len(byName))
 	for n := range byName {
@@ -117,14 +141,16 @@ func summarize(runs []Run) []Summary {
 	sort.Strings(names)
 	out := make([]Summary, 0, len(names))
 	for _, n := range names {
-		vs := byName[n]
-		sort.Float64s(vs)
+		c := byName[n]
+		sort.Float64s(c.ns)
 		out = append(out, Summary{
-			Name:       n,
-			Runs:       len(vs),
-			MinNsPerOp: vs[0],
-			MedNsPerOp: vs[len(vs)/2],
-			MaxNsPerOp: vs[len(vs)-1],
+			Name:           n,
+			Runs:           len(c.ns),
+			MinNsPerOp:     c.ns[0],
+			MedNsPerOp:     c.ns[len(c.ns)/2],
+			MaxNsPerOp:     c.ns[len(c.ns)-1],
+			MedBytesPerOp:  median(c.bytes),
+			MedAllocsPerOp: median(c.allocs),
 		})
 	}
 	return out

@@ -14,6 +14,9 @@ BenchmarkBrowseGrid/per-tile-8         	       3	  99000000 ns/op
 BenchmarkBrowseGrid/per-tile-8         	       3	 100000000 ns/op
 BenchmarkBrowseGrid/batched-8          	       3	  20000000 ns/op
 BenchmarkEstimate/seuler-8             	       3	        45.67 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEstimate/meuler-8             	       3	       120.00 ns/op	     256 B/op	       3 allocs/op
+BenchmarkEstimate/meuler-8             	       3	       118.00 ns/op	     240 B/op	       3 allocs/op
+BenchmarkEstimate/meuler-8             	       3	       125.00 ns/op	     272 B/op	       4 allocs/op
 PASS
 ok  	spatialhist	12.345s
 `
@@ -26,34 +29,44 @@ func TestParse(t *testing.T) {
 	if rep.Env["goos"] != "linux" || rep.Env["cpu"] != "Example CPU @ 2.80GHz" {
 		t.Errorf("env = %v", rep.Env)
 	}
-	if len(rep.Runs) != 5 {
-		t.Fatalf("%d runs, want 5", len(rep.Runs))
+	if len(rep.Runs) != 8 {
+		t.Fatalf("%d runs, want 8", len(rep.Runs))
 	}
 	r0 := rep.Runs[0]
 	if r0.Name != "BenchmarkBrowseGrid/per-tile" || r0.Procs != 8 ||
 		r0.Iterations != 3 || r0.NsPerOp != 101000000 {
 		t.Errorf("run 0 = %+v", r0)
 	}
-	last := rep.Runs[4]
-	if last.NsPerOp != 45.67 || last.BytesPerOp != 0 || last.AllocsPerOp != 0 {
-		t.Errorf("estimate run = %+v", last)
+	seuler := rep.Runs[4]
+	if seuler.NsPerOp != 45.67 || seuler.BytesPerOp != 0 || seuler.AllocsPerOp != 0 {
+		t.Errorf("seuler run = %+v", seuler)
+	}
+	meuler := rep.Runs[5]
+	if meuler.BytesPerOp != 256 || meuler.AllocsPerOp != 3 {
+		t.Errorf("meuler run = %+v", meuler)
 	}
 
-	if len(rep.Summary) != 3 {
-		t.Fatalf("%d summaries, want 3: %+v", len(rep.Summary), rep.Summary)
+	if len(rep.Summary) != 4 {
+		t.Fatalf("%d summaries, want 4: %+v", len(rep.Summary), rep.Summary)
 	}
-	var perTile *Summary
-	for i := range rep.Summary {
-		if rep.Summary[i].Name == "BenchmarkBrowseGrid/per-tile" {
-			perTile = &rep.Summary[i]
-		}
+	byName := make(map[string]Summary)
+	for _, s := range rep.Summary {
+		byName[s.Name] = s
 	}
-	if perTile == nil {
+	perTile, ok := byName["BenchmarkBrowseGrid/per-tile"]
+	if !ok {
 		t.Fatal("per-tile summary missing")
 	}
 	if perTile.Runs != 3 || perTile.MinNsPerOp != 99000000 ||
 		perTile.MedNsPerOp != 100000000 || perTile.MaxNsPerOp != 101000000 {
 		t.Errorf("per-tile summary = %+v", perTile)
+	}
+	if perTile.MedBytesPerOp != 0 || perTile.MedAllocsPerOp != 0 {
+		t.Errorf("per-tile summary reports memory medians without -benchmem data: %+v", perTile)
+	}
+	mem := byName["BenchmarkEstimate/meuler"]
+	if mem.MedBytesPerOp != 256 || mem.MedAllocsPerOp != 3 {
+		t.Errorf("meuler summary medians = %+v, want 256 B/op and 3 allocs/op", mem)
 	}
 }
 

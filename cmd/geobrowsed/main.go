@@ -74,8 +74,10 @@ func main() {
 		report   = flag.Duration("report", time.Minute, "self-report interval (QPS, p50/p99, cache hit rate; 0 disables)")
 		logReq   = flag.Bool("log-requests", false, "log one structured JSON line per API request to stderr")
 
-		pyrLevels  = flag.Int("pyramid-levels", 4, "coarse histogram levels above the base for zoom-native browse routing (0 disables the pyramid)")
-		pyrMinGrid = flag.Int("pyramid-min-grid", euler.DefaultPyramidMinGrid, "stop pyramid coarsening before either grid axis would drop below this many cells")
+		pyrLevels   = flag.Int("pyramid-levels", 4, "coarse histogram levels above the base for zoom-native browse routing (0 disables the pyramid)")
+		pyrMinGrid  = flag.Int("pyramid-min-grid", euler.DefaultPyramidMinGrid, "stop pyramid coarsening before either grid axis would drop below this many cells")
+		overviewEps = flag.Float64("overview-epsilon", 0, "serve overview browse maps from the reduced tier when every tile certifies within eps*|tile| objects of exact (0 = always exact; needs pyramids)")
+		packCold    = flag.Int("pack-cold", 0, "live mode: demote to int32-packed lattices after N consecutive snapshot publishes with no reads (0 disables)")
 
 		tenantsArg   = flag.String("tenants", "", `serve multiple datasets behind /api/{tenant}/: comma-separated name=dataset[:n] specs (e.g. "west=adl:100000,east=uni")`)
 		tenantBudget = flag.Int64("tenant-budget", 0, "memory budget in MiB for resident tenant estimators (0 = unlimited); cold tenants are evicted LRU-first")
@@ -99,7 +101,7 @@ func main() {
 	)
 	flag.Parse()
 
-	opts := geobrowse.Options{CacheSize: *cacheSz, Workers: *workers}
+	opts := geobrowse.Options{CacheSize: *cacheSz, Workers: *workers, OverviewEpsilon: *overviewEps}
 	if *logReq {
 		opts.AccessLog = os.Stderr
 	}
@@ -243,17 +245,18 @@ func main() {
 			log.Fatalf("geobrowsed: %v", err)
 		}
 		cfg := live.Config{
-			Grid:             g,
-			Algo:             algoV,
-			Seed:             d.Rects,
-			WALPath:          *walPath,
-			CheckpointPath:   *ckptPath,
-			RebuildEvery:     *rebuildN,
-			RebuildInterval:  *rebuildT,
-			SyncEvery:        *syncEvery,
-			RebuildCrossover: *crossover,
-			PyramidLevels:    *pyrLevels,
-			PyramidMinGrid:   *pyrMinGrid,
+			Grid:              g,
+			Algo:              algoV,
+			Seed:              d.Rects,
+			WALPath:           *walPath,
+			CheckpointPath:    *ckptPath,
+			RebuildEvery:      *rebuildN,
+			RebuildInterval:   *rebuildT,
+			SyncEvery:         *syncEvery,
+			RebuildCrossover:  *crossover,
+			PyramidLevels:     *pyrLevels,
+			PyramidMinGrid:    *pyrMinGrid,
+			PackColdPublishes: *packCold,
 		}
 		if algoV == live.AlgoMEuler {
 			if cfg.Areas, err = parseAreas(*areasArg); err != nil {
@@ -312,23 +315,24 @@ func zoomWrap(est core.Estimator, levels, minGrid int) core.Estimator {
 		return est
 	}
 	opts := euler.PyramidOpts{MaxLevels: levels, MinGrid: minGrid}
-	var z core.Estimator
+	var z *core.Zoom
+	var pyrs []*euler.Pyramid
 	switch e := est.(type) {
 	case *core.SEuler:
 		p := euler.NewPyramid(e.Histogram(), opts)
 		if p.Levels() < 2 {
 			return est
 		}
-		z = core.ZoomSEuler(p)
+		z, pyrs = core.ZoomSEuler(p), []*euler.Pyramid{p}
 	case *core.Euler:
 		p := euler.NewPyramid(e.Histogram(), opts)
 		if p.Levels() < 2 {
 			return est
 		}
-		z = core.ZoomEuler(p)
+		z, pyrs = core.ZoomEuler(p), []*euler.Pyramid{p}
 	case *core.MEuler:
 		hists := e.Histograms()
-		pyrs := make([]*euler.Pyramid, len(hists))
+		pyrs = make([]*euler.Pyramid, len(hists))
 		for i, h := range hists {
 			pyrs[i] = euler.NewPyramid(h, opts)
 		}
@@ -343,8 +347,18 @@ func zoomWrap(est core.Estimator, levels, minGrid int) core.Estimator {
 	default:
 		return est
 	}
+	// The reduced tier shares the coarse pyramid lattices, so attaching
+	// the overview is free; geobrowse only consults it when the server
+	// (or tenant) opted in with a positive OverviewEpsilon.
+	depth := pyrs[0].Levels()
+	for _, p := range pyrs[1:] {
+		depth = min(depth, p.Levels())
+	}
+	if o, ok := core.OverviewFromPyramids(pyrs, core.OverviewShift(depth)); ok {
+		z.AttachOverview(o)
+	}
 	log.Printf("pyramid: %d levels over the base grid (%d buckets total)",
-		z.(*core.Zoom).NumLevels()-1, z.StorageBuckets())
+		z.NumLevels()-1, z.StorageBuckets())
 	return z
 }
 

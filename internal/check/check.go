@@ -165,6 +165,12 @@ func Oracles() []Check {
 			Run:  runShardedVsSingle,
 		},
 		{
+			Name: "packed-vs-full",
+			Kind: KindOracle,
+			Doc:  "the int32-packed lattice tier answers every query family and batch sweep bit-identically to the full lattice, at <= 55% of its bytes",
+			Run:  runPackedVsFull,
+		},
+		{
 			Name: "replica-failover",
 			Kind: KindOracle,
 			Doc:  "a WAL-shipped follower killed and restarted mid-stream catches up bit-identical to its leader, and serves failover reads identically",
@@ -199,6 +205,12 @@ func Metamorphic() []Check {
 			Kind: KindMetamorphic,
 			Doc:  "once no object can contain or cross a query (N_cd = 0 holds), S-EulerApprox error collapses to zero and stays there as queries grow",
 			Run:  runErrorCollapse,
+		},
+		{
+			Name: "epsilon-bound",
+			Kind: KindMetamorphic,
+			Doc:  "the reduced tier's sandwich and slack certificates contain the exact sums for every query, and every served overview map stays within its reported ε bound",
+			Run:  runEpsilonBound,
 		},
 		{
 			Name: "pyramid-drill-conservation",

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"spatialhist/internal/euler"
 	"spatialhist/internal/grid"
 	"spatialhist/internal/query"
 )
@@ -120,7 +121,11 @@ func EstimateGridParallel(est Estimator, region grid.Span, cols, rows, workers i
 // positions leave the lattice) take the per-tile path, which loads the
 // same clamped values, so results stay bit-identical throughout.
 func (e *SEuler) EstimateGrid(region grid.Span, cols, rows int) ([]Estimate, error) {
-	cv, err := e.h.CornerView(region, cols, rows)
+	fh, ok := e.h.(*euler.Histogram)
+	if !ok {
+		return e.estimateGridLattice(region, cols, rows)
+	}
+	cv, err := fh.CornerView(region, cols, rows)
 	if err != nil {
 		return nil, err
 	}
@@ -153,12 +158,41 @@ func (e *SEuler) EstimateGrid(region grid.Span, cols, rows int) ([]Estimate, err
 	return out, nil
 }
 
+// estimateGridLattice is the batch path for non-full lattice tiers (the
+// packed tier has no CornerView): the fused GridQuerySums sweep plus the
+// same Equation 16–17 assembly, bit-identical to the corner-view path.
+func (e *SEuler) estimateGridLattice(region grid.Span, cols, rows int) ([]Estimate, error) {
+	ts, err := e.h.GridQuerySums(region, cols, rows)
+	if err != nil {
+		return nil, err
+	}
+	n := e.h.Count()
+	total := e.h.Total()
+	out := make([]Estimate, cols*rows)
+	for k := range out {
+		nii := ts.Inside[k]
+		nei := total - ts.Closed[k]
+		nd := n - nii
+		out[k] = Estimate{
+			Disjoint:  nd,
+			Contains:  n - nei,
+			Contained: 0,
+			Overlap:   nei - nd,
+		}
+	}
+	return out, nil
+}
+
 // EstimateGrid implements BatchEstimator: the EulerApprox estimate of
 // every tile from one corner sweep, with the Region A band sum and the
 // Region B contained count — which depend only on the tile row — hoisted
 // to one computation per row instead of one per tile.
 func (e *Euler) EstimateGrid(region grid.Span, cols, rows int) ([]Estimate, error) {
-	cv, err := e.h.CornerView(region, cols, rows)
+	fh, ok := e.h.(*euler.Histogram)
+	if !ok {
+		return e.estimateGridLattice(region, cols, rows)
+	}
+	cv, err := fh.CornerView(region, cols, rows)
 	if err != nil {
 		return nil, err
 	}
@@ -241,6 +275,38 @@ func (e *Euler) EstimateGrid(region grid.Span, cols, rows int) ([]Estimate, erro
 		}
 		for col := 0; col < cols; col++ {
 			out[r*cols+col] = e.Estimate(cv.Tile(col, r))
+		}
+	}
+	return out, nil
+}
+
+// estimateGridLattice is the batch path for non-full lattice tiers: the
+// fused GridEulerSums sweep — per-tile inside, closed and A-wide sums plus
+// the per-row Region A/B bands — assembled with the Equation 21–22
+// identities, bit-identical to the corner-view path.
+func (e *Euler) estimateGridLattice(region grid.Span, cols, rows int) ([]Estimate, error) {
+	es, err := e.h.GridEulerSums(region, cols, rows)
+	if err != nil {
+		return nil, err
+	}
+	n := e.h.Count()
+	total := e.h.Total()
+	out := make([]Estimate, cols*rows)
+	for r := 0; r < rows; r++ {
+		for col := 0; col < cols; col++ {
+			k := r*cols + col
+			nii := es.Inside[k]
+			neiPrime := total - es.Closed[k]
+			niA := es.BandInside[r] - es.AWide[k]
+			nd := n - nii
+			no := neiPrime - nd
+			ncd := niA + es.BelowContained[r] - neiPrime
+			out[k] = Estimate{
+				Disjoint:  nd,
+				Contains:  n - ncd - nd - no,
+				Contained: ncd,
+				Overlap:   no,
+			}
 		}
 	}
 	return out, nil

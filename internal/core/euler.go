@@ -37,11 +37,12 @@ import (
 // two kinds tend to cancel for small queries; §5.4 explains why they stop
 // canceling as queries grow, motivating M-EulerApprox.
 type Euler struct {
-	h *euler.Histogram
+	h euler.Lattice
 }
 
-// NewEuler wraps an Euler histogram with the EulerApprox query logic.
-func NewEuler(h *euler.Histogram) *Euler { return &Euler{h: h} }
+// NewEuler wraps an Euler lattice — the full *euler.Histogram or the
+// packed tier — with the EulerApprox query logic.
+func NewEuler(h euler.Lattice) *Euler { return &Euler{h: h} }
 
 // EulerFromRects builds the histogram over g and returns the estimator.
 func EulerFromRects(g *grid.Grid, rects []geom.Rect) *Euler {
@@ -60,8 +61,15 @@ func (e *Euler) Count() int64 { return e.h.Count() }
 // StorageBuckets implements Estimator.
 func (e *Euler) StorageBuckets() int { return e.h.StorageBuckets() }
 
-// Histogram exposes the underlying Euler histogram.
-func (e *Euler) Histogram() *euler.Histogram { return e.h }
+// Histogram exposes the underlying full-tier Euler histogram, or nil when
+// the estimator serves the packed tier.
+func (e *Euler) Histogram() *euler.Histogram {
+	h, _ := e.h.(*euler.Histogram)
+	return h
+}
+
+// Lattice exposes the underlying lattice tier.
+func (e *Euler) Lattice() euler.Lattice { return e.h }
 
 // Estimate implements Estimator. A constant number of cumulative-histogram
 // lookups: constant time per query.

@@ -33,7 +33,7 @@ import (
 type MEuler struct {
 	g      *grid.Grid
 	areas  []float64 // ascending thresholds in unit cells, areas[0] == 1
-	hists  []*euler.Histogram
+	hists  []euler.Lattice
 	seuler []*SEuler
 	eapx   []*Euler
 	n      int64
@@ -75,7 +75,7 @@ func NewMEuler(g *grid.Grid, areas []float64, rects []geom.Rect) (*MEuler, error
 		}
 		builders[gi].Add(r)
 	}
-	m.hists = make([]*euler.Histogram, len(builders))
+	m.hists = make([]euler.Lattice, len(builders))
 	m.seuler = make([]*SEuler, len(builders))
 	m.eapx = make([]*Euler, len(builders))
 	for i, b := range builders {
@@ -94,6 +94,17 @@ func NewMEuler(g *grid.Grid, areas []float64, rects []geom.Rect) (*MEuler, error
 // which must all share one grid. Group membership is taken as-is: the
 // histograms are trusted to have been built with the same thresholds.
 func MEulerFromHistograms(areas []float64, hists []*euler.Histogram) (*MEuler, error) {
+	ls := make([]euler.Lattice, len(hists))
+	for i, h := range hists {
+		ls[i] = h
+	}
+	return MEulerFromLattices(areas, ls)
+}
+
+// MEulerFromLattices is MEulerFromHistograms over any mix of lattice tiers:
+// full histograms, packed histograms, or both — a cold store can reassemble
+// its estimator directly over packed per-group lattices without unpacking.
+func MEulerFromLattices(areas []float64, hists []euler.Lattice) (*MEuler, error) {
 	if len(hists) == 0 || len(hists) != len(areas) {
 		return nil, fmt.Errorf("core: %d histograms for %d thresholds", len(hists), len(areas))
 	}
@@ -179,9 +190,20 @@ func (m *MEuler) StorageBuckets() int {
 // Areas returns a copy of the area thresholds.
 func (m *MEuler) Areas() []float64 { return append([]float64(nil), m.areas...) }
 
-// Histograms returns the per-group histograms, smallest area group first.
+// Histograms returns the per-group full-tier histograms, smallest area
+// group first. Entries backed by the packed tier are nil; Lattices has
+// every tier.
 func (m *MEuler) Histograms() []*euler.Histogram {
-	return append([]*euler.Histogram(nil), m.hists...)
+	out := make([]*euler.Histogram, len(m.hists))
+	for i, l := range m.hists {
+		out[i], _ = l.(*euler.Histogram)
+	}
+	return out
+}
+
+// Lattices returns the per-group lattice tiers, smallest area group first.
+func (m *MEuler) Lattices() []euler.Lattice {
+	return append([]euler.Lattice(nil), m.hists...)
 }
 
 // Estimate implements Estimator. Constant time: a constant number of

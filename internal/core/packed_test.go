@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatialhist/internal/euler"
+	"spatialhist/internal/grid"
+)
+
+func randSpans(r *rand.Rand, nx, ny, n int) []grid.Span {
+	spans := make([]grid.Span, 0, n)
+	for k := 0; k < n; k++ {
+		i1, j1 := r.Intn(nx), r.Intn(ny)
+		spans = append(spans, spanOf(i1, j1, i1+r.Intn(nx-i1), j1+r.Intn(ny-j1)))
+	}
+	return spans
+}
+
+func mustPack(t *testing.T, h *euler.Histogram) *euler.PackedHistogram {
+	t.Helper()
+	p, ok := h.Pack()
+	if !ok {
+		t.Fatal("Pack refused")
+	}
+	return p
+}
+
+// TestPackedEstimatorsBitIdentical is the packed-tier serving contract:
+// S-EulerApprox and EulerApprox over the packed lattice answer every query
+// and every batch sweep bit-identically to the full tier.
+func TestPackedEstimatorsBitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(201))
+	nx, ny := 48, 40
+	g := grid.NewUnit(nx, ny)
+	h := histFromSpans(g, randSpans(r, nx, ny, 300))
+	p := mustPack(t, h)
+
+	seF, seP := NewSEuler(h), NewSEuler(p)
+	euF, euP := NewEuler(h), NewEuler(p)
+	if seP.Histogram() != nil || euP.Histogram() != nil {
+		t.Fatal("packed-backed estimators must not expose a full histogram")
+	}
+	if seP.Lattice() != euler.Lattice(p) || seF.Histogram() != h {
+		t.Fatal("lattice accessors diverge")
+	}
+	for trial := 0; trial < 400; trial++ {
+		i1, j1 := r.Intn(nx), r.Intn(ny)
+		q := spanOf(i1, j1, i1+r.Intn(nx-i1), j1+r.Intn(ny-j1))
+		if seP.Estimate(q) != seF.Estimate(q) {
+			t.Fatalf("SEuler diverges at %v", q)
+		}
+		if euP.Estimate(q) != euF.Estimate(q) {
+			t.Fatalf("Euler diverges at %v", q)
+		}
+	}
+	region := spanOf(0, 0, nx-1, ny-1)
+	for _, tiling := range [][2]int{{1, 1}, {8, 8}, {12, 10}, {nx, ny}} {
+		cols, rows := tiling[0], tiling[1]
+		for _, pair := range [][2]BatchEstimator{{seF, seP}, {euF, euP}} {
+			want, err := pair[0].EstimateGrid(region, cols, rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := pair[1].EstimateGrid(region, cols, rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("%s %dx%d: tile %d = %+v, want %+v",
+						pair[0].Name(), cols, rows, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+// TestMEulerFromLatticesPacked reassembles M-EulerApprox over packed
+// per-group lattices and checks it against the full-tier estimator.
+func TestMEulerFromLatticesPacked(t *testing.T) {
+	r := rand.New(rand.NewSource(202))
+	nx, ny := 32, 32
+	g := grid.NewUnit(nx, ny)
+	areas := []float64{1, 16, 128}
+	spans := randSpans(r, nx, ny, 240)
+	builders := make([]*euler.Builder, len(areas))
+	for i := range builders {
+		builders[i] = euler.NewBuilder(g)
+	}
+	for _, s := range spans {
+		builders[AreaGroup(areas, float64(s.Cells()))].AddSpan(s)
+	}
+	full := make([]*euler.Histogram, len(builders))
+	mixed := make([]euler.Lattice, len(builders))
+	for i, b := range builders {
+		full[i] = b.Build()
+		if i%2 == 0 {
+			mixed[i] = mustPack(t, full[i])
+		} else {
+			mixed[i] = full[i]
+		}
+	}
+	mF, err := MEulerFromHistograms(areas, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mP, err := MEulerFromLattices(areas, mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mP.Count() != mF.Count() || mP.StorageBuckets() != mF.StorageBuckets() {
+		t.Fatal("reassembled MEuler metadata diverges")
+	}
+	hs := mP.Histograms()
+	if hs[0] != nil || hs[1] == nil {
+		t.Fatal("Histograms must report nil for packed groups and the histogram otherwise")
+	}
+	for trial := 0; trial < 300; trial++ {
+		i1, j1 := r.Intn(nx), r.Intn(ny)
+		q := spanOf(i1, j1, i1+r.Intn(nx-i1), j1+r.Intn(ny-j1))
+		if mP.Estimate(q) != mF.Estimate(q) {
+			t.Fatalf("MEuler diverges at %v", q)
+		}
+	}
+	region := spanOf(0, 0, nx-1, ny-1)
+	want, err := mF.EstimateGrid(region, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mP.EstimateGrid(region, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("MEuler batch tile %d diverges", k)
+		}
+	}
+}

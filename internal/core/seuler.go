@@ -20,11 +20,13 @@ import (
 // objects contain the query (each such object is missed by n_ei through the
 // loophole effect and silently inflates N_cs).
 type SEuler struct {
-	h *euler.Histogram
+	h euler.Lattice
 }
 
-// NewSEuler wraps an Euler histogram with the S-EulerApprox query logic.
-func NewSEuler(h *euler.Histogram) *SEuler { return &SEuler{h: h} }
+// NewSEuler wraps an Euler lattice — the full *euler.Histogram or the
+// packed tier — with the S-EulerApprox query logic. Both tiers answer
+// bit-identically; which one backs a dataset is a storage decision.
+func NewSEuler(h euler.Lattice) *SEuler { return &SEuler{h: h} }
 
 // SEulerFromRects builds the histogram over g and returns the estimator.
 func SEulerFromRects(g *grid.Grid, rects []geom.Rect) *SEuler {
@@ -43,8 +45,15 @@ func (e *SEuler) Count() int64 { return e.h.Count() }
 // StorageBuckets implements Estimator.
 func (e *SEuler) StorageBuckets() int { return e.h.StorageBuckets() }
 
-// Histogram exposes the underlying Euler histogram.
-func (e *SEuler) Histogram() *euler.Histogram { return e.h }
+// Histogram exposes the underlying full-tier Euler histogram, or nil when
+// the estimator serves the packed tier.
+func (e *SEuler) Histogram() *euler.Histogram {
+	h, _ := e.h.(*euler.Histogram)
+	return h
+}
+
+// Lattice exposes the underlying lattice tier.
+func (e *SEuler) Lattice() euler.Lattice { return e.h }
 
 // Estimate implements Estimator. Four cumulative-histogram lookups total:
 // constant time per query.

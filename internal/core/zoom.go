@@ -29,10 +29,11 @@ import (
 // floor-halving at aligned boundaries), so routing is purely a memory-
 // traffic optimization, never an accuracy trade.
 type Zoom struct {
-	levels []Estimator
-	name   string
-	hits   []*telemetry.Counter
-	sweeps []*telemetry.Histogram
+	levels   []Estimator
+	name     string
+	hits     []*telemetry.Counter
+	sweeps   []*telemetry.Histogram
+	overview *Overview // optional ε-approximate tier (AttachOverview)
 }
 
 // NewZoom wraps per-level estimators into a zoom-routing estimator.

@@ -67,13 +67,18 @@ func checkTiling(g *grid.Grid, region grid.Span, cols, rows int) (tw, th int, er
 	return region.Width() / cols, region.Height() / rows, nil
 }
 
-// gatherCorners fetches the cumulative values at the tile-corner lattice:
-// for every tile boundary a=0..cols the even/odd lattice column pair
-// (2·i(a)−2, 2·i(a)−1) where i(a) is the boundary's cell index, and
-// likewise in y. The returned slice is indexed [ix*nyp+iy] with
-// ix = 2a(+1), iy = 2b(+1), nyp = 2(rows+1).
+// The fused sweep keeps the corner samples of one tile boundary per
+// rolling buffer pair instead of materializing the full corner matrix:
+// for every tile boundary a=0..cols the even/odd lattice row pair
+// (2·i(a)−2, 2·i(a)−1) — where i(a) is the boundary's cell index — is
+// gathered once into two O(rows) vectors, and tile column a−1 is
+// assembled the moment its right boundary lands, while all four vectors
+// are still hot in L1. Each lattice row is touched exactly once per
+// sweep, and the working set is four small vectors instead of the
+// 4(cols+1)(rows+1)-entry matrix (≈320 KB on a 100×100 map) the previous
+// kernel streamed through cache twice.
 //
-// Those four values per corner cover every sum the estimators form:
+// The four values per corner cover every sum the estimators form:
 // tile (r,c) spans cells [i(c)..i(c+1)−1]×[j(r)..j(r+1)−1], so
 //
 //	inside  = Σ lattice [2i(c) .. 2i(c+1)−2]   → corners odd/even
@@ -82,10 +87,10 @@ func checkTiling(g *grid.Grid, region grid.Span, cols, rows int) (tw, th int, er
 //
 // and the prefix corner of a range [u1..u2] is P(u1−1) and P(u2), which is
 // exactly the even/odd pair of the boundary on each side.
-// cornerPool recycles the corner matrices between batch calls: a browse
-// server computes tile maps continuously and the matrix is the single
-// largest allocation of a sweep. Buffers come back dirty; gatherCorners
-// overwrites every entry.
+//
+// cornerPool recycles the rolling buffers between batch calls: a browse
+// server computes tile maps continuously. Buffers come back dirty; the
+// gather overwrites every entry.
 var cornerPool sync.Pool
 
 func getCorners(n int) []int64 {
@@ -103,78 +108,90 @@ func putCorners(c []int64) {
 	}
 }
 
-func gatherCorners(hc *prefixsum.Sum2D, region grid.Span, tw, th, cols, rows int) []int64 {
-	nxp := 2 * (cols + 1)
-	nyp := 2 * (rows + 1)
-	xs := make([]int, nxp)
-	for a := 0; a <= cols; a++ {
-		bx := region.I1 + a*tw
-		xs[2*a] = 2*bx - 2
-		xs[2*a+1] = 2*bx - 1
+// gatherLine gathers one lattice prefix row's tile-corner samples into
+// dst: the even/odd y-pair of every tile boundary b=0..rows, interleaved
+// as dst[2b], dst[2b+1]. The source row may be a packed (int32) or flat
+// (int64) plane row — values widen to int64 as they are gathered, so
+// downstream arithmetic is identical for both.
+//
+// The y coordinates form two interleaved arithmetic progressions of step
+// 2·th, so the loop advances a single cursor instead of loading indices,
+// four corner loads per unrolled iteration: only the first pair can be
+// negative (prefix value zero, when the region touches the bottom edge)
+// and only the last odd coordinate can clamp at the lattice edge (top
+// edge), both handled outside the loop.
+func gatherLine[T ~int32 | ~int64](prow []T, dst []int64, j1, th, rows int) {
+	if prow == nil { // row below the lattice: every prefix value is zero
+		clear(dst)
+		return
 	}
-	c := getCorners(nxp * nyp)
-	// The y coordinates form two interleaved arithmetic progressions of
-	// step 2·th, so the inner loop advances a single cursor instead of
-	// loading indices: only the first pair can be negative (prefix value
-	// zero, when the region touches the bottom edge) and only the last odd
-	// coordinate can clamp at the lattice edge (top edge), both handled
-	// outside the loop.
 	step := 2 * th
-	for ix, u := range xs {
-		dst := c[ix*nyp : (ix+1)*nyp]
-		prow := hc.Row(u) // clamps high, nil when negative
-		if prow == nil {
-			clear(dst)
-			continue
-		}
-		b, v := 0, 2*region.J1-2
-		if v < 0 {
-			dst[0], dst[1] = 0, 0
-			b, v = 1, v+step
-		}
-		for ; b < rows; b++ {
-			dst[2*b] = prow[v]
-			dst[2*b+1] = prow[v+1]
-			v += step
-		}
-		dst[2*rows] = prow[v]
-		dst[2*rows+1] = prow[min(v+1, len(prow)-1)]
+	b, v := 0, 2*j1-2
+	if v < 0 {
+		dst[0], dst[1] = 0, 0
+		b, v = 1, v+step
 	}
-	return c
+	for ; b+1 < rows; b += 2 {
+		dst[2*b] = int64(prow[v])
+		dst[2*b+1] = int64(prow[v+1])
+		dst[2*b+2] = int64(prow[v+step])
+		dst[2*b+3] = int64(prow[v+step+1])
+		v += 2 * step
+	}
+	for ; b < rows; b++ {
+		dst[2*b] = int64(prow[v])
+		dst[2*b+1] = int64(prow[v+1])
+		v += step
+	}
+	dst[2*rows] = int64(prow[v])
+	dst[2*rows+1] = int64(prow[min(v+1, len(prow)-1)])
 }
 
-// tileSums assembles per-tile inside and closed sums from gathered corners.
-//
-// The assembly iterates tile columns outermost: a fixed tile column reads
-// exactly four corner lattice lines, each walked sequentially, so the
-// reads stream through cache while the strided row-major writes revisit a
-// small working set of output lines across consecutive columns.
-func tileSums(hc *prefixsum.Sum2D, region grid.Span, cols, rows, tw, th int) TileSums {
-	corners := gatherCorners(hc, region, tw, th, cols, rows)
-	defer putCorners(corners)
+// fusedTileSums runs the fused row sweep over any prefix plane: rowOf
+// hands out lattice prefix rows (Sum2D.Row or Sum2DPacked.Row semantics —
+// clamped high, nil below zero). Inside and Closed of ts must be sized
+// cols×rows; Cols/Rows are not touched.
+func fusedTileSums[T ~int32 | ~int64](rowOf func(int) []T, region grid.Span, cols, rows, tw, th int, ts *TileSums) {
 	nyp := 2 * (rows + 1)
+	buf := getCorners(4 * nyp)
+	defer putCorners(buf)
+	prevE, prevO := buf[0:nyp], buf[nyp:2*nyp]
+	curE, curO := buf[2*nyp:3*nyp], buf[3*nyp:4*nyp]
+	inside, closed := ts.Inside, ts.Closed
+	for a := 0; a <= cols; a++ {
+		bx := region.I1 + a*tw
+		gatherLine(rowOf(2*bx-2), curE, region.J1, th, rows)
+		gatherLine(rowOf(2*bx-1), curO, region.J1, th, rows)
+		if a > 0 {
+			// Tile column a−1: inside range [2i(c) .. 2i(c+1)−2] reads the
+			// left boundary's odd line and the right boundary's even line;
+			// closed reads the flanking pair. The left pair is the previous
+			// boundary's gather — no lattice row is touched twice.
+			col := a - 1
+			cinL, cinR := prevO, curE
+			cclL, cclR := prevE, curO
+			for r := 0; r < rows; r++ {
+				inB, inT := 2*r+1, 2*r+2
+				clB, clT := 2*r, 2*r+3
+				k := r*cols + col
+				inside[k] = cinR[inT] - cinL[inT] - cinR[inB] + cinL[inB]
+				closed[k] = cclR[clT] - cclL[clT] - cclR[clB] + cclL[clB]
+			}
+		}
+		prevE, curE = curE, prevE
+		prevO, curO = curO, prevO
+	}
+}
+
+// tileSums computes per-tile inside and closed sums with the fused sweep.
+func tileSums(hc *prefixsum.Sum2D, region grid.Span, cols, rows, tw, th int) TileSums {
 	ts := TileSums{
 		Cols:   cols,
 		Rows:   rows,
 		Inside: make([]int64, cols*rows),
 		Closed: make([]int64, cols*rows),
 	}
-	for col := 0; col < cols; col++ {
-		// Prefix lattice lines flanking this tile column: inside range
-		// [2i(c) .. 2i(c+1)−2] reads P(2i(c)−1, ·) and P(2i(c+1)−2, ·);
-		// closed reads the flanking pair.
-		cinL := corners[(2*col+1)*nyp : (2*col+2)*nyp]
-		cinR := corners[(2*col+2)*nyp : (2*col+3)*nyp]
-		cclL := corners[(2*col)*nyp : (2*col+1)*nyp]
-		cclR := corners[(2*col+3)*nyp : (2*col+4)*nyp]
-		for r := 0; r < rows; r++ {
-			inB, inT := 2*r+1, 2*r+2
-			clB, clT := 2*r, 2*r+3
-			k := r*cols + col
-			ts.Inside[k] = cinR[inT] - cinL[inT] - cinR[inB] + cinL[inB]
-			ts.Closed[k] = cclR[clT] - cclL[clT] - cclR[clB] + cclL[clB]
-		}
-	}
+	fusedTileSums(hc.Row, region, cols, rows, tw, th, &ts)
 	return ts
 }
 
@@ -305,9 +322,6 @@ func (h *Histogram) GridEulerSums(region grid.Span, cols, rows int) (*EulerSums,
 	if err != nil {
 		return nil, err
 	}
-	corners := gatherCorners(h.hc, region, tw, th, cols, rows)
-	defer putCorners(corners)
-	nyp := 2 * (rows + 1)
 	es := &EulerSums{
 		TileSums: TileSums{
 			Cols:   cols,
@@ -327,28 +341,44 @@ func (h *Histogram) GridEulerSums(region grid.Span, cols, rows int) (*EulerSums,
 			es.BelowContained[r] = h.ContainedIn(grid.Span{I1: 0, J1: 0, I2: nx - 1, J2: j1 - 1})
 		}
 	}
-	// Column-major assembly, as in tileSums. A-wide widens the footprint
-	// left/right/top but not down: lattice range
-	// [2i1−1 .. 2i2+1]×[2j1 .. 2j2+1], whose prefix corners are the closed
-	// pair in x and the odd pair in y — so it shares the closed lattice
-	// lines and its top corner values with the closed sum.
-	for col := 0; col < cols; col++ {
-		cinL := corners[(2*col+1)*nyp : (2*col+2)*nyp]
-		cinR := corners[(2*col+2)*nyp : (2*col+3)*nyp]
-		cclL := corners[(2*col)*nyp : (2*col+1)*nyp]
-		cclR := corners[(2*col+3)*nyp : (2*col+4)*nyp]
-		for r := 0; r < rows; r++ {
-			inB, inT := 2*r+1, 2*r+2
-			clB, clT := 2*r, 2*r+3
-			awB := 2*r + 1 // awT coincides with clT
-			k := r*cols + col
-			clLT, clRT := cclL[clT], cclR[clT]
-			es.Inside[k] = cinR[inT] - cinL[inT] - cinR[inB] + cinL[inB]
-			es.Closed[k] = clRT - clLT - cclR[clB] + cclL[clB]
-			es.AWide[k] = clRT - clLT - cclR[awB] + cclL[awB]
-		}
-	}
+	fusedEulerSums(h.hc.Row, region, cols, rows, tw, th, es)
 	return es, nil
+}
+
+// fusedEulerSums is the fused row sweep of GridEulerSums, shared with the
+// packed tier: the tileSums rolling-pair kernel extended with the A-wide
+// sum. A-wide widens the tile footprint left/right/top but not down:
+// lattice range [2i1−1 .. 2i2+1]×[2j1 .. 2j2+1], whose prefix corners are
+// the closed pair in x and the odd pair in y — so it shares the closed
+// lattice lines and its top corner values with the closed sum.
+func fusedEulerSums[T ~int32 | ~int64](rowOf func(int) []T, region grid.Span, cols, rows, tw, th int, es *EulerSums) {
+	nyp := 2 * (rows + 1)
+	buf := getCorners(4 * nyp)
+	defer putCorners(buf)
+	prevE, prevO := buf[0:nyp], buf[nyp:2*nyp]
+	curE, curO := buf[2*nyp:3*nyp], buf[3*nyp:4*nyp]
+	for a := 0; a <= cols; a++ {
+		bx := region.I1 + a*tw
+		gatherLine(rowOf(2*bx-2), curE, region.J1, th, rows)
+		gatherLine(rowOf(2*bx-1), curO, region.J1, th, rows)
+		if a > 0 {
+			col := a - 1
+			cinL, cinR := prevO, curE
+			cclL, cclR := prevE, curO
+			for r := 0; r < rows; r++ {
+				inB, inT := 2*r+1, 2*r+2
+				clB, clT := 2*r, 2*r+3
+				awB := 2*r + 1 // awT coincides with clT
+				k := r*cols + col
+				clLT, clRT := cclL[clT], cclR[clT]
+				es.Inside[k] = cinR[inT] - cinL[inT] - cinR[inB] + cinL[inB]
+				es.Closed[k] = clRT - clLT - cclR[clB] + cclL[clB]
+				es.AWide[k] = clRT - clLT - cclR[awB] + cclL[awB]
+			}
+		}
+		prevE, curE = curE, prevE
+		prevO, curO = curO, prevO
+	}
 }
 
 // GridInsideSums is the exterior histogram's batch analogue: InsideSum for

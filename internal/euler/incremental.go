@@ -76,6 +76,13 @@ func (b *Builder) MarkDirty(d DirtyRegion) { b.dirty = b.dirty.Union(d) }
 // fraction of ≈0.43–0.49.
 const DefaultCrossover = 0.45
 
+// copyWeight is the relative cost of one copied lattice element against one
+// repaired element in BuildFrom's strategy choice: a copy is a straight
+// memmove, a repair recomputes the bucket from the difference array and
+// patches the cumulative form — several dependent operations per element
+// against a bulk move, conservatively weighed at 4:1.
+const copyWeight = 0.25
+
 // BuildFromOpts tunes BuildFrom.
 type BuildFromOpts struct {
 	// Scratch donates the arrays of a retired histogram of the same
@@ -101,7 +108,15 @@ type BuildStats struct {
 	// Incremental is true when the cumulative form was repaired rather
 	// than recomputed.
 	Incremental bool
-	// Dirty is the repaired region (builder dirty ∪ scratch stale).
+	// Copied is true when the donated scratch was refreshed from prev
+	// (raw copy + CloneInto of the cumulative plane) before repairing,
+	// because repairing its stale region would have cost more; only the
+	// builder's dirty box was then arithmetically repaired.
+	Copied bool
+	// Dirty is the builder dirty ∪ scratch stale bounding box: everywhere
+	// the returned histogram may differ from state derived before this
+	// build (retired buffers, donor pyramids) — regardless of which
+	// repair strategy produced it.
 	Dirty DirtyRegion
 	// DirtyFrac is Dirty's share of the lattice.
 	DirtyFrac float64
@@ -133,24 +148,55 @@ func (b *Builder) BuildFrom(prev *Histogram, opts BuildFromOpts) (*Histogram, Bu
 		// untouched (the caller keeps it pooled).
 		return prev, BuildStats{Incremental: true, Dirty: r}
 	}
+	scratchFits := opts.Scratch != nil && opts.Scratch.lx == b.lx && opts.Scratch.ly == b.ly
+	baselineN := prev.n
+	if scratchFits {
+		baselineN = opts.Scratch.n
+	}
+	cost := b.repairCost(r, baselineN)
+	// Third strategy: a recycled scratch can carry stale damage far larger
+	// than this round's mutations (it is typically two generations behind).
+	// When repairing the stale union costs more than refreshing the scratch
+	// from prev outright — one raw copy plus a CloneInto of the cumulative
+	// plane, no allocation — and repairing only the dirty box, copy first.
+	// A copied element is a straight memmove while a repaired one is
+	// diff-array arithmetic plus a prefix patch, so copy writes are weighed
+	// at copyWeight of a repair write.
+	copied := false
+	rr := r // the region actually repaired arithmetically
+	if scratchFits && !stale.Empty() {
+		alt := copyWeight * 2 * float64(lattice)
+		if !b.dirty.Empty() {
+			alt += b.repairCost(b.dirty, prev.n)
+		}
+		if alt < cost {
+			copied, rr, cost = true, b.dirty, alt
+		}
+	}
 	frac := float64(r.Area()) / float64(lattice)
 	crossover := opts.Crossover
 	if crossover == 0 {
 		crossover = DefaultCrossover
 	}
-	if crossover >= 0 && b.repairCost(r, prev, opts) > crossover*3*float64(lattice) {
+	if crossover >= 0 && cost > crossover*3*float64(lattice) {
 		raw, hc := scratchArrays(opts.Scratch, b)
 		return b.buildInto(raw, hc, opts.Workers), BuildStats{Dirty: r, DirtyFrac: frac}
 	}
 	h := opts.Scratch
-	if h == nil || h.lx != b.lx || h.ly != b.ly {
+	if !scratchFits {
 		// No recycled buffers: clone prev and repair the clone. Stale is
 		// necessarily empty relative to a fresh copy of prev.
 		h = &Histogram{g: b.g, lx: b.lx, ly: b.ly, h: append([]int64(nil), prev.h...), hc: prev.hc.Clone()}
+	} else if copied {
+		copy(h.h, prev.h)
+		h.hc = prev.hc.CloneInto(h.hc)
 	}
-	b.repairInto(h.h, h.hc, r)
+	if !rr.Empty() {
+		b.repairInto(h.h, h.hc, rr)
+	}
 	b.dirty = EmptyRegion()
-	return &Histogram{g: b.g, lx: b.lx, ly: b.ly, h: h.h, hc: h.hc, n: b.n}, BuildStats{Incremental: true, Dirty: r, DirtyFrac: frac}
+	return &Histogram{g: b.g, lx: b.lx, ly: b.ly, h: h.h, hc: h.hc, n: b.n},
+		BuildStats{Incremental: true, Copied: copied, Dirty: r, DirtyFrac: frac}
 }
 
 // scratchArrays returns buildInto's (raw, hc) arguments from a donated
@@ -167,17 +213,13 @@ func scratchArrays(scratch *Histogram, b *Builder) ([]int64, *prefixsum.Sum2D) {
 // column strips once, and — only when the object count changed, which
 // makes the prefix-delta quadrant constant non-zero — the lower-right
 // quadrant once.
-func (b *Builder) repairCost(r DirtyRegion, prev *Histogram, opts BuildFromOpts) float64 {
+func (b *Builder) repairCost(r DirtyRegion, prevN int64) float64 {
 	box := float64(r.Area())
 	bh := float64(r.U2 - r.U1 + 1)
 	bw := float64(r.V2 - r.V1 + 1)
 	tails := bh * float64(b.ly-r.V2-1)
 	strips := float64(b.lx-r.U2-1) * bw
 	cost := 2*box + tails + strips
-	prevN := prev.n
-	if opts.Scratch != nil {
-		prevN = opts.Scratch.n
-	}
 	if prevN != b.n {
 		cost += float64(b.lx-r.U2-1) * float64(b.ly-r.V2-1)
 	}

@@ -272,3 +272,83 @@ func FuzzIncrementalRebuild(f *testing.F) {
 		assertIdentical(t, freshBuild(g, present), h)
 	})
 }
+
+// TestBuildFromCopyRepair pins the copy-first strategy: a scratch whose
+// stale region covers (nearly) the whole lattice is cheaper to refresh from
+// prev — memmove plus CloneInto, reusing its buffers — than to repair, when
+// the round's own dirty box is small.
+func TestBuildFromCopyRepair(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	g := grid.NewUnit(30, 30)
+	b := NewBuilder(g)
+	var present []grid.Span
+	present = applyScript(r, b, present, 60)
+	scratch := b.Build()
+
+	// Drift the builder far from the retired scratch: a full-lattice stale
+	// box, the worst case a long-lived lease accumulates.
+	present = applyScript(r, b, present, 40)
+	prev := b.Build()
+	stale := DirtyRegion{U1: 0, V1: 0, U2: 2*30 - 2, V2: 2*30 - 2}
+
+	// One small mutation this round.
+	s := spanOf(2, 3, 4, 5)
+	b.AddSpan(s)
+	present = append(present, s)
+
+	h, stats := b.BuildFrom(prev, BuildFromOpts{Scratch: scratch, Stale: stale, Crossover: -1})
+	assertIdentical(t, freshBuild(g, present), h)
+	if !stats.Incremental || !stats.Copied {
+		t.Fatalf("want copy-repair, got %+v", stats)
+	}
+	if &h.h[0] != &scratch.h[0] {
+		t.Fatal("copy-repair did not reuse the scratch raw array")
+	}
+	// Dirty stays the conservative union — donor pyramids and retired
+	// buffers may lag anywhere in it — even though only the small box was
+	// arithmetically repaired.
+	if stats.Dirty.Area() < stale.Area() {
+		t.Fatalf("copy-repair must report the stale union, got %v", stats.Dirty)
+	}
+
+	// A small stale box must keep the plain repair path: copying the whole
+	// lattice cannot beat repairing a few buckets. The new mutation lands
+	// next to the stale box so the union stays small.
+	scratch2 := prev
+	prev = h
+	s2 := spanOf(3, 4, 5, 6)
+	b.AddSpan(s2)
+	present = append(present, s2)
+	// scratch2 (the retired prev) actually lags h by phase 1's mutation
+	// alone: the lattice box of spanOf(2,3,4,5).
+	smallStale := DirtyRegion{U1: 2 * 2, V1: 2 * 3, U2: 2 * 4, V2: 2 * 5}
+	h2, stats2 := b.BuildFrom(prev, BuildFromOpts{Scratch: scratch2, Stale: smallStale, Crossover: -1})
+	assertIdentical(t, freshBuild(g, present), h2)
+	if !stats2.Incremental || stats2.Copied {
+		t.Fatalf("want plain repair, got %+v", stats2)
+	}
+}
+
+// TestBuildFromCopyRepairEmptyDirty covers the refresh-only corner: stale
+// scratch, no mutations since prev. The union path would repair the whole
+// stale box; copy-first just refreshes the buffers.
+func TestBuildFromCopyRepairEmptyDirty(t *testing.T) {
+	r := rand.New(rand.NewSource(45))
+	g := grid.NewUnit(20, 20)
+	b := NewBuilder(g)
+	var present []grid.Span
+	present = applyScript(r, b, present, 50)
+	scratch := b.Build()
+	present = applyScript(r, b, present, 30)
+	prev := b.Build()
+	stale := DirtyRegion{U1: 0, V1: 0, U2: 2*20 - 2, V2: 2*20 - 2}
+
+	h, stats := b.BuildFrom(prev, BuildFromOpts{Scratch: scratch, Stale: stale, Crossover: -1})
+	assertIdentical(t, freshBuild(g, present), h)
+	if !stats.Copied || stats.Dirty != stale {
+		t.Fatalf("want refresh-only copy reporting the stale union, got %+v", stats)
+	}
+	if &h.h[0] != &scratch.h[0] {
+		t.Fatal("refresh did not reuse the scratch raw array")
+	}
+}

@@ -12,7 +12,7 @@ import (
 	"spatialhist/internal/prefixsum"
 )
 
-// Binary histogram format:
+// Binary histogram formats:
 //
 //	magic   [8]byte "SPHEUL01"
 //	extent  4×float64
@@ -20,19 +20,53 @@ import (
 //	count   uint64 (number of inserted objects)
 //	buckets (2nx−1)(2ny−1) × int64 signed bucket values
 //
+// and the packed sibling "SPHEUL02", identical through the count field,
+// then:
+//
+//	width   1 byte: bytes per bucket, 4 or 8
+//	buckets (2nx−1)(2ny−1) × int32 or int64 signed bucket values
+//
 // Little-endian throughout. The cumulative form is recomputed on load: it
 // is derived data and rebuilding it is cheaper than shipping it.
+//
+// WriteCompact chooses the 4-byte width whenever the object count fits
+// int32: each object contributes exactly one increment per bucket of its
+// lattice rectangle, so every signed bucket value lies in [−n, n] and the
+// narrow encoding is exact. Checkpoints and shard/replica bootstrap
+// transport use it, halving histogram payload bytes for every dataset
+// under ~2.1 billion objects. Read accepts both magics, so pre-packing
+// checkpoints and archives keep loading.
 //
 // Persistence is what makes the browsing service operational: a histogram
 // over millions of objects is a few MB and loads in milliseconds, so a
 // server can answer Level 2 queries without ever seeing the objects.
 
-var histMagic = [8]byte{'S', 'P', 'H', 'E', 'U', 'L', '0', '1'}
+var (
+	histMagic       = [8]byte{'S', 'P', 'H', 'E', 'U', 'L', '0', '1'}
+	histMagicPacked = [8]byte{'S', 'P', 'H', 'E', 'U', 'L', '0', '2'}
+)
 
-// Write serializes the histogram to w.
+// Write serializes the histogram to w in the SPHEUL01 (8-byte bucket)
+// format.
 func (h *Histogram) Write(w io.Writer) error {
+	return h.write(w, false)
+}
+
+// WriteCompact serializes the histogram to w in the SPHEUL02 format,
+// packing buckets to 4 bytes when the object count fits int32 (see the
+// package format comment for why that is exact) and falling back to 8-byte
+// buckets otherwise. Read understands both.
+func (h *Histogram) WriteCompact(w io.Writer) error {
+	return h.write(w, true)
+}
+
+func (h *Histogram) write(w io.Writer, compact bool) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
-	if _, err := bw.Write(histMagic[:]); err != nil {
+	magic := histMagic
+	if compact {
+		magic = histMagicPacked
+	}
+	if _, err := bw.Write(magic[:]); err != nil {
 		return err
 	}
 	ext := h.g.Extent()
@@ -50,8 +84,27 @@ func (h *Histogram) Write(w io.Writer) error {
 	if err := binary.Write(bw, binary.LittleEndian, uint64(h.n)); err != nil {
 		return err
 	}
+	width := 8
+	if compact {
+		if Packable(h.n) {
+			width = 4
+		}
+		if err := bw.WriteByte(byte(width)); err != nil {
+			return err
+		}
+	}
 	buf := make([]byte, 8)
 	for _, v := range h.h {
+		if width == 4 {
+			if v > math.MaxInt32 || v < math.MinInt32 {
+				return fmt.Errorf("euler: bucket value %d overflows the packed width (count %d)", v, h.n)
+			}
+			binary.LittleEndian.PutUint32(buf, uint32(int32(v)))
+			if _, err := bw.Write(buf[:4]); err != nil {
+				return err
+			}
+			continue
+		}
 		binary.LittleEndian.PutUint64(buf, uint64(v))
 		if _, err := bw.Write(buf); err != nil {
 			return err
@@ -69,9 +122,10 @@ func Read(r io.Reader) (*Histogram, error) {
 	if _, err := io.ReadFull(br, m[:]); err != nil {
 		return nil, fmt.Errorf("euler: reading magic: %w", err)
 	}
-	if m != histMagic {
+	if m != histMagic && m != histMagicPacked {
 		return nil, fmt.Errorf("euler: bad magic %q", m)
 	}
+	packed := m == histMagicPacked
 	var ext [4]float64
 	for i := range ext {
 		if err := binary.Read(br, binary.LittleEndian, &ext[i]); err != nil {
@@ -101,6 +155,17 @@ func Read(r io.Reader) (*Histogram, error) {
 	}
 	g := grid.New(geom.Rect{XMin: ext[0], YMin: ext[1], XMax: ext[2], YMax: ext[3]}, int(nx), int(ny))
 	lx, ly := 2*int(nx)-1, 2*int(ny)-1
+	width := 8
+	if packed {
+		wb, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("euler: reading bucket width: %w", err)
+		}
+		if wb != 4 && wb != 8 {
+			return nil, fmt.Errorf("euler: invalid bucket width %d", wb)
+		}
+		width = int(wb)
+	}
 	// Grow as payload arrives rather than trusting the header dimensions
 	// with one huge up-front allocation (found by FuzzHistogramRead's
 	// dataset sibling).
@@ -108,10 +173,14 @@ func Read(r io.Reader) (*Histogram, error) {
 	buckets := make([]int64, 0, min(total, 1<<20))
 	buf := make([]byte, 8)
 	for i := 0; i < total; i++ {
-		if _, err := io.ReadFull(br, buf); err != nil {
+		if _, err := io.ReadFull(br, buf[:width]); err != nil {
 			return nil, fmt.Errorf("euler: reading bucket %d: %w", i, err)
 		}
-		buckets = append(buckets, int64(binary.LittleEndian.Uint64(buf)))
+		if width == 4 {
+			buckets = append(buckets, int64(int32(binary.LittleEndian.Uint32(buf[:4]))))
+		} else {
+			buckets = append(buckets, int64(binary.LittleEndian.Uint64(buf)))
+		}
 	}
 	h := &Histogram{
 		g:  g,

@@ -8,6 +8,7 @@ import (
 
 	"spatialhist/internal/geom"
 	"spatialhist/internal/grid"
+	"spatialhist/internal/prefixsum"
 )
 
 func TestHistogramRoundTrip(t *testing.T) {
@@ -262,5 +263,93 @@ func TestChurnMatchesRebuild(t *testing.T) {
 				t.Fatalf("bucket (%d,%d) diverges after churn", u, v)
 			}
 		}
+	}
+}
+
+func TestWriteCompactRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(72))
+	g := grid.New(geom.NewRect(0, 0, 100, 80), 20, 16)
+	b := NewBuilder(g)
+	for k := 0; k < 250; k++ {
+		i1, j1 := r.Intn(20), r.Intn(16)
+		b.AddSpan(grid.Span{I1: i1, J1: j1, I2: i1 + r.Intn(20-i1), J2: j1 + r.Intn(16-j1)})
+	}
+	h := b.Build()
+
+	var full, compact bytes.Buffer
+	if err := h.Write(&full); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WriteCompact(&compact); err != nil {
+		t.Fatal(err)
+	}
+	// 250 objects packs: header + width byte + 4-byte buckets, about half
+	// the SPHEUL01 payload.
+	lx, ly := h.Buckets()
+	wantCompact := 8 + 32 + 8 + 8 + 1 + 4*lx*ly
+	if compact.Len() != wantCompact {
+		t.Fatalf("compact payload %d bytes, want %d", compact.Len(), wantCompact)
+	}
+	if ratio := float64(compact.Len()) / float64(full.Len()); ratio > 0.55 {
+		t.Fatalf("compact/full ratio %.3f exceeds 0.55", ratio)
+	}
+	got, err := Read(&compact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != h.Count() || got.Total() != h.Total() {
+		t.Fatal("compact round trip diverges on counts")
+	}
+	for u := 0; u < lx; u++ {
+		for v := 0; v < ly; v++ {
+			if got.Bucket(u, v) != h.Bucket(u, v) {
+				t.Fatalf("bucket (%d,%d) diverges after compact round trip", u, v)
+			}
+		}
+	}
+	for trial := 0; trial < 100; trial++ {
+		i1, j1 := r.Intn(20), r.Intn(16)
+		q := grid.Span{I1: i1, J1: j1, I2: i1 + r.Intn(20-i1), J2: j1 + r.Intn(16-j1)}
+		if got.InsideSum(q) != h.InsideSum(q) || got.OutsideSum(q) != h.OutsideSum(q) {
+			t.Fatalf("sums diverge at %v", q)
+		}
+	}
+}
+
+func TestWriteCompactWideCounts(t *testing.T) {
+	// A histogram whose count exceeds int32 must fall back to 8-byte
+	// buckets inside SPHEUL02. Built directly: a 1×1 grid whose single
+	// bucket holds the whole count.
+	n := int64(1) << 33
+	g := grid.NewUnit(1, 1)
+	h := &Histogram{g: g, lx: 1, ly: 1, h: []int64{n}, hc: prefixsum.NewSum2D([]int64{n}, 1, 1), n: n}
+	var buf bytes.Buffer
+	if err := h.WriteCompact(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if want := 8 + 32 + 8 + 8 + 1 + 8; buf.Len() != want {
+		t.Fatalf("wide compact payload %d bytes, want %d", buf.Len(), want)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != n || got.Bucket(0, 0) != n {
+		t.Fatal("wide compact round trip diverges")
+	}
+}
+
+func TestReadRejectsBadPackedWidth(t *testing.T) {
+	g := grid.NewUnit(4, 4)
+	b := NewBuilder(g)
+	b.AddSpan(grid.Span{I1: 1, J1: 1, I2: 2, J2: 2})
+	var buf bytes.Buffer
+	if err := b.Build().WriteCompact(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[8+32+8+8] = 3 // corrupt the width byte
+	if _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Fatal("invalid width byte accepted")
 	}
 }

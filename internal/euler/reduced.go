@@ -1,0 +1,178 @@
+package euler
+
+import (
+	"fmt"
+
+	"spatialhist/internal/grid"
+)
+
+// Reduced is the ε-approximate lattice tier: one coarse pyramid level
+// (shift halvings above the base grid) answering base-resolution queries
+// with certified error bounds instead of exact values. It exists for
+// overview traffic — tile maps whose tiles span many base cells — where a
+// lattice 1/4^shift the size of the base answers within a small additive
+// error, and the error is *proved per query*, not assumed.
+//
+// Two certificates, one per quantity the S-EulerApprox identities consume:
+//
+// InsideSum: snap the base span q to the coarse cell raster both ways. The
+// inner cover is the largest coarse-aligned span inside q, the outer cover
+// the smallest one containing it. Aligned spans are exactly representable
+// at the coarse level, and PR 6's bit-identity guarantee makes the coarse
+// InsideSum of an aligned span equal the base histogram's over the same
+// geometric region. For rectangle objects InsideSum(R) counts the objects
+// intersecting R — monotone in R — so
+//
+//	InsideSum(inner) ≤ InsideSum(q) ≤ InsideSum(outer)
+//
+// ClosedSum is *not* monotone (it is a compactly-supported Euler
+// characteristic sum: an object spanning a window wall-to-wall in one axis
+// contributes −1, so growing the window can lower the sum). Instead the
+// tier anchors at the outer cover and bounds the drift: per object the
+// closed-sum contribution is a product of per-axis factors in {−1, 0, +1}
+// determined by how the object's span relates to the window, and the
+// factor can only differ between q and its outer cover if the object has
+// an edge inside the slack ring between the two covers. The ring is a
+// union of at most four coarse-aligned bands, each an exact coarse
+// InsideSum, and a changed object shifts the sum by at most 2:
+//
+//	|ClosedSum(q) − ClosedSum(outer)| ≤ 2·Σ_band InsideSum(band)
+//
+// Both certificates are data-dependent: tight datasets serve almost any
+// overview tiling from the reduced tier, adversarial ones force the exact
+// fallback — but a served answer never exceeds its bound.
+type Reduced struct {
+	base  *grid.Grid
+	h     *Histogram // the coarse level
+	shift int        // base→coarse halvings, ≥ 1
+}
+
+// NewReduced derives the reduced tier from pyramid level shift. The level
+// must exist and be above the base (shift ≥ 1). The coarse histogram is
+// shared with the pyramid, not copied: a Reduced retained after the full
+// tiers are dropped is what pins its memory.
+func NewReduced(p *Pyramid, shift int) (*Reduced, error) {
+	if shift < 1 || shift >= p.Levels() {
+		return nil, fmt.Errorf("euler: reduced shift %d outside pyramid of %d levels", shift, p.Levels())
+	}
+	return &Reduced{base: p.Base().Grid(), h: p.Level(shift), shift: shift}, nil
+}
+
+// Shift returns the number of base→coarse halvings.
+func (r *Reduced) Shift() int { return r.shift }
+
+// Grid returns the base grid the tier answers queries against.
+func (r *Reduced) Grid() *grid.Grid { return r.base }
+
+// Count returns |S|.
+func (r *Reduced) Count() int64 { return r.h.Count() }
+
+// Total returns the coarse lattice total (= |S|).
+func (r *Reduced) Total() int64 { return r.h.Total() }
+
+// StorageBuckets returns the coarse lattice's bucket count.
+func (r *Reduced) StorageBuckets() int { return r.h.StorageBuckets() }
+
+// LatticeBytes returns the resident bytes of the reduced tier.
+func (r *Reduced) LatticeBytes() int { return r.h.LatticeBytes() }
+
+// Bounds holds the certified error interval of one base span: InsideLo ≤
+// InsideSum(q) ≤ InsideHi, and |ClosedSum(q) − Closed| ≤ ClosedSlack.
+type Bounds struct {
+	InsideLo, InsideHi int64
+	Closed             int64 // ClosedSum at the outer cover (the anchor)
+	ClosedSlack        int64 // certified drift bound for the true span
+}
+
+// covers snaps the base cell range [c1..c2] (inclusive) to the coarse
+// raster: the inner cover [in1..in2] (empty when in1 > in2) and outer
+// cover [out1..out2], in coarse cell coordinates.
+func covers(c1, c2, shift int) (in1, in2, out1, out2 int) {
+	w := 1 << shift
+	in1 = (c1 + w - 1) / w // first coarse cell starting at or after c1
+	in2 = (c2+1)/w - 1     // last coarse cell ending at or before c2+1
+	out1 = c1 / w          // coarse cell containing c1
+	out2 = c2 / w          // coarse cell containing c2
+	return in1, in2, out1, out2
+}
+
+// SpanBounds returns the certified bounds of base span q, which must lie
+// within the base grid.
+func (r *Reduced) SpanBounds(q grid.Span) Bounds {
+	xi1, xi2, xo1, xo2 := covers(q.I1, q.I2, r.shift)
+	yi1, yi2, yo1, yo2 := covers(q.J1, q.J2, r.shift)
+	outer := grid.Span{I1: xo1, J1: yo1, I2: xo2, J2: yo2}
+	b := Bounds{
+		InsideHi: r.h.InsideSum(outer),
+		Closed:   r.h.ClosedSum(outer),
+	}
+	if xi1 > xi2 || yi1 > yi2 {
+		// No aligned span fits inside q: the inside floor is the trivial 0
+		// and the whole outer cover is slack ring.
+		b.ClosedSlack = 2 * b.InsideHi
+		return b
+	}
+	inner := grid.Span{I1: xi1, J1: yi1, I2: xi2, J2: yi2}
+	b.InsideLo = r.h.InsideSum(inner)
+	// The slack ring: at most four coarse-aligned bands between the inner
+	// and outer covers, spanning the outer cover in the other axis. An
+	// object whose closed-sum contribution differs between q and the outer
+	// cover has an edge in one of them (double counting corner objects only
+	// raises the bound).
+	var ring int64
+	if xi1 > xo1 {
+		ring += r.h.InsideSum(grid.Span{I1: xo1, J1: yo1, I2: xi1 - 1, J2: yo2})
+	}
+	if xo2 > xi2 {
+		ring += r.h.InsideSum(grid.Span{I1: xi2 + 1, J1: yo1, I2: xo2, J2: yo2})
+	}
+	if yi1 > yo1 {
+		ring += r.h.InsideSum(grid.Span{I1: xo1, J1: yo1, I2: xo2, J2: yi1 - 1})
+	}
+	if yo2 > yi2 {
+		ring += r.h.InsideSum(grid.Span{I1: xo1, J1: yi2 + 1, I2: xo2, J2: yo2})
+	}
+	b.ClosedSlack = 2 * ring
+	return b
+}
+
+// BoundsSums holds per-tile certified bounds for a cols×rows tiling,
+// row-major from the south-west like TileSums.
+type BoundsSums struct {
+	Cols, Rows         int
+	InsideLo, InsideHi []int64
+	Closed             []int64
+	ClosedSlack        []int64
+}
+
+// GridBounds returns the certified bounds of every tile of the cols×rows
+// tiling of region, validated against the base grid exactly like the exact
+// sweeps. Cost is O(tiles) coarse-lattice lookups, independent of the
+// lattice size.
+func (r *Reduced) GridBounds(region grid.Span, cols, rows int) (*BoundsSums, error) {
+	tw, th, err := checkTiling(r.base, region, cols, rows)
+	if err != nil {
+		return nil, err
+	}
+	bs := &BoundsSums{
+		Cols:        cols,
+		Rows:        rows,
+		InsideLo:    make([]int64, cols*rows),
+		InsideHi:    make([]int64, cols*rows),
+		Closed:      make([]int64, cols*rows),
+		ClosedSlack: make([]int64, cols*rows),
+	}
+	for row := 0; row < rows; row++ {
+		j1 := region.J1 + row*th
+		for col := 0; col < cols; col++ {
+			i1 := region.I1 + col*tw
+			b := r.SpanBounds(grid.Span{I1: i1, J1: j1, I2: i1 + tw - 1, J2: j1 + th - 1})
+			k := row*cols + col
+			bs.InsideLo[k] = b.InsideLo
+			bs.InsideHi[k] = b.InsideHi
+			bs.Closed[k] = b.Closed
+			bs.ClosedSlack[k] = b.ClosedSlack
+		}
+	}
+	return bs, nil
+}

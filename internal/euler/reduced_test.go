@@ -1,0 +1,134 @@
+package euler
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatialhist/internal/grid"
+)
+
+func TestNewReducedValidatesShift(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	h, _ := buildRandom(r, 64, 64, 100)
+	p := NewPyramid(h, PyramidOpts{MinGrid: 8})
+	if p.Levels() < 3 {
+		t.Fatalf("want ≥3 levels, got %d", p.Levels())
+	}
+	if _, err := NewReduced(p, 0); err == nil {
+		t.Fatal("shift 0 accepted")
+	}
+	if _, err := NewReduced(p, p.Levels()); err == nil {
+		t.Fatal("out-of-range shift accepted")
+	}
+	rd, err := NewReduced(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Shift() != 2 || rd.Grid() != h.Grid() || rd.Count() != h.Count() {
+		t.Fatal("reduced accessors diverge")
+	}
+	if rd.StorageBuckets() != p.Level(2).StorageBuckets() {
+		t.Fatal("reduced StorageBuckets diverges from its level")
+	}
+	if rd.LatticeBytes() >= h.LatticeBytes() {
+		t.Fatal("reduced tier not smaller than the base")
+	}
+}
+
+// TestReducedBoundsSound is the load-bearing property: for random datasets
+// and random (unaligned) queries, the certified interval always brackets
+// the exact base value, and coarse-aligned queries certify exactly.
+func TestReducedBoundsSound(t *testing.T) {
+	r := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 40; trial++ {
+		nx := 8 * (2 + r.Intn(7)) // even dims with several halvings available
+		ny := 8 * (2 + r.Intn(7))
+		h, _ := buildRandom(r, nx, ny, 30+r.Intn(300))
+		p := NewPyramid(h, PyramidOpts{MinGrid: 4})
+		for shift := 1; shift < p.Levels(); shift++ {
+			rd, err := NewReduced(p, shift)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := 1 << shift
+			for q := 0; q < 60; q++ {
+				qs := randQuery(r, nx, ny)
+				b := rd.SpanBounds(qs)
+				in, cl := h.InsideSum(qs), h.ClosedSum(qs)
+				if in < b.InsideLo || in > b.InsideHi {
+					t.Fatalf("shift %d: InsideSum(%v) = %d outside [%d,%d]", shift, qs, in, b.InsideLo, b.InsideHi)
+				}
+				diff := cl - b.Closed
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff > b.ClosedSlack {
+					t.Fatalf("shift %d: ClosedSum(%v) = %d, anchor %d, drift %d > slack %d",
+						shift, qs, cl, b.Closed, diff, b.ClosedSlack)
+				}
+			}
+			// Aligned queries certify exactly: zero-width interval, zero slack.
+			for q := 0; q < 20; q++ {
+				cnx, cny := nx/w, ny/w
+				ci1, cj1 := r.Intn(cnx), r.Intn(cny)
+				ci2, cj2 := ci1+r.Intn(cnx-ci1), cj1+r.Intn(cny-cj1)
+				qs := grid.Span{I1: ci1 * w, J1: cj1 * w, I2: (ci2+1)*w - 1, J2: (cj2+1)*w - 1}
+				b := rd.SpanBounds(qs)
+				if b.InsideLo != b.InsideHi || b.ClosedSlack != 0 {
+					t.Fatalf("shift %d: aligned %v not exact: %+v", shift, qs, b)
+				}
+				if b.InsideLo != h.InsideSum(qs) || b.Closed != h.ClosedSum(qs) {
+					t.Fatalf("shift %d: aligned %v wrong values: %+v", shift, qs, b)
+				}
+			}
+		}
+	}
+}
+
+func TestReducedGridBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(103))
+	h, _ := buildRandom(r, 64, 48, 250)
+	p := NewPyramid(h, PyramidOpts{MinGrid: 4})
+	rd, err := NewReduced(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := grid.Span{I1: 2, J1: 1, I2: 61, J2: 42}
+	cols, rows := 12, 7
+	bs, err := rd.GridBounds(region, cols, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := h.GridQuerySums(region, cols, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, th := 5, 6
+	for row := 0; row < rows; row++ {
+		for col := 0; col < cols; col++ {
+			k := row*cols + col
+			qs := grid.Span{
+				I1: region.I1 + col*tw, J1: region.J1 + row*th,
+				I2: region.I1 + (col+1)*tw - 1, J2: region.J1 + (row+1)*th - 1,
+			}
+			want := rd.SpanBounds(qs)
+			if bs.InsideLo[k] != want.InsideLo || bs.InsideHi[k] != want.InsideHi ||
+				bs.Closed[k] != want.Closed || bs.ClosedSlack[k] != want.ClosedSlack {
+				t.Fatalf("tile %d diverges from SpanBounds", k)
+			}
+			if ts.Inside[k] < bs.InsideLo[k] || ts.Inside[k] > bs.InsideHi[k] {
+				t.Fatalf("tile %d: exact inside %d outside [%d,%d]", k, ts.Inside[k], bs.InsideLo[k], bs.InsideHi[k])
+			}
+			diff := ts.Closed[k] - bs.Closed[k]
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bs.ClosedSlack[k] {
+				t.Fatalf("tile %d: closed drift %d > slack %d", k, diff, bs.ClosedSlack[k])
+			}
+		}
+	}
+	if _, err := rd.GridBounds(region, 11, 7); err == nil {
+		t.Fatal("non-dividing tiling accepted")
+	}
+}

@@ -78,6 +78,15 @@ type Options struct {
 	// 429 load-shedding. nil admits everything. A Registry shares one
 	// Limiter across its tenants so fairness spans the process.
 	Limiter *Limiter
+	// OverviewEpsilon opts browse maps into the ε-approximate reduced
+	// tier: when the estimator carries one (zoom stacks over pyramids
+	// ≥ 3 levels deep), overview tile maps are served from 1/16 the
+	// lattice memory whenever every tile certifies within
+	// OverviewEpsilon·|tile| objects of the exact answer; uncertifiable
+	// or drill-depth maps fall back to the exact sweep. Served responses
+	// carry the certified bound in approxErrorBound. 0 disables —
+	// every map is exact.
+	OverviewEpsilon float64
 
 	// sem and pool, when set, share one tile-row worker pool across
 	// servers (the Registry sets them so N tenants contend for one CPU
@@ -143,8 +152,10 @@ type Server struct {
 	pool    *poolMetrics
 	tenant  string
 	limiter *Limiter
+	epsilon float64 // ε-approximate overview serving; 0 = exact only
 	drain   atomic.Bool
 
+	approx *telemetry.Counter // browse maps served from the reduced tier
 	warms  *telemetry.Counter // drill-triggered cache warmups
 	warmWG sync.WaitGroup     // in-flight warmers, awaited by tests and Close paths
 }
@@ -179,6 +190,7 @@ func NewSourceServer(name string, src EstimatorSource, opts Options) *Server {
 		pool:    opts.pool,
 		tenant:  opts.Tenant,
 		limiter: opts.Limiter,
+		epsilon: opts.OverviewEpsilon,
 	}
 	if s.sem == nil {
 		s.sem = make(chan struct{}, opts.Workers)
@@ -190,6 +202,8 @@ func NewSourceServer(name string, src EstimatorSource, opts Options) *Server {
 	}
 	s.warms = opts.Telemetry.Counter("geobrowse_drill_warm_total",
 		"Browse-cache entries pre-populated by drill-down requests.", warmLabels...)
+	s.approx = opts.Telemetry.Counter("geobrowse_approx_maps_total",
+		"Browse maps served from the ε-approximate reduced tier.", warmLabels...)
 	m := newHTTPMetrics(opts.Telemetry, opts.accessLogger(), opts.Tenant)
 	s.mux.HandleFunc("GET /api/info", m.wrap("/api/info", s.handleInfo))
 	s.mux.HandleFunc("GET /api/query", m.wrap("/api/query", s.admit(s.handleQuery)))
@@ -262,6 +276,10 @@ type BrowseResponse struct {
 	Cols  int            `json:"cols"`
 	Rows  int            `json:"rows"`
 	Tiles []TileEstimate `json:"tiles"` // row-major from the south-west
+	// ApproxErrorBound, present only when the map was served from the
+	// ε-approximate reduced tier, is the largest certified per-tile
+	// additive error (in objects). Absent means every tile is exact.
+	ApproxErrorBound *float64 `json:"approxErrorBound,omitempty"`
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -315,8 +333,28 @@ func (s *Server) handleBrowse(w http.ResponseWriter, r *http.Request) {
 // response for one tiling against a pinned estimator — the shared body of
 // handleBrowse and the drill-triggered cache warmer.
 func (s *Server) browseBytes(est core.Estimator, gen uint64, span grid.Span, cols, rows int) ([]byte, error) {
-	key := browseKey(gen, resolvedLevel(est, span, cols, rows), span, cols, rows, "")
+	// ε-opted servers key their entries on a distinct facet: whether a
+	// map is served approximately depends on the data (certification),
+	// so its bytes must never collide with an exact-only server's.
+	facet := ""
+	z, _ := est.(*core.Zoom)
+	tryApprox := s.epsilon > 0 && z != nil
+	if tryApprox {
+		facet = fmt.Sprintf("~%g", s.epsilon)
+	}
+	key := browseKey(gen, resolvedLevel(est, span, cols, rows), span, cols, rows, facet)
 	return s.cache.Do(key, func() ([]byte, error) {
+		if tryApprox {
+			if ests, bound, ok := z.EstimateGridApprox(span, cols, rows, s.epsilon); ok {
+				s.approx.Inc()
+				resp := BrowseResponse{
+					Cols: cols, Rows: rows,
+					Tiles:            TileEstimates(s.g, span, cols, rows, ests),
+					ApproxErrorBound: &bound,
+				}
+				return json.Marshal(resp)
+			}
+		}
 		ests, err := s.estimateTiles(est, span, cols, rows)
 		if err != nil {
 			return nil, err

@@ -162,6 +162,7 @@ func (s *Store) release(snap *Snapshot) { snap.refs.Add(-1) }
 // one request; holding it indefinitely only costs the store a recyclable
 // buffer. This is the geobrowse.PinnedEstimatorSource contract.
 func (s *Store) AcquireEstimator() (core.Estimator, uint64, func()) {
+	s.reads.Add(1)
 	snap := s.acquireSnapshot()
 	var once sync.Once
 	return snap.Est, snap.Gen, func() { once.Do(func() { s.release(snap) }) }

@@ -123,6 +123,15 @@ type Config struct {
 	// PyramidMinGrid stops coarsening before either axis would drop below
 	// this many cells. 0 means euler.DefaultPyramidMinGrid.
 	PyramidMinGrid int
+	// PackColdPublishes demotes the published estimator to the packed
+	// int32 lattice tier after this many consecutive publishes during
+	// which no reader acquired an estimator: cold datasets then serve
+	// bit-identical answers from a quarter of the lattice bytes. Any
+	// acquisition between publishes promotes the next publish back to
+	// the full tier (and its zoom stack). <= 0 disables demotion; it is
+	// also skipped when a partition's count overflows the packed
+	// representation.
+	PackColdPublishes int
 	// Telemetry receives the store's metrics; nil means telemetry.Default().
 	Telemetry *telemetry.Registry
 }
@@ -162,6 +171,12 @@ func (c Config) groups() int {
 	return 1
 }
 
+// Lattice tiers a publish can select between (Snapshot.Tier, Status.Tier).
+const (
+	TierFull   = "full"
+	TierPacked = "packed"
+)
+
 // Snapshot is one immutable generation of the store: a finalized estimator
 // plus its provenance. Snapshots are safe for unlimited concurrent queries
 // and never change after publication.
@@ -181,6 +196,10 @@ type Snapshot struct {
 	Seq int64
 	// BuiltAt is when the generation was published.
 	BuiltAt time.Time
+	// Tier is the lattice representation serving this generation:
+	// TierFull (int64 lattices, zoom stack when pyramids are enabled) or
+	// TierPacked (int32-packed lattices for read-cold stores).
+	Tier string
 
 	// refs pins the generation's histogram buffers against arena reuse:
 	// initialized to 1 (the published ref, dropped on retirement), raised
@@ -207,11 +226,15 @@ type Store struct {
 	rebuildMu sync.Mutex // serializes rebuilds so generations publish in order
 	lastHists []*euler.Histogram
 	lastPyrs  []*euler.Pyramid // nil entries when pyramids are disabled
-	arena     *genArena
-	snap      atomic.Pointer[Snapshot]
-	gen       atomic.Uint64
-	pending   atomic.Int64 // mutations applied since the last rebuild
-	visible   atomic.Int64 // sequence the published snapshot is exact through
+	coldRuns  int              // consecutive publishes with zero reads (rebuildMu)
+	lastTier  string           // tier of the published estimator (rebuildMu)
+
+	reads   atomic.Int64 // estimator acquisitions since the last rebuild
+	arena   *genArena
+	snap    atomic.Pointer[Snapshot]
+	gen     atomic.Uint64
+	pending atomic.Int64 // mutations applied since the last rebuild
+	visible atomic.Int64 // sequence the published snapshot is exact through
 
 	rejected atomic.Int64
 
@@ -430,6 +453,22 @@ func (s *Store) rebuild() {
 	defer s.rebuildMu.Unlock()
 	start := time.Now()
 
+	// Tier selection: a publish with no estimator acquisitions since the
+	// previous one is a cold run; enough consecutive cold runs demote the
+	// next generation to the packed tier. The initial publish is always
+	// full — nothing could have read yet.
+	if s.snap.Load() != nil {
+		if s.reads.Swap(0) > 0 {
+			s.coldRuns = 0
+		} else {
+			s.coldRuns++
+		}
+	}
+	wantTier := TierFull
+	if s.cfg.PackColdPublishes > 0 && s.coldRuns >= s.cfg.PackColdPublishes {
+		wantTier = TierPacked
+	}
+
 	lattice := (2*s.cfg.Grid.NX() - 1) * (2*s.cfg.Grid.NY() - 1)
 	hists := make([]*euler.Histogram, len(s.builders))
 	dmg := make([]euler.DirtyRegion, len(s.builders))
@@ -472,7 +511,7 @@ func (s *Store) rebuild() {
 			changed = true
 		}
 	}
-	if !changed && prevSnap != nil {
+	if !changed && prevSnap != nil && wantTier == s.lastTier {
 		// Every mutation since the last publish was rejected or net-zero:
 		// the published snapshot is already exact. Skip the generation
 		// bump so browse caches stay warm. The snapshot is nonetheless
@@ -488,7 +527,11 @@ func (s *Store) rebuild() {
 	}
 
 	pyrs := s.derivePyramids(hists, dmg, leases)
-	est := s.estimatorFor(hists, pyrs)
+	est, packedBytes := s.estimatorFor(hists, pyrs, wantTier)
+	tier := TierFull
+	if packedBytes > 0 {
+		tier = TierPacked
+	}
 	snap := &Snapshot{
 		Gen:       s.gen.Add(1),
 		Est:       est,
@@ -496,6 +539,7 @@ func (s *Store) rebuild() {
 		Mutations: applied,
 		Seq:       seq,
 		BuiltAt:   time.Now(),
+		Tier:      tier,
 	}
 	snap.refs.Store(1) // the published ref, dropped at retirement
 
@@ -519,9 +563,17 @@ func (s *Store) rebuild() {
 	old := s.snap.Swap(snap)
 	s.visible.Store(seq)
 	s.pending.Store(0)
+	s.lastTier = tier
 	if old != nil {
 		s.release(old)
 	}
+
+	fullBytes := 0
+	for _, h := range hists {
+		fullBytes += h.LatticeBytes()
+	}
+	s.m.latticeFull.Set(int64(fullBytes))
+	s.m.latticePacked.Set(int64(packedBytes))
 
 	if incremental {
 		s.m.rebuildIncremental.Inc()
@@ -583,35 +635,90 @@ func (s *Store) pyrAt(pyrs []*euler.Pyramid, i int) *euler.Pyramid {
 	return pyrs[i]
 }
 
-// estimatorFor assembles the configured estimator from finalized
-// histograms — zoom-routing stacks when pyramids are enabled. The config
-// was validated at Open and every histogram shares the store's grid, so
-// assembly cannot fail.
-func (s *Store) estimatorFor(hists []*euler.Histogram, pyrs []*euler.Pyramid) core.Estimator {
+// estimatorFor assembles the estimator for a publish. The full tier is
+// the configured algorithm over the int64 lattices — zoom-routing stacks
+// with an attached ε-approximate overview when pyramids are enabled. The
+// packed tier re-expresses every lattice as int32 prefix sums (answers
+// stay bit-identical; see euler.PackedHistogram) and carries no zoom
+// stack: it exists for read-cold stores where nobody is browsing.
+// packedBytes reports the packed lattices' resident bytes, 0 when the
+// publish is full-tier (including a refused demotion on count overflow).
+// The config was validated at Open and every histogram shares the store's
+// grid, so assembly cannot fail.
+func (s *Store) estimatorFor(hists []*euler.Histogram, pyrs []*euler.Pyramid, tier string) (est core.Estimator, packedBytes int) {
+	if tier == TierPacked {
+		if est, packedBytes = s.packedEstimator(hists); est != nil {
+			return est, packedBytes
+		}
+	}
 	switch s.cfg.Algo {
 	case AlgoSEuler:
 		if pyrs != nil {
-			return core.ZoomSEuler(pyrs[0])
+			return s.withOverview(core.ZoomSEuler(pyrs[0]), pyrs[:1]), 0
 		}
-		return core.NewSEuler(hists[0])
+		return core.NewSEuler(hists[0]), 0
 	case AlgoEuler:
 		if pyrs != nil {
-			return core.ZoomEuler(pyrs[0])
+			return s.withOverview(core.ZoomEuler(pyrs[0]), pyrs[:1]), 0
 		}
-		return core.NewEuler(hists[0])
+		return core.NewEuler(hists[0]), 0
 	default:
 		if pyrs != nil {
 			z, err := core.ZoomMEuler(s.cfg.Areas, pyrs)
 			if err != nil {
 				panic(fmt.Sprintf("live: rebuilding validated config: %v", err))
 			}
-			return z
+			return s.withOverview(z, pyrs), 0
 		}
 		m, err := core.MEulerFromHistograms(s.cfg.Areas, hists)
 		if err != nil {
 			panic(fmt.Sprintf("live: rebuilding validated config: %v", err))
 		}
-		return m
+		return m, 0
+	}
+}
+
+// withOverview attaches the ε-approximate reduced tier to a zoom stack
+// when the pyramids are deep enough to derive one. Attachment costs no
+// lattice memory (the reduced lattices share the pyramid levels) and is
+// inert until a caller opts in with a positive ε, so every zoom publish
+// gets one.
+func (s *Store) withOverview(z *core.Zoom, pyrs []*euler.Pyramid) *core.Zoom {
+	depth := pyrs[0].Levels()
+	for _, p := range pyrs[1:] {
+		depth = min(depth, p.Levels())
+	}
+	if o, ok := core.OverviewFromPyramids(pyrs, core.OverviewShift(depth)); ok {
+		z.AttachOverview(o)
+	}
+	return z
+}
+
+// packedEstimator assembles the cold-tier estimator over int32-packed
+// lattices, or returns nil when a partition's count overflows the packed
+// representation (the publish then stays full-tier).
+func (s *Store) packedEstimator(hists []*euler.Histogram) (core.Estimator, int) {
+	lats := make([]euler.Lattice, len(hists))
+	bytes := 0
+	for i, h := range hists {
+		p, ok := h.Pack()
+		if !ok {
+			return nil, 0
+		}
+		lats[i] = p
+		bytes += p.LatticeBytes()
+	}
+	switch s.cfg.Algo {
+	case AlgoSEuler:
+		return core.NewSEuler(lats[0]), bytes
+	case AlgoEuler:
+		return core.NewEuler(lats[0]), bytes
+	default:
+		m, err := core.MEulerFromLattices(s.cfg.Areas, lats)
+		if err != nil {
+			panic(fmt.Sprintf("live: rebuilding validated config: %v", err))
+		}
+		return m, bytes
 	}
 }
 
@@ -651,6 +758,7 @@ func (s *Store) Snapshot() *Snapshot {
 // are withdrawn from recycling; bounded readers should use
 // AcquireEstimator.
 func (s *Store) CurrentEstimator() (core.Estimator, uint64) {
+	s.reads.Add(1)
 	snap := s.acquireSnapshot()
 	snap.leaked.Store(true)
 	s.release(snap)
@@ -688,8 +796,11 @@ type Status struct {
 	GridNX          int     `json:"gridNX"`
 	GridNY          int     `json:"gridNY"`
 	// PyramidLevels is the number of coarse levels above the base in the
-	// current snapshot's zoom stack; 0 when pyramids are disabled.
+	// current snapshot's zoom stack; 0 when pyramids are disabled or the
+	// snapshot is packed-tier (the packed tier carries no zoom stack).
 	PyramidLevels int `json:"pyramidLevels"`
+	// Tier is the published snapshot's lattice tier: "full" or "packed".
+	Tier string `json:"tier"`
 	// AppliedSeq is the replication sequence the builders have consumed:
 	// the store's own WAL size for journaled stores, the shipped leader
 	// offset for read replicas (see Store.Seq).
@@ -737,6 +848,7 @@ func (s *Store) Status() Status {
 		GridNX:          s.cfg.Grid.NX(),
 		GridNY:          s.cfg.Grid.NY(),
 		PyramidLevels:   pyramidLevels,
+		Tier:            snap.Tier,
 		AppliedSeq:      seq,
 		SnapshotSeq:     s.visible.Load(),
 	}

@@ -19,6 +19,12 @@ import "spatialhist/internal/telemetry"
 //	live_store_objects              objects in the current snapshot
 //	live_pending_mutations          mutations not yet in a snapshot
 //	live_last_rebuild_unix_seconds  when the current snapshot was built
+//	euler_lattice_bytes{tier}       resident lattice bytes by tier: "full"
+//	                                is the builders' int64 lattices (always
+//	                                resident — they are the rebuild donors),
+//	                                "packed" the int32 copies serving a
+//	                                packed-tier snapshot, 0 on full-tier
+//	                                publishes
 type metrics struct {
 	inserts, deletes, updates *telemetry.Counter
 	rejected                  *telemetry.Counter
@@ -32,6 +38,8 @@ type metrics struct {
 	objects                   *telemetry.Gauge
 	pendingG                  *telemetry.Gauge
 	lastRebuild               *telemetry.Gauge
+	latticeFull               *telemetry.Gauge
+	latticePacked             *telemetry.Gauge
 }
 
 // rebuildBuckets span one sweep of a small lattice (~100µs) to a full
@@ -46,6 +54,8 @@ var rebuildBuckets = []float64{
 var dirtyFracBuckets = []float64{
 	0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 0.75, 1,
 }
+
+const latticeBytesHelp = "Resident Euler-lattice bytes by representation tier."
 
 func newMetrics(reg *telemetry.Registry) *metrics {
 	if reg == nil {
@@ -79,6 +89,10 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 			"Mutations applied since the published snapshot was built."),
 		lastRebuild: reg.Gauge("live_last_rebuild_unix_seconds",
 			"Unix time the published snapshot was built."),
+		latticeFull: reg.Gauge("euler_lattice_bytes",
+			latticeBytesHelp, "tier", "full"),
+		latticePacked: reg.Gauge("euler_lattice_bytes",
+			latticeBytesHelp, "tier", "packed"),
 	}
 }
 

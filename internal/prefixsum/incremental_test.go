@@ -118,6 +118,58 @@ func TestTiled2DMatchesSum2D(t *testing.T) {
 	}
 }
 
+// TestTiled2DRebuildRegionBoundaries pins the boundary cases of
+// RebuildRegion: regions clipped against the array edges (including edges
+// of partial tiles when the dimensions don't divide by the block size),
+// single-cell regions, and regions spanning tile seams — where the dirty
+// box touches more than one tile and the w/ta aggregates must be repaired
+// across the seam.
+func TestTiled2DRebuildRegionBoundaries(t *testing.T) {
+	const b = 16
+	// 150×190 leaves partial tiles on the right/top; 64×64 divides evenly.
+	for _, dim := range [][2]int{{150, 190}, {64, 64}, {b, b}, {b - 1, 2*b + 3}} {
+		nx, ny := dim[0], dim[1]
+		rng := rand.New(rand.NewSource(int64(7 + nx)))
+		src := randArray(rng, nx*ny)
+		tiled := NewTiled2D(src, nx, ny, b)
+		regions := [][4]int{
+			{0, 0, 0, 0},                                     // single cell at the origin corner
+			{nx - 1, ny - 1, nx - 1, ny - 1},                 // single cell at the far corner
+			{nx / 2, ny / 2, nx / 2, ny / 2},                 // single interior cell
+			{0, 0, nx - 1, 0},                                // first-column strip, clipped at both u edges
+			{0, ny - 1, nx - 1, ny - 1},                      // last-column strip
+			{0, 0, 0, ny - 1},                                // first-row strip, clipped at both v edges
+			{nx - 1, 0, nx - 1, ny - 1},                      // last-row strip
+			{0, 0, nx - 1, ny - 1},                           // the whole array
+			{min(b-1, nx-1), 0, min(b, nx-1), 0},             // spans the first row seam
+			{0, min(b-1, ny-1), 0, min(b, ny-1)},             // spans the first column seam
+			{max(0, nx-b-1), max(0, ny-b-1), nx - 1, ny - 1}, // seam-crossing box clipped at the far edges
+		}
+		for ri, reg := range regions {
+			u1, v1, u2, v2 := reg[0], reg[1], reg[2], reg[3]
+			for u := u1; u <= u2; u++ {
+				for v := v1; v <= v2; v++ {
+					src[u*ny+v] += int64(rng.Intn(9) - 4)
+				}
+			}
+			tiled.RebuildRegion(src, u1, v1, u2, v2)
+			flat := NewSum2D(src, nx, ny)
+			if tiled.Total() != flat.Total() {
+				t.Fatalf("%dx%d region %d [%d..%d]x[%d..%d]: Total = %d, want %d",
+					nx, ny, ri, u1, u2, v1, v2, tiled.Total(), flat.Total())
+			}
+			for q := 0; q < 200; q++ {
+				i1, j1 := rng.Intn(nx)-1, rng.Intn(ny)-1
+				i2, j2 := i1+rng.Intn(nx+1), j1+rng.Intn(ny+1)
+				if got, want := tiled.RangeSum(i1, j1, i2, j2), flat.RangeSum(i1, j1, i2, j2); got != want {
+					t.Fatalf("%dx%d region %d [%d..%d]x[%d..%d]: RangeSum(%d,%d,%d,%d) = %d, want %d",
+						nx, ny, ri, u1, u2, v1, v2, i1, j1, i2, j2, got, want)
+				}
+			}
+		}
+	}
+}
+
 func TestTiled2DRebuildRegion(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	nx, ny := 150, 190

@@ -1,0 +1,123 @@
+package prefixsum
+
+import "math"
+
+// Sum2DPacked is the int32-packed form of a Sum2D: the same prefix values
+// at half the bytes. Packing is exact, not lossy — it exists only when
+// every prefix value fits int32, which PackSum2D verifies, so every range
+// sum assembled from a packed plane (widened to int64 before combining) is
+// bit-identical to the flat form's.
+//
+// For the Euler-histogram cumulative lattice the fit condition reduces to
+// the dataset size: each object contributes 0 or 1 to any lattice-rectangle
+// prefix (its per-axis signed interval sums telescope to {0,1}), so every
+// prefix value lies in [0, n] and a dataset of at most MaxInt32 objects
+// always packs. Promotion back to int64 is Unpack; a packed plane itself is
+// immutable, so overflow can only be introduced at (re)pack time, where it
+// is checked.
+type Sum2DPacked struct {
+	nx, ny int
+	p      []int32
+}
+
+// PackSum2D packs a flat prefix plane to int32. ok is false — and the
+// packed plane nil — when any prefix value overflows int32; callers then
+// stay on (or promote to) the int64 form.
+func PackSum2D(s *Sum2D) (*Sum2DPacked, bool) {
+	p := make([]int32, len(s.p))
+	for i, v := range s.p {
+		if v > math.MaxInt32 || v < math.MinInt32 {
+			return nil, false
+		}
+		p[i] = int32(v)
+	}
+	return &Sum2DPacked{nx: s.nx, ny: s.ny, p: p}, true
+}
+
+// Unpack promotes the packed plane back to the flat int64 form — the
+// checked promotion path when a dataset outgrows the packed tier.
+func (s *Sum2DPacked) Unpack() *Sum2D {
+	p := make([]int64, len(s.p))
+	for i, v := range s.p {
+		p[i] = int64(v)
+	}
+	return &Sum2D{nx: s.nx, ny: s.ny, p: p}
+}
+
+// NX returns the first dimension size.
+func (s *Sum2DPacked) NX() int { return s.nx }
+
+// NY returns the second dimension size.
+func (s *Sum2DPacked) NY() int { return s.ny }
+
+// Bytes returns the payload size of the packed plane.
+func (s *Sum2DPacked) Bytes() int { return 4 * len(s.p) }
+
+// Total returns the sum of the whole array.
+func (s *Sum2DPacked) Total() int64 {
+	if s.nx == 0 || s.ny == 0 {
+		return 0
+	}
+	return int64(s.p[s.nx*s.ny-1])
+}
+
+// at returns P(i,j) with the convention P(-1,·) = P(·,-1) = 0.
+func (s *Sum2DPacked) at(i, j int) int64 {
+	if i < 0 || j < 0 {
+		return 0
+	}
+	return int64(s.p[i*s.ny+j])
+}
+
+// PrefixAt returns the prefix value P(i, j) with Sum2D.PrefixAt's boundary
+// conventions: negative coordinates yield 0, overshoot clamps.
+func (s *Sum2DPacked) PrefixAt(i, j int) int64 {
+	if i < 0 || j < 0 {
+		return 0
+	}
+	if i >= s.nx {
+		i = s.nx - 1
+	}
+	if j >= s.ny {
+		j = s.ny - 1
+	}
+	return int64(s.p[i*s.ny+j])
+}
+
+// Row returns the packed prefix row P(i, ·) with Sum2D.Row's conventions:
+// overshoot clamps, a negative coordinate returns nil. Batch kernels widen
+// the values to int64 as they gather, so sums assembled from packed rows
+// are bit-identical to the flat path's.
+func (s *Sum2DPacked) Row(i int) []int32 {
+	if i < 0 {
+		return nil
+	}
+	if i >= s.nx {
+		i = s.nx - 1
+	}
+	return s.p[i*s.ny : (i+1)*s.ny]
+}
+
+// RangeSum returns the sum of src over the inclusive range
+// [i1..i2]×[j1..j2], clamped like Sum2D.RangeSum. The four corners are
+// widened to int64 before combining, so the result is bit-identical to the
+// flat form's (each corner is the same value, and the combination is the
+// same int64 arithmetic).
+func (s *Sum2DPacked) RangeSum(i1, j1, i2, j2 int) int64 {
+	if i1 < 0 {
+		i1 = 0
+	}
+	if j1 < 0 {
+		j1 = 0
+	}
+	if i2 >= s.nx {
+		i2 = s.nx - 1
+	}
+	if j2 >= s.ny {
+		j2 = s.ny - 1
+	}
+	if i1 > i2 || j1 > j2 {
+		return 0
+	}
+	return s.at(i2, j2) - s.at(i1-1, j2) - s.at(i2, j1-1) + s.at(i1-1, j1-1)
+}

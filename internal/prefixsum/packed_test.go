@@ -1,0 +1,106 @@
+package prefixsum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPackSum2DMatchesFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, dim := range [][2]int{{1, 1}, {5, 9}, {64, 64}, {130, 70}, {200, 257}} {
+		nx, ny := dim[0], dim[1]
+		src := randArray(rng, nx*ny)
+		flat := NewSum2D(src, nx, ny)
+		packed, ok := PackSum2D(flat)
+		if !ok {
+			t.Fatalf("%dx%d: pack failed on small values", nx, ny)
+		}
+		if packed.NX() != nx || packed.NY() != ny {
+			t.Fatalf("dimensions %dx%d, want %dx%d", packed.NX(), packed.NY(), nx, ny)
+		}
+		if packed.Total() != flat.Total() {
+			t.Fatalf("Total = %d, want %d", packed.Total(), flat.Total())
+		}
+		if packed.Bytes() != 4*nx*ny {
+			t.Fatalf("Bytes = %d, want %d", packed.Bytes(), 4*nx*ny)
+		}
+		for trial := 0; trial < 300; trial++ {
+			i1, j1 := rng.Intn(nx)-1, rng.Intn(ny)-1
+			i2, j2 := i1+rng.Intn(nx+2), j1+rng.Intn(ny+2)
+			if got, want := packed.RangeSum(i1, j1, i2, j2), flat.RangeSum(i1, j1, i2, j2); got != want {
+				t.Fatalf("RangeSum(%d,%d,%d,%d) = %d, want %d", i1, j1, i2, j2, got, want)
+			}
+			if got, want := packed.PrefixAt(i2, j2), flat.PrefixAt(i2, j2); got != want {
+				t.Fatalf("PrefixAt(%d,%d) = %d, want %d", i2, j2, got, want)
+			}
+		}
+		// Row conventions match the flat plane's.
+		if packed.Row(-1) != nil {
+			t.Fatal("Row(-1) should be nil")
+		}
+		over := packed.Row(nx + 5)
+		for j, v := range flat.Row(nx + 5) {
+			if int64(over[j]) != v {
+				t.Fatalf("clamped Row[%d] = %d, want %d", j, over[j], v)
+			}
+		}
+		assertEqualSum2D(t, flat, packed.Unpack())
+	}
+}
+
+func TestPackSum2DRefusesOverflow(t *testing.T) {
+	for _, v := range []int64{math.MaxInt32 + 1, math.MinInt32 - 1} {
+		s := NewSum2D([]int64{v, 0, 0, 0}, 2, 2)
+		if p, ok := PackSum2D(s); ok || p != nil {
+			t.Fatalf("pack of prefix value %d should fail", v)
+		}
+	}
+	// The extreme representable values still pack exactly.
+	s := NewSum2D([]int64{math.MaxInt32, math.MinInt32 - math.MaxInt32}, 2, 1)
+	p, ok := PackSum2D(s)
+	if !ok {
+		t.Fatal("pack of int32-representable prefixes should succeed")
+	}
+	if p.PrefixAt(0, 0) != math.MaxInt32 || p.PrefixAt(1, 0) != math.MinInt32 {
+		t.Fatalf("extreme prefixes corrupted: %d, %d", p.PrefixAt(0, 0), p.PrefixAt(1, 0))
+	}
+}
+
+func TestCloneInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	nx, ny := 40, 30
+	s := NewSum2D(randArray(rng, nx*ny), nx, ny)
+
+	// Matching buffer: reused in place, content identical.
+	dst := NewSum2D(randArray(rng, nx*ny), nx, ny)
+	p0 := &dst.p[0]
+	got := s.CloneInto(dst)
+	if got != dst || &got.p[0] != p0 {
+		t.Fatal("CloneInto did not reuse the destination buffer")
+	}
+	assertEqualSum2D(t, s, got)
+
+	// The clone is independent of the source.
+	got.p[0]++
+	if s.p[0] == got.p[0] {
+		t.Fatal("CloneInto aliased the source buffer")
+	}
+
+	// nil, self and mismatched destinations fall back to a fresh clone.
+	for name, dst := range map[string]*Sum2D{
+		"nil":      nil,
+		"self":     s,
+		"mismatch": NewSum2D(make([]int64, 6), 2, 3),
+	} {
+		got := s.CloneInto(dst)
+		if got == s {
+			t.Fatalf("%s: CloneInto returned the source", name)
+		}
+		assertEqualSum2D(t, s, got)
+		got.p[0]++
+		if s.p[0] == got.p[0] {
+			t.Fatalf("%s: fallback clone aliased the source", name)
+		}
+	}
+}

@@ -58,6 +58,20 @@ func (s *Sum2D) Clone() *Sum2D {
 	return &Sum2D{nx: s.nx, ny: s.ny, p: p}
 }
 
+// CloneInto copies s into dst's buffer and returns dst, falling back to a
+// fresh Clone when dst is nil or its buffer has the wrong size. It is the
+// allocation-free sibling of Clone for callers holding a recycled buffer of
+// the same dimensions — a donated arena lease whose content is unrelated
+// but whose storage is reusable.
+func (s *Sum2D) CloneInto(dst *Sum2D) *Sum2D {
+	if dst == nil || dst == s || len(dst.p) != len(s.p) {
+		return s.Clone()
+	}
+	dst.nx, dst.ny = s.nx, s.ny
+	copy(dst.p, s.p)
+	return dst
+}
+
 // fill computes the two prefix passes over src into s.p. Pass one (prefix
 // along y) is independent per row; pass two (prefix along x) is
 // independent per column, so each parallelizes over disjoint chunks.
