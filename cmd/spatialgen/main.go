@@ -15,6 +15,8 @@ import (
 	"strings"
 
 	"spatialhist/internal/dataset"
+	"spatialhist/internal/euler"
+	"spatialhist/internal/grid"
 )
 
 func main() {
@@ -25,6 +27,12 @@ func main() {
 		out     = flag.String("out", "", "output file (omit to skip writing)")
 		outCSV  = flag.String("csv", "", "also write the dataset as x1,y1,x2,y2 CSV")
 		summary = flag.Bool("summary", false, "print the distribution summary and center plot")
+		poly    = flag.Bool("poly", false, "inscribe simple polygons into the MBRs and rasterize them")
+		stars   = flag.Float64("stars", 0.25, "with -poly: fraction of concave star polygons")
+		rectsF  = flag.Float64("rects", 0.2, "with -poly: fraction kept as exact rectangles")
+		nx      = flag.Int("nx", 360, "with -poly: histogram grid cells along x")
+		ny      = flag.Int("ny", 180, "with -poly: histogram grid cells along y")
+		hist    = flag.String("hist", "", "with -poly: write the rasterized histogram (SPHEUL03) here")
 	)
 	flag.Parse()
 
@@ -47,6 +55,42 @@ func main() {
 			fatal(err)
 		}
 		report(*out)
+	}
+	if *poly {
+		pd := dataset.Polygonize(d, *seed, *stars, *rectsF)
+		fmt.Println(pd)
+		g := grid.New(d.Extent, *nx, *ny)
+		b := euler.NewBuilder(g)
+		components, skipped := 0, 0
+		for _, p := range pd.Polys {
+			rs := g.Rasterize(p)
+			if len(rs) == 0 {
+				skipped++ // degenerate or sub-cell slivers that cover nothing
+				continue
+			}
+			for _, rst := range rs {
+				b.AddRaster(rst)
+			}
+			components += len(rs)
+		}
+		h := b.Build()
+		partial, _ := h.PartialIn(grid.Span{I1: 0, J1: 0, I2: g.NX() - 1, J2: g.NY() - 1})
+		fmt.Printf("rasterized %d components on %v (%d skipped, %d partial-cell incidences)\n",
+			components, g, skipped, partial)
+		if *hist != "" {
+			f, err := os.Create(*hist)
+			if err != nil {
+				fatal(err)
+			}
+			err = h.WriteCompact(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fatal(err)
+			}
+			report(*hist)
+		}
 	}
 	if *outCSV != "" {
 		f, err := os.Create(*outCSV)

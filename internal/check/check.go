@@ -59,6 +59,10 @@ type Divergence struct {
 	Grid string `json:"grid,omitempty"`
 	// Rects is the minimized dataset, when the check is dataset-shaped.
 	Rects []geom.Rect `json:"rects,omitempty"`
+	// Polys and PolysB are the minimized polygon datasets (per join side),
+	// for the rasterized-object checks.
+	Polys  []geom.Polygon `json:"polys,omitempty"`
+	PolysB []geom.Polygon `json:"polysB,omitempty"`
 	// Mutations is the minimized mutation stream, for the live checks.
 	Mutations []gen.Mutation `json:"mutations,omitempty"`
 	// Query is the minimized diverging query span, when query-shaped.
@@ -82,6 +86,12 @@ func (d *Divergence) String() string {
 	}
 	if len(d.Rects) > 0 {
 		s += fmt.Sprintf("\n  rects (%d, minimized): %v", len(d.Rects), d.Rects)
+	}
+	if len(d.Polys) > 0 {
+		s += fmt.Sprintf("\n  polys (%d, minimized): %v", len(d.Polys), d.Polys)
+	}
+	if len(d.PolysB) > 0 {
+		s += fmt.Sprintf("\n  polysB (%d, minimized): %v", len(d.PolysB), d.PolysB)
 	}
 	if len(d.Mutations) > 0 {
 		s += fmt.Sprintf("\n  mutations (%d, minimized):", len(d.Mutations))
@@ -176,6 +186,12 @@ func Oracles() []Check {
 			Doc:  "a WAL-shipped follower killed and restarted mid-stream catches up bit-identical to its leader, and serves failover reads identically",
 			Run:  runReplicaFailover,
 		},
+		{
+			Name: "join-vs-exact",
+			Kind: KindOracle,
+			Doc:  "the two-histogram join product sum equals the exact dual-rtree pair count for MBR datasets and the exact summed Euler characteristic for rasterized objects, across lattice tiers and the resampling path",
+			Run:  runJoinVsExact,
+		},
 	}
 }
 
@@ -217,6 +233,12 @@ func Metamorphic() []Check {
 			Kind: KindMetamorphic,
 			Doc:  "zoom-stack estimates equal the base level's for every query, and drill-down through pyramid levels preserves Eq. 11 conservation at every leaf",
 			Run:  runPyramidDrill,
+		},
+		{
+			Name: "raster-vs-mbr-refinement",
+			Kind: KindMetamorphic,
+			Doc:  "for the same objects, the MBR join equals the exact bounding-span pair count, the raster join equals the exact summed Euler characteristic, rasterization never raises the join above its MBR coarsening when all pair characteristics are unit, and aligned-rectangle joins certify exact",
+			Run:  runRasterVsMBR,
 		},
 	}
 }

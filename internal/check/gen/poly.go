@@ -1,0 +1,101 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"spatialhist/internal/geom"
+	"spatialhist/internal/grid"
+)
+
+// PolyOpts parameterizes Polygon/Polygons. The zero value generates mixed
+// convex and star polygons up to 40% of the space per dimension.
+type PolyOpts struct {
+	// MaxCellsX/MaxCellsY bound the polygon bounding box in cells per
+	// dimension; <= 0 means up to 40% of the space.
+	MaxCellsX, MaxCellsY int
+	// StarFrac is the fraction of concave star polygons; the rest are
+	// convex-ish fans. Negative disables stars; zero means the default 1/4.
+	StarFrac float64
+	// Aligned is the fraction of cell-aligned rectangle polygons — the
+	// inputs that rasterize with zero partial cells, exercising the
+	// certification path. Zero means none.
+	Aligned float64
+}
+
+// Polygon generates one random simple polygon strictly inside g's extent.
+// Vertices are radially monotone around a center point (angles strictly
+// increasing), which guarantees simplicity for both the convex fans and
+// the concave stars.
+func Polygon(r *rand.Rand, g *grid.Grid, o PolyOpts) geom.Polygon {
+	ext := g.Extent()
+	cw, ch := g.CellWidth(), g.CellHeight()
+	maxW := 0.4 * ext.Width()
+	if o.MaxCellsX > 0 {
+		maxW = min(float64(o.MaxCellsX)*cw, ext.Width())
+	}
+	maxH := 0.4 * ext.Height()
+	if o.MaxCellsY > 0 {
+		maxH = min(float64(o.MaxCellsY)*ch, ext.Height())
+	}
+
+	if o.Aligned > 0 && r.Float64() < o.Aligned {
+		// Cell-aligned rectangle as a 4-gon: rasterizes to its Snap span
+		// with every cell Full.
+		wc := max(1, int(maxW/cw))
+		hc := max(1, int(maxH/ch))
+		w := 1 + r.Intn(wc)
+		h := 1 + r.Intn(hc)
+		i := r.Intn(g.NX() - w + 1)
+		j := r.Intn(g.NY() - h + 1)
+		rr := g.SpanRect(grid.Span{I1: i, J1: j, I2: i + w - 1, J2: j + h - 1})
+		return geom.Polygon{
+			{X: rr.XMin, Y: rr.YMin}, {X: rr.XMax, Y: rr.YMin},
+			{X: rr.XMax, Y: rr.YMax}, {X: rr.XMin, Y: rr.YMax},
+		}
+	}
+
+	rx := (0.1 + 0.4*r.Float64()) * maxW // semi-axes
+	ry := (0.1 + 0.4*r.Float64()) * maxH
+	cx := ext.XMin + rx + r.Float64()*(ext.Width()-2*rx)
+	cy := ext.YMin + ry + r.Float64()*(ext.Height()-2*ry)
+
+	starFrac := o.StarFrac
+	if starFrac == 0 {
+		starFrac = 0.25
+	}
+	star := starFrac > 0 && r.Float64() < starFrac
+
+	k := 3 + r.Intn(6) // 3..8 angular steps
+	if star {
+		k = 2 * (3 + r.Intn(4)) // even vertex count, alternating radii
+	}
+	// Strictly increasing angles: jittered uniform steps.
+	angles := make([]float64, k)
+	base := r.Float64() * 2 * math.Pi
+	for i := range angles {
+		angles[i] = base + (float64(i)+0.2+0.6*r.Float64())*2*math.Pi/float64(k)
+	}
+	p := make(geom.Polygon, k)
+	for i, a := range angles {
+		f := 0.5 + 0.5*r.Float64() // radial jitter
+		if star {
+			if i%2 == 0 {
+				f = 0.8 + 0.2*r.Float64()
+			} else {
+				f = 0.2 + 0.2*r.Float64()
+			}
+		}
+		p[i] = geom.Point{X: cx + f*rx*math.Cos(a), Y: cy + f*ry*math.Sin(a)}
+	}
+	return p
+}
+
+// Polygons generates n random simple polygons over g.
+func Polygons(r *rand.Rand, g *grid.Grid, n int, o PolyOpts) []geom.Polygon {
+	out := make([]geom.Polygon, n)
+	for i := range out {
+		out[i] = Polygon(r, g, o)
+	}
+	return out
+}

@@ -103,6 +103,69 @@ func runPackedVsFull(seed int64) *Divergence {
 			}
 		}
 	}
+
+	// Multi-span objects: a raster-built histogram carries the partial-cell
+	// class plane through Pack, answers every query family identically, and
+	// joins bit-identically in every tier combination.
+	rg := gen.Grid(r, 24, 24)
+	polys := gen.Polygons(r, rg, 5+r.Intn(6), gen.PolyOpts{Aligned: 0.2})
+	hr, _ := rasterSide(rg, polys)
+	pr, ok := hr.Pack()
+	if !ok {
+		return &Divergence{Check: name, Seed: seed, Grid: gridDesc(rg),
+			Detail: fmt.Sprintf("Pack refused a raster-built count (%d) far inside the int32 range", hr.Count())}
+	}
+	if pr.HasClassPlane() != hr.HasClassPlane() {
+		return &Divergence{Check: name, Seed: seed, Grid: gridDesc(rg), Polys: polys,
+			Detail: "Pack dropped the partial-cell class plane"}
+	}
+	rasterDiverges := func(ps []geom.Polygon, q grid.Span) (got, want string, bad bool) {
+		hh, _ := rasterSide(rg, ps)
+		pp, ok := hh.Pack()
+		if !ok {
+			return "", "", false
+		}
+		probe := func(l euler.Lattice) string {
+			np, nok := l.(interface {
+				PartialIn(grid.Span) (int64, bool)
+			})
+			partial, has := int64(-1), false
+			if nok {
+				partial, has = np.PartialIn(q)
+			}
+			return fmt.Sprintf("%s partial=%d,%v", packedProbe(l, q), partial, has)
+		}
+		got, want = probe(pp), probe(hh)
+		return got, want, got != want
+	}
+	for _, q := range randQueries(r, rg, 12) {
+		if got, want, bad := rasterDiverges(polys, q); bad {
+			min := shrinkSlice(polys, 200, func(cand []geom.Polygon) bool {
+				_, _, b := rasterDiverges(cand, q)
+				return b
+			})
+			got, want, _ = rasterDiverges(min, q)
+			return &Divergence{Check: name, Seed: seed, Grid: gridDesc(rg), Polys: min, Query: &q,
+				Detail: "packed raster lattice diverges from the full lattice", Got: got, Want: want}
+		}
+	}
+	polysB := gen.Polygons(r, rg, 5+r.Intn(6), gen.PolyOpts{Aligned: 0.2})
+	hrB, _ := rasterSide(rg, polysB)
+	prB, okB := hrB.Pack()
+	if okB {
+		wantJoin := productSum(hr, hrB)
+		for tier, pair := range map[string][2]euler.Lattice{
+			"packed+full":   {pr, hrB},
+			"full+packed":   {hr, prB},
+			"packed+packed": {pr, prB},
+		} {
+			if got := productSum(pair[0], pair[1]); got != wantJoin {
+				return &Divergence{Check: name, Seed: seed, Grid: gridDesc(rg), Polys: polys, PolysB: polysB,
+					Detail: fmt.Sprintf("raster %s join diverges from full+full", tier),
+					Got:    got, Want: wantJoin}
+			}
+		}
+	}
 	return nil
 }
 

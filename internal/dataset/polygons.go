@@ -1,0 +1,77 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"spatialhist/internal/geom"
+)
+
+// PolyDataset is a named collection of simple polygon objects within an
+// extent — the beyond-MBR counterpart of Dataset for the rasterized-object
+// pipeline.
+type PolyDataset struct {
+	Name   string
+	Extent geom.Rect
+	Polys  []geom.Polygon
+}
+
+// Len returns the number of objects.
+func (d *PolyDataset) Len() int { return len(d.Polys) }
+
+// String implements fmt.Stringer.
+func (d *PolyDataset) String() string {
+	return fmt.Sprintf("%s: %d polygons in %v", d.Name, len(d.Polys), d.Extent)
+}
+
+// Polygonize derives a polygon dataset from an MBR dataset by inscribing a
+// simple polygon into every rectangle: convex fans on the rectangle's
+// inscribed ellipse, a starFrac fraction of concave stars, and a rectFrac
+// fraction kept as the exact rectangle (a 4-gon whose rasterization has no
+// partial cells on aligned grids). Vertices are radially monotone, so every
+// polygon is simple; all vertices stay inside the source rectangle, so the
+// polygons inherit the dataset's spatial distribution and stay inside the
+// extent. Deterministic given the seed.
+func Polygonize(d *Dataset, seed int64, starFrac, rectFrac float64) *PolyDataset {
+	r := rand.New(rand.NewSource(seed))
+	out := &PolyDataset{Name: d.Name + "_poly", Extent: d.Extent}
+	out.Polys = make([]geom.Polygon, 0, len(d.Rects))
+	for _, rect := range d.Rects {
+		out.Polys = append(out.Polys, inscribe(r, rect, starFrac, rectFrac))
+	}
+	return out
+}
+
+// inscribe draws one simple polygon inside rect.
+func inscribe(r *rand.Rand, rect geom.Rect, starFrac, rectFrac float64) geom.Polygon {
+	if rectFrac > 0 && r.Float64() < rectFrac {
+		return geom.Polygon{
+			{X: rect.XMin, Y: rect.YMin}, {X: rect.XMax, Y: rect.YMin},
+			{X: rect.XMax, Y: rect.YMax}, {X: rect.XMin, Y: rect.YMax},
+		}
+	}
+	cx, cy := (rect.XMin+rect.XMax)/2, (rect.YMin+rect.YMax)/2
+	rx, ry := rect.Width()/2, rect.Height()/2
+	star := starFrac > 0 && r.Float64() < starFrac
+	k := 3 + r.Intn(6)
+	if star {
+		k = 2 * (3 + r.Intn(4))
+	}
+	p := make(geom.Polygon, k)
+	base := r.Float64() * 2 * math.Pi
+	for i := range p {
+		// Jittered strictly increasing angles keep the polygon simple.
+		a := base + (float64(i)+0.2+0.6*r.Float64())*2*math.Pi/float64(k)
+		f := 0.6 + 0.4*r.Float64()
+		if star {
+			if i%2 == 0 {
+				f = 0.8 + 0.2*r.Float64()
+			} else {
+				f = 0.25 + 0.2*r.Float64()
+			}
+		}
+		p[i] = geom.Point{X: cx + f*rx*math.Cos(a), Y: cy + f*ry*math.Sin(a)}
+	}
+	return p
+}

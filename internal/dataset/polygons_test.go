@@ -1,0 +1,58 @@
+package dataset
+
+import "testing"
+
+func TestPolygonize(t *testing.T) {
+	d := SpSkew(500, 7)
+	pd := Polygonize(d, 7, 0.25, 0.2)
+	if pd.Len() != d.Len() {
+		t.Fatalf("Len = %d, want %d", pd.Len(), d.Len())
+	}
+	rects := 0
+	for i, p := range pd.Polys {
+		if !p.Valid() {
+			t.Fatalf("polygon %d invalid: %v", i, p)
+		}
+		// Every vertex stays inside the source rectangle (and so inside
+		// the extent).
+		src := d.Rects[i]
+		for _, v := range p {
+			if v.X < src.XMin-1e-9 || v.X > src.XMax+1e-9 || v.Y < src.YMin-1e-9 || v.Y > src.YMax+1e-9 {
+				t.Fatalf("polygon %d vertex %v escapes source rect %v", i, v, src)
+			}
+		}
+		if len(p) == 4 && p.MBR() == src {
+			rects++
+		}
+	}
+	if rects == 0 {
+		t.Error("rectFrac 0.2 produced no exact rectangles")
+	}
+	// Deterministic given the seed.
+	again := Polygonize(d, 7, 0.25, 0.2)
+	for i := range pd.Polys {
+		for k, v := range pd.Polys[i] {
+			if again.Polys[i][k] != v {
+				t.Fatalf("polygon %d not deterministic", i)
+			}
+		}
+	}
+	if diff := Polygonize(d, 8, 0.25, 0.2); func() bool {
+		for i := range pd.Polys {
+			if len(diff.Polys[i]) != len(pd.Polys[i]) {
+				return false
+			}
+			for k := range pd.Polys[i] {
+				if diff.Polys[i][k] != pd.Polys[i][k] {
+					return false
+				}
+			}
+		}
+		return true
+	}() {
+		t.Error("different seeds produced identical polygons")
+	}
+	if pd.String() == "" {
+		t.Error("String empty")
+	}
+}

@@ -43,6 +43,7 @@ type Builder struct {
 	g      *grid.Grid
 	lx, ly int
 	diff   []int64 // (lx+1)×(ly+1) difference array
+	pdiff  []int64 // optional (nx+1)×(ny+1) partial-cell count difference array
 	n      int64
 	rects  int64 // objects rejected as outside the space
 	dirty  DirtyRegion
@@ -83,6 +84,11 @@ func (b *Builder) AddSpan(s grid.Span) {
 	// A difference-array rectangle update changes the raw prefix only
 	// inside [u1..u2]×[v1..v2]: the four corners cancel everywhere else.
 	b.dirty = b.dirty.Union(DirtyRegion{U1: u1, V1: v1, U2: u2, V2: v2})
+	if b.pdiff != nil {
+		// An MBR span carries no coverage classes; count every cell as
+		// partially covered — conservative, so certificates stay sound.
+		b.planeSpan(s, 1)
+	}
 }
 
 // RemoveSpan deletes one previously inserted object span, supporting
@@ -111,6 +117,9 @@ func (b *Builder) RemoveSpan(s grid.Span) bool {
 	b.diff[(u2+1)*w+v2+1]--
 	b.n--
 	b.dirty = b.dirty.Union(DirtyRegion{U1: u1, V1: v1, U2: u2, V2: v2})
+	if b.pdiff != nil {
+		b.planeSpan(s, -1)
+	}
 	return true
 }
 
@@ -182,6 +191,7 @@ func BuilderFromHistogram(h *Histogram) *Builder {
 	// Entries in the diff array's closing row/column (u = lx or v = ly)
 	// only ever cancel increments and are never read by Build; zero is
 	// consistent with the reconstructed interior.
+	b.restorePlane(h)
 	b.n = h.n
 	return b
 }
@@ -228,6 +238,7 @@ func (b *Builder) buildInto(raw []int64, hc *prefixsum.Sum2D, workers int) *Hist
 		ly: b.ly,
 		h:  raw,
 		hc: hc,
+		pc: b.partialPlane(),
 		n:  b.n,
 	}
 }
@@ -291,6 +302,7 @@ type Histogram struct {
 	lx, ly int
 	h      []int64 // signed buckets, row-major [u*ly+v]
 	hc     *prefixsum.Sum2D
+	pc     *prefixsum.Sum2D // optional nx×ny partial-cell count plane
 	n      int64
 }
 

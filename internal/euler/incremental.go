@@ -195,7 +195,7 @@ func (b *Builder) BuildFrom(prev *Histogram, opts BuildFromOpts) (*Histogram, Bu
 		b.repairInto(h.h, h.hc, rr)
 	}
 	b.dirty = EmptyRegion()
-	return &Histogram{g: b.g, lx: b.lx, ly: b.ly, h: h.h, hc: h.hc, n: b.n},
+	return &Histogram{g: b.g, lx: b.lx, ly: b.ly, h: h.h, hc: h.hc, pc: b.partialPlane(), n: b.n},
 		BuildStats{Incremental: true, Copied: copied, Dirty: r, DirtyFrac: frac}
 }
 

@@ -26,6 +26,12 @@ import (
 //	width   1 byte: bytes per bucket, 4 or 8
 //	buckets (2nx−1)(2ny−1) × int32 or int64 signed bucket values
 //
+// "SPHEUL03" extends SPHEUL02 with the partial-cell class plane of
+// rasterized-object histograms, appended after the buckets:
+//
+//	classes 1 byte: 1 when a plane follows, 0 otherwise
+//	plane   nx·ny × per-cell partial counts at the same bucket width
+//
 // Little-endian throughout. The cumulative form is recomputed on load: it
 // is derived data and rebuilding it is cheaper than shipping it.
 //
@@ -42,8 +48,9 @@ import (
 // server can answer Level 2 queries without ever seeing the objects.
 
 var (
-	histMagic       = [8]byte{'S', 'P', 'H', 'E', 'U', 'L', '0', '1'}
-	histMagicPacked = [8]byte{'S', 'P', 'H', 'E', 'U', 'L', '0', '2'}
+	histMagic        = [8]byte{'S', 'P', 'H', 'E', 'U', 'L', '0', '1'}
+	histMagicPacked  = [8]byte{'S', 'P', 'H', 'E', 'U', 'L', '0', '2'}
+	histMagicClassed = [8]byte{'S', 'P', 'H', 'E', 'U', 'L', '0', '3'}
 )
 
 // Write serializes the histogram to w in the SPHEUL01 (8-byte bucket)
@@ -62,8 +69,12 @@ func (h *Histogram) WriteCompact(w io.Writer) error {
 
 func (h *Histogram) write(w io.Writer, compact bool) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
+	classed := h.pc != nil
 	magic := histMagic
-	if compact {
+	switch {
+	case classed:
+		magic = histMagicClassed
+	case compact:
 		magic = histMagicPacked
 	}
 	if _, err := bw.Write(magic[:]); err != nil {
@@ -85,29 +96,56 @@ func (h *Histogram) write(w io.Writer, compact bool) error {
 		return err
 	}
 	width := 8
-	if compact {
-		if Packable(h.n) {
-			width = 4
-		}
+	if compact && Packable(h.n) {
+		width = 4
+	}
+	if compact || classed {
 		if err := bw.WriteByte(byte(width)); err != nil {
 			return err
 		}
 	}
 	buf := make([]byte, 8)
-	for _, v := range h.h {
+	writeVal := func(v int64) error {
 		if width == 4 {
 			if v > math.MaxInt32 || v < math.MinInt32 {
 				return fmt.Errorf("euler: bucket value %d overflows the packed width (count %d)", v, h.n)
 			}
 			binary.LittleEndian.PutUint32(buf, uint32(int32(v)))
-			if _, err := bw.Write(buf[:4]); err != nil {
-				return err
-			}
-			continue
+			_, err := bw.Write(buf[:4])
+			return err
 		}
 		binary.LittleEndian.PutUint64(buf, uint64(v))
-		if _, err := bw.Write(buf); err != nil {
+		_, err := bw.Write(buf)
+		return err
+	}
+	for _, v := range h.h {
+		if err := writeVal(v); err != nil {
 			return err
+		}
+	}
+	if classed {
+		if err := bw.WriteByte(1); err != nil {
+			return err
+		}
+		// The plane is stored cumulative-only in memory; ship per-cell counts
+		// (2-d backward difference of adjacent cumulative rows), symmetric
+		// with how buckets ship raw and rebuild their cumulative form.
+		nx, ny := h.g.NX(), h.g.NY()
+		var prev []int64
+		for i := 0; i < nx; i++ {
+			row := h.pc.Row(i)
+			var left, prevLeft int64
+			for j := 0; j < ny; j++ {
+				up := int64(0)
+				if prev != nil {
+					up = prev[j]
+				}
+				if err := writeVal(row[j] - left - up + prevLeft); err != nil {
+					return err
+				}
+				left, prevLeft = row[j], up
+			}
+			prev = row
 		}
 	}
 	return bw.Flush()
@@ -122,10 +160,11 @@ func Read(r io.Reader) (*Histogram, error) {
 	if _, err := io.ReadFull(br, m[:]); err != nil {
 		return nil, fmt.Errorf("euler: reading magic: %w", err)
 	}
-	if m != histMagic && m != histMagicPacked {
+	if m != histMagic && m != histMagicPacked && m != histMagicClassed {
 		return nil, fmt.Errorf("euler: bad magic %q", m)
 	}
-	packed := m == histMagicPacked
+	classed := m == histMagicClassed
+	hasWidth := m == histMagicPacked || classed
 	var ext [4]float64
 	for i := range ext {
 		if err := binary.Read(br, binary.LittleEndian, &ext[i]); err != nil {
@@ -156,7 +195,7 @@ func Read(r io.Reader) (*Histogram, error) {
 	g := grid.New(geom.Rect{XMin: ext[0], YMin: ext[1], XMax: ext[2], YMax: ext[3]}, int(nx), int(ny))
 	lx, ly := 2*int(nx)-1, 2*int(ny)-1
 	width := 8
-	if packed {
+	if hasWidth {
 		wb, err := br.ReadByte()
 		if err != nil {
 			return nil, fmt.Errorf("euler: reading bucket width: %w", err)
@@ -182,12 +221,44 @@ func Read(r io.Reader) (*Histogram, error) {
 			buckets = append(buckets, int64(binary.LittleEndian.Uint64(buf)))
 		}
 	}
+	var pc *prefixsum.Sum2D
+	if classed {
+		fb, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("euler: reading class-plane flag: %w", err)
+		}
+		switch fb {
+		case 0:
+		case 1:
+			cells := make([]int64, 0, min(int(nx)*int(ny), 1<<20))
+			for i := 0; i < int(nx)*int(ny); i++ {
+				if _, err := io.ReadFull(br, buf[:width]); err != nil {
+					return nil, fmt.Errorf("euler: reading class plane cell %d: %w", i, err)
+				}
+				var v int64
+				if width == 4 {
+					v = int64(int32(binary.LittleEndian.Uint32(buf[:4])))
+				} else {
+					v = int64(binary.LittleEndian.Uint64(buf))
+				}
+				// A cell's partial count is a count of inserted objects.
+				if v < 0 || uint64(v) > count {
+					return nil, fmt.Errorf("euler: corrupt class plane: cell %d count %d outside [0, %d]", i, v, count)
+				}
+				cells = append(cells, v)
+			}
+			pc = prefixsum.NewSum2D(cells, int(nx), int(ny))
+		default:
+			return nil, fmt.Errorf("euler: invalid class-plane flag %d", fb)
+		}
+	}
 	h := &Histogram{
 		g:  g,
 		lx: lx,
 		ly: ly,
 		h:  buckets,
 		hc: prefixsum.NewSum2D(buckets, lx, ly),
+		pc: pc,
 		n:  int64(count),
 	}
 	if h.Total() != h.n {

@@ -1,0 +1,166 @@
+// Two-histogram join selectivity: the per-cell product sum.
+//
+// For two datasets A and B over the same grid, the number of pairs (a, b)
+// whose rasterizations share at least one cell is recoverable from the two
+// Euler lattices alone. A lattice element (face, edge or vertex) is covered
+// by an object's open polyomino exactly when all its surrounding cells are
+// covered, so the element set of a pairwise intersection is the element-wise
+// AND of the two objects' element sets, and its Euler characteristic is
+// Σ s(u,v) over the common elements with s = +1 on faces and vertices, −1 on
+// edges. Summing over all pairs and swapping the order of summation:
+//
+//	Σ_{a∈A, b∈B} χ(cells(a) ∩ cells(b)) = Σ_{u,v} s(u,v)·rawA(u,v)·rawB(u,v)
+//	                                    = Σ_{u,v} s(u,v)·hA(u,v)·hB(u,v)
+//
+// (the stored buckets h = s·raw make the signs cancel in the product, so
+// one explicit s survives). Each hole-free intersection component counts
+// +1, so for MBR histograms — where every pairwise intersection is a
+// rectangle — the product sum is exactly the number of span-intersecting
+// pairs, and for rasterized objects it is Σχ, the paper-style signed count
+// of intersection regions.
+//
+// The sum needs the raw bucket planes, which the cumulative forms do not
+// expose through the Lattice interface; both resident tiers provide
+// row-major access via RawRow, asserted dynamically so the Lattice
+// interface (and external implementors) stay untouched.
+package euler
+
+import "fmt"
+
+// RawRow returns the signed bucket values of lattice row u (all v). The
+// returned slice aliases the histogram's raw plane and must not be
+// modified; buf is unused on this tier.
+func (h *Histogram) RawRow(u int, buf []int64) []int64 {
+	return h.h[u*h.ly : (u+1)*h.ly]
+}
+
+// RawRow returns the signed bucket values of lattice row u, reconstructed
+// from the packed cumulative plane by 2-d backward differencing into buf
+// (grown when too small). The values are bit-identical to the full tier's.
+func (p *PackedHistogram) RawRow(u int, buf []int64) []int64 {
+	if cap(buf) < p.ly {
+		buf = make([]int64, p.ly)
+	}
+	buf = buf[:p.ly]
+	row := p.hc.Row(u)
+	var prev []int32
+	if u > 0 {
+		prev = p.hc.Row(u - 1)
+	}
+	var left, prevLeft int64
+	for v := 0; v < p.ly; v++ {
+		cur := int64(row[v])
+		up := int64(0)
+		if prev != nil {
+			up = int64(prev[v])
+		}
+		buf[v] = cur - left - up + prevLeft
+		left, prevLeft = cur, up
+	}
+	return buf
+}
+
+// rawRower is the row-major raw-plane access ProductSum needs. Both
+// resident tiers implement it; derived tiers (Reduced) deliberately do not.
+type rawRower interface {
+	RawRow(u int, buf []int64) []int64
+}
+
+// ProductSum computes the join product sum Σ s(u,v)·hA(u,v)·hB(u,v) of two
+// lattices over the same grid in one fused sweep: the exact number of
+// span-intersecting pairs for MBR histograms, and Σ_pairs χ(shared cells)
+// for rasterized objects. The result is bit-identical across tier
+// combinations (full+full, packed+full, packed+packed) because packed rows
+// reconstruct the exact raw values.
+//
+// Each term is bounded by |A|·|B| and the sum by |A|·|B|·lattice; callers
+// joining billions of objects over megacell grids own the int64 headroom.
+func ProductSum(a, b Lattice) (int64, error) {
+	ga, gb := a.Grid(), b.Grid()
+	if ga.NX() != gb.NX() || ga.NY() != gb.NY() || ga.Extent() != gb.Extent() {
+		return 0, fmt.Errorf("euler: product sum over mismatched grids %v and %v", ga, gb)
+	}
+	ra, ok := a.(rawRower)
+	if !ok {
+		return 0, fmt.Errorf("euler: lattice %T does not expose raw rows", a)
+	}
+	rb, ok := b.(rawRower)
+	if !ok {
+		return 0, fmt.Errorf("euler: lattice %T does not expose raw rows", b)
+	}
+	lx, ly := 2*ga.NX()-1, 2*ga.NY()-1
+	var bufA, bufB []int64
+	var sum int64
+	for u := 0; u < lx; u++ {
+		rowA := ra.RawRow(u, bufA)
+		rowB := rb.RawRow(u, bufB)
+		bufA, bufB = rowA, rowB
+		var even, odd int64
+		for v := 0; v < ly-1; v += 2 {
+			even += rowA[v] * rowB[v]
+			odd += rowA[v+1] * rowB[v+1]
+		}
+		if ly&1 == 1 { // ly = 2ny−1 is always odd; the tail v is even
+			even += rowA[ly-1] * rowB[ly-1]
+		}
+		if u&1 == 0 {
+			sum += even - odd
+		} else {
+			sum += odd - even
+		}
+	}
+	return sum, nil
+}
+
+// CoarsenTo derives the Euler histogram of h's objects over the same extent
+// gridded nx×ny, by repeated exact stencil halving (the pyramid
+// derivation): the result is bit-identical to building at nx×ny from the
+// floor-halved spans. It requires the target to be the source divided by
+// the same power of two on both axes, with every intermediate cell count
+// even. Rasterized-object histograms are refused: the halving stencil is
+// exact for per-object lattice rectangles (MBR spans), but a multi-run
+// object whose runs close a one-cell gap under halving would coarsen to a
+// lattice that is no object set's histogram.
+func CoarsenTo(h *Histogram, nx, ny int) (*Histogram, error) {
+	if nx <= 0 || ny <= 0 {
+		return nil, fmt.Errorf("euler: coarsen to invalid grid %dx%d", nx, ny)
+	}
+	if h.pc != nil {
+		return nil, fmt.Errorf("euler: cannot coarsen a rasterized-object histogram (class plane present)")
+	}
+	cur := h
+	for cur.g.NX() != nx || cur.g.NY() != ny {
+		cnx, cny := cur.g.NX(), cur.g.NY()
+		if cnx%2 != 0 || cny%2 != 0 || cnx/2 < nx || cny/2 < ny {
+			return nil, fmt.Errorf("euler: %dx%d does not halve to %dx%d", h.g.NX(), h.g.NY(), nx, ny)
+		}
+		cur = coarsenHistogram(cur, nil, 1)
+	}
+	return cur, nil
+}
+
+// CommonGrid reports the grid two lattices can be joined on: their shared
+// grid, or the coarser of the two when one halves exactly to the other
+// (same extent, both axes related by the same power of two). ok is false
+// when no common grid exists.
+func CommonGrid(a, b Lattice) (nx, ny int, resample, ok bool) {
+	ga, gb := a.Grid(), b.Grid()
+	if ga.Extent() != gb.Extent() {
+		return 0, 0, false, false
+	}
+	if ga.NX() == gb.NX() && ga.NY() == gb.NY() {
+		return ga.NX(), ga.NY(), false, true
+	}
+	fx, fy, cx, cy := ga.NX(), ga.NY(), gb.NX(), gb.NY()
+	if fx < cx {
+		fx, fy, cx, cy = cx, cy, fx, fy
+	}
+	if cx <= 0 || cy <= 0 || fx%cx != 0 || fy%cy != 0 {
+		return 0, 0, false, false
+	}
+	rx, ry := fx/cx, fy/cy
+	if rx != ry || rx&(rx-1) != 0 {
+		return 0, 0, false, false
+	}
+	return cx, cy, true, true
+}

@@ -46,6 +46,7 @@ type PackedHistogram struct {
 	g      *grid.Grid
 	lx, ly int
 	hc     *prefixsum.Sum2DPacked
+	pc     *prefixsum.Sum2D // optional nx×ny partial-cell count plane
 	n      int64
 }
 
@@ -57,7 +58,7 @@ func (h *Histogram) Pack() (*PackedHistogram, bool) {
 	if !ok {
 		return nil, false
 	}
-	return &PackedHistogram{g: h.g, lx: h.lx, ly: h.ly, hc: hc, n: h.n}, true
+	return &PackedHistogram{g: h.g, lx: h.lx, ly: h.ly, hc: hc, pc: h.pc, n: h.n}, true
 }
 
 // Unpack promotes the packed tier back to a full histogram — the checked
@@ -86,7 +87,7 @@ func (p *PackedHistogram) Unpack() *Histogram {
 			prevLeft = up
 		}
 	}
-	return &Histogram{g: p.g, lx: p.lx, ly: p.ly, h: raw, hc: hc, n: p.n}
+	return &Histogram{g: p.g, lx: p.lx, ly: p.ly, h: raw, hc: hc, pc: p.pc, n: p.n}
 }
 
 // Grid returns the underlying grid.
@@ -104,8 +105,8 @@ func (p *PackedHistogram) Buckets() (lx, ly int) { return p.lx, p.ly }
 func (p *PackedHistogram) StorageBuckets() int { return p.lx * p.ly }
 
 // LatticeBytes returns the resident payload bytes of the packed tier:
-// 4 bytes per bucket, one plane.
-func (p *PackedHistogram) LatticeBytes() int { return p.hc.Bytes() }
+// 4 bytes per bucket, one plane, plus the class plane when present.
+func (p *PackedHistogram) LatticeBytes() int { return p.hc.Bytes() + planeBytes(p.pc, p.g) }
 
 // Total returns the sum of all buckets (= the object count).
 func (p *PackedHistogram) Total() int64 { return p.hc.Total() }
@@ -187,8 +188,18 @@ func (p *PackedHistogram) GridEulerSums(region grid.Span, cols, rows int) (*Eule
 }
 
 // LatticeBytes returns the resident payload bytes of the full tier: the
-// raw bucket plane plus the cumulative plane, 8 bytes per bucket each.
-func (h *Histogram) LatticeBytes() int { return 16 * h.lx * h.ly }
+// raw bucket plane plus the cumulative plane, 8 bytes per bucket each,
+// plus the class plane when present.
+func (h *Histogram) LatticeBytes() int { return 16*h.lx*h.ly + planeBytes(h.pc, h.g) }
+
+// planeBytes is the resident cost of an optional partial-cell count plane:
+// 8 bytes per cell, cumulative form only.
+func planeBytes(pc *prefixsum.Sum2D, g *grid.Grid) int {
+	if pc == nil {
+		return 0
+	}
+	return 8 * g.NX() * g.NY()
+}
 
 // Packable reports whether a dataset of n objects packs to int32 — the
 // promotion/demotion predicate shared by the serving tiers and the wire

@@ -218,13 +218,16 @@ func (r *Registry) evictLocked(keep *tenant) {
 type MultiServer struct {
 	reg   *Registry
 	mux   *http.ServeMux
+	join  *joinFront
 	drain atomic.Bool
 }
 
 // NewMultiServer builds the routing front over a Registry.
 func NewMultiServer(reg *Registry) *MultiServer {
-	s := &MultiServer{reg: reg, mux: http.NewServeMux()}
+	s := &MultiServer{reg: reg, mux: http.NewServeMux(), join: newJoinFront(reg)}
 	s.mux.HandleFunc("/api/{tenant}/{rest...}", s.handleTenant)
+	// The literal route wins over /api/{tenant}/... for the exact path.
+	s.mux.HandleFunc("POST /api/join", s.handleJoin)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /{$}", s.handleIndex)
 	s.mux.Handle("GET /metrics", reg.opts.Server.Telemetry.Handler())

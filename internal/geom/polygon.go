@@ -1,0 +1,132 @@
+// Polygon geometry for the rasterized-object pipeline. The raster-interval
+// line of work (Georgiadis et al.) approximates real geometries as per-cell
+// interval runs; before a polygon can be rasterized the grid layer needs
+// three predicates of it: its MBR, point membership (even-odd), and whether
+// its boundary crosses the open interior of a cell rectangle. All three
+// live here, below grid in the import graph.
+package geom
+
+import "math"
+
+// Polygon is a closed polygonal region given by its vertex ring; the edge
+// from the last vertex back to the first is implicit. The region is defined
+// by the even-odd fill rule, so self-intersecting rings are well-defined
+// (if unusual) inputs rather than errors — the rasterizer and its fuzz
+// target rely on that totality.
+type Polygon []Point
+
+// Valid reports whether the ring has at least three vertices with finite
+// coordinates — the minimum for a region with a non-empty interior.
+func (p Polygon) Valid() bool {
+	if len(p) < 3 {
+		return false
+	}
+	for _, v := range p {
+		if math.IsNaN(v.X) || math.IsNaN(v.Y) || math.IsInf(v.X, 0) || math.IsInf(v.Y, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// MBR returns the minimal bounding rectangle of the ring. It panics on an
+// empty polygon, mirroring MBROf.
+func (p Polygon) MBR() Rect {
+	if len(p) == 0 {
+		panic("geom: MBR of empty polygon")
+	}
+	out := Rect{XMin: p[0].X, YMin: p[0].Y, XMax: p[0].X, YMax: p[0].Y}
+	for _, v := range p[1:] {
+		out.XMin = math.Min(out.XMin, v.X)
+		out.YMin = math.Min(out.YMin, v.Y)
+		out.XMax = math.Max(out.XMax, v.X)
+		out.YMax = math.Max(out.YMax, v.Y)
+	}
+	return out
+}
+
+// Area returns the unsigned area of the ring by the shoelace formula. For
+// self-intersecting rings this is the absolute net signed area, not the
+// even-odd region area.
+func (p Polygon) Area() float64 {
+	var s float64
+	for i, a := range p {
+		b := p[(i+1)%len(p)]
+		s += a.X*b.Y - b.X*a.Y
+	}
+	return math.Abs(s) / 2
+}
+
+// ContainsPoint reports whether pt lies inside the even-odd region of the
+// ring. Points exactly on the boundary may land on either side — callers
+// that care (the rasterizer) classify boundary-crossed cells separately
+// before ever asking about containment.
+func (p Polygon) ContainsPoint(pt Point) bool {
+	inside := false
+	for i, a := range p {
+		b := p[(i+1)%len(p)]
+		if (a.Y > pt.Y) != (b.Y > pt.Y) {
+			x := a.X + (pt.Y-a.Y)/(b.Y-a.Y)*(b.X-a.X)
+			if pt.X < x {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// BoundaryIntersectsOpen reports whether any edge of the ring passes
+// through the open interior of r. Edges that merely touch or run along r's
+// boundary do not count: under the paper's shrinking convention a cell is
+// only "cut" by an object boundary that enters it, so a polygon edge lying
+// exactly on a grid line leaves both adjacent cells uncut. This is the
+// partial-cell predicate of the rasterizer.
+func (p Polygon) BoundaryIntersectsOpen(r Rect) bool {
+	for i, a := range p {
+		b := p[(i+1)%len(p)]
+		if SegmentIntersectsOpen(a, b, r) {
+			return true
+		}
+	}
+	return false
+}
+
+// SegmentIntersectsOpen reports whether the closed segment ab shares a
+// point with the open rectangle r. The test clips the segment to the closed
+// rectangle (Liang–Barsky) and checks whether the midpoint of the clipped
+// range is strictly inside: a clipped sub-segment with positive length
+// inside the closed rect lies on the boundary if and only if its midpoint
+// does, and a single-point contact is always boundary.
+func SegmentIntersectsOpen(a, b Point, r Rect) bool {
+	dx, dy := b.X-a.X, b.Y-a.Y
+	t0, t1 := 0.0, 1.0
+	clip := func(p, q float64) bool {
+		if p == 0 {
+			return q >= 0
+		}
+		t := q / p
+		if p < 0 {
+			if t > t1 {
+				return false
+			}
+			if t > t0 {
+				t0 = t
+			}
+		} else {
+			if t < t0 {
+				return false
+			}
+			if t < t1 {
+				t1 = t
+			}
+		}
+		return true
+	}
+	if !clip(-dx, a.X-r.XMin) || !clip(dx, r.XMax-a.X) ||
+		!clip(-dy, a.Y-r.YMin) || !clip(dy, r.YMax-a.Y) {
+		return false
+	}
+	tm := (t0 + t1) / 2
+	x, y := a.X+tm*dx, a.Y+tm*dy
+	return x > r.XMin && x < r.XMax && y > r.YMin && y < r.YMax
+}

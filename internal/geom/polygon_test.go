@@ -1,0 +1,108 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPolygonValid(t *testing.T) {
+	if (Polygon{{X: 0, Y: 0}, {X: 1, Y: 0}}).Valid() {
+		t.Error("2-vertex polygon reported valid")
+	}
+	if (Polygon{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: math.NaN(), Y: 1}}).Valid() {
+		t.Error("NaN vertex reported valid")
+	}
+	if !(Polygon{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}}).Valid() {
+		t.Error("triangle reported invalid")
+	}
+}
+
+func TestPolygonMBRAndArea(t *testing.T) {
+	sq := Polygon{{X: 1, Y: 2}, {X: 5, Y: 2}, {X: 5, Y: 6}, {X: 1, Y: 6}}
+	if got, want := sq.MBR(), NewRect(1, 2, 5, 6); got != want {
+		t.Errorf("MBR = %v, want %v", got, want)
+	}
+	if got := sq.Area(); got != 16 {
+		t.Errorf("Area = %g, want 16", got)
+	}
+	// Reversed winding: same unsigned area.
+	rev := Polygon{{X: 1, Y: 6}, {X: 5, Y: 6}, {X: 5, Y: 2}, {X: 1, Y: 2}}
+	if got := rev.Area(); got != 16 {
+		t.Errorf("reversed Area = %g, want 16", got)
+	}
+}
+
+func TestPolygonContainsPoint(t *testing.T) {
+	tri := Polygon{{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 0, Y: 4}}
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{X: 1, Y: 1}, true},
+		{Point{X: 3, Y: 3}, false},
+		{Point{X: -1, Y: 1}, false},
+		{Point{X: 0.5, Y: 0.5}, true},
+	}
+	for _, c := range cases {
+		if got := tri.ContainsPoint(c.p); got != c.want {
+			t.Errorf("ContainsPoint(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Even-odd: the bowtie's crossing region is outside.
+	bow := Polygon{{X: 0, Y: 0}, {X: 4, Y: 4}, {X: 4, Y: 0}, {X: 0, Y: 4}}
+	if !bow.ContainsPoint(Point{X: 1, Y: 2}) {
+		t.Error("bowtie left lobe not contained")
+	}
+	if !bow.ContainsPoint(Point{X: 3, Y: 2}) {
+		t.Error("bowtie right lobe not contained")
+	}
+}
+
+func TestSegmentIntersectsOpen(t *testing.T) {
+	r := NewRect(1, 1, 3, 3)
+	cases := []struct {
+		a, b Point
+		want bool
+		name string
+	}{
+		{Point{X: 0, Y: 2}, Point{X: 4, Y: 2}, true, "crossing"},
+		{Point{X: 1.5, Y: 1.5}, Point{X: 2.5, Y: 2.5}, true, "inside"},
+		{Point{X: 0, Y: 0}, Point{X: 0.5, Y: 4}, false, "outside"},
+		{Point{X: 1, Y: 0}, Point{X: 1, Y: 4}, false, "along left boundary"},
+		{Point{X: 0, Y: 1}, Point{X: 4, Y: 1}, false, "along bottom boundary"},
+		{Point{X: 0, Y: 0}, Point{X: 1, Y: 1}, false, "touching corner"},
+		{Point{X: 0, Y: 4}, Point{X: 4, Y: 0}, true, "diagonal through interior"},
+		{Point{X: 0, Y: 2}, Point{X: 1, Y: 2}, false, "ending on boundary"},
+		{Point{X: 0, Y: 2}, Point{X: 1.1, Y: 2}, true, "ending inside"},
+	}
+	for _, c := range cases {
+		if got := SegmentIntersectsOpen(c.a, c.b, r); got != c.want {
+			t.Errorf("%s: SegmentIntersectsOpen(%v, %v) = %v, want %v", c.name, c.a, c.b, got, c.want)
+		}
+		// Symmetry in segment direction.
+		if got := SegmentIntersectsOpen(c.b, c.a, r); got != c.want {
+			t.Errorf("%s reversed: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestBoundaryIntersectsOpen(t *testing.T) {
+	// A cell-aligned square: boundary runs along the grid lines of
+	// neighboring unit cells, so no open unit cell is cut.
+	sq := Polygon{{X: 1, Y: 1}, {X: 3, Y: 1}, {X: 3, Y: 3}, {X: 1, Y: 3}}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			cell := NewRect(float64(i), float64(j), float64(i+1), float64(j+1))
+			if sq.BoundaryIntersectsOpen(cell) {
+				t.Errorf("aligned square cuts open cell (%d,%d)", i, j)
+			}
+		}
+	}
+	tri := Polygon{{X: 0.5, Y: 0.5}, {X: 2.5, Y: 0.5}, {X: 0.5, Y: 2.5}}
+	if !tri.BoundaryIntersectsOpen(NewRect(0, 0, 1, 1)) {
+		t.Error("triangle does not cut cell (0,0)")
+	}
+	if tri.BoundaryIntersectsOpen(NewRect(2, 2, 3, 3)) {
+		t.Error("triangle cuts far cell (2,2)")
+	}
+}

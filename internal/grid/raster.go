@@ -1,0 +1,360 @@
+// Rasterized objects: beyond MBRs, an object is approximated as the set of
+// grid cells its geometry cuts or covers — per-row interval runs with a
+// full/partial class per cell, in the style of the raster-interval
+// approximation. The Euler builder ingests these runs directly
+// (euler.AddObject), and the exact join evaluator intersects them, so the
+// run representation and its topology (connectivity, Euler characteristic)
+// live here where both can reach them.
+package grid
+
+import (
+	"sort"
+
+	"spatialhist/internal/geom"
+)
+
+// CellClass classifies one rasterized cell: Partial cells are cut by the
+// object boundary (the geometry covers only part of the cell), Full cells
+// lie entirely inside it. The distinction carries no weight in the Euler
+// lattice itself — it feeds the partial-count plane that certifies when
+// grid-resolution answers are exact for the underlying geometry.
+type CellClass uint8
+
+// The two cell classes.
+const (
+	CellPartial CellClass = iota
+	CellFull
+)
+
+// String implements fmt.Stringer.
+func (c CellClass) String() string {
+	if c == CellFull {
+		return "full"
+	}
+	return "partial"
+}
+
+// Raster is one rasterized object: a set of single-row cell runs, each
+// uniformly classed. Spans are disjoint, sorted by (row, column), and their
+// union is 4-connected and hole-free — the contract Rasterize guarantees
+// and euler.AddObject validates.
+type Raster struct {
+	Spans   []Span
+	Classes []CellClass // parallel to Spans
+}
+
+// Bounds returns the bounding span of the raster. It panics on an empty
+// raster.
+func (r Raster) Bounds() Span {
+	if len(r.Spans) == 0 {
+		panic("grid: Bounds of empty raster")
+	}
+	b := r.Spans[0]
+	for _, s := range r.Spans[1:] {
+		if s.I1 < b.I1 {
+			b.I1 = s.I1
+		}
+		if s.I2 > b.I2 {
+			b.I2 = s.I2
+		}
+		if s.J1 < b.J1 {
+			b.J1 = s.J1
+		}
+		if s.J2 > b.J2 {
+			b.J2 = s.J2
+		}
+	}
+	return b
+}
+
+// Cells returns the number of covered cells.
+func (r Raster) Cells() int {
+	n := 0
+	for _, s := range r.Spans {
+		n += s.Cells()
+	}
+	return n
+}
+
+// NormalizeRuns flattens arbitrary (possibly multi-row, overlapping) spans
+// into per-row maximal coverage runs: single-row spans, disjoint, merged
+// when overlapping or touching, sorted by (row, column). This is the
+// canonical form RunsTopology and IntersectRuns operate on, and the
+// normalization euler.AddObject applies before deriving lattice increments.
+func NormalizeRuns(spans []Span) []Span {
+	byRow := map[int][]Span{}
+	for _, s := range spans {
+		for j := s.J1; j <= s.J2; j++ {
+			byRow[j] = append(byRow[j], Span{I1: s.I1, J1: j, I2: s.I2, J2: j})
+		}
+	}
+	rows := make([]int, 0, len(byRow))
+	for j := range byRow {
+		rows = append(rows, j)
+	}
+	sort.Ints(rows)
+	out := make([]Span, 0, len(spans))
+	for _, j := range rows {
+		runs := byRow[j]
+		sort.Slice(runs, func(a, b int) bool { return runs[a].I1 < runs[b].I1 })
+		cur := runs[0]
+		for _, s := range runs[1:] {
+			if s.I1 <= cur.I2+1 { // overlapping or touching: one connected run
+				if s.I2 > cur.I2 {
+					cur.I2 = s.I2
+				}
+				continue
+			}
+			out = append(out, cur)
+			cur = s
+		}
+		out = append(out, cur)
+	}
+	return out
+}
+
+// RunsTopology computes the topology of a normalized run set: the number of
+// 4-connected components and the Euler characteristic χ = R − P, where R is
+// the run count and P the number of vertically adjacent overlapping run
+// pairs. For the open region the runs describe, χ equals components minus
+// holes, so a connected run set inserts cleanly into an Euler histogram
+// exactly when components == 1 and χ == 1 (no holes — the loophole effect
+// of §5.3 would otherwise make the object invisible to large queries).
+func RunsTopology(runs []Span) (components, chi int) {
+	if len(runs) == 0 {
+		return 0, 0
+	}
+	parent := make([]int, len(runs))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	pairs := 0
+	// Runs are sorted by (row, column); walk adjacent-row windows with two
+	// pointers.
+	rowStart := map[int]int{}
+	for i, r := range runs {
+		if _, ok := rowStart[r.J1]; !ok {
+			rowStart[r.J1] = i
+		}
+	}
+	for i, a := range runs {
+		lo, ok := rowStart[a.J1+1]
+		if !ok {
+			continue
+		}
+		for k := lo; k < len(runs) && runs[k].J1 == a.J1+1; k++ {
+			b := runs[k]
+			if b.I1 > a.I2 {
+				break
+			}
+			if a.I1 <= b.I2 {
+				pairs++
+				ra, rb := find(i), find(k)
+				if ra != rb {
+					parent[ra] = rb
+				}
+			}
+		}
+		_ = i
+	}
+	roots := map[int]bool{}
+	for i := range runs {
+		roots[find(i)] = true
+	}
+	return len(roots), len(runs) - pairs
+}
+
+// IntersectRuns intersects two normalized run sets and returns the
+// normalized runs of the common cells. This is the cell-level ground truth
+// of the two-histogram join: the product-sum estimate counts exactly
+// Σ χ(IntersectRuns(a, b)) over object pairs.
+func IntersectRuns(a, b []Span) []Span {
+	var out []Span
+	i, k := 0, 0
+	for i < len(a) && k < len(b) {
+		ra, rb := a[i], b[k]
+		switch {
+		case ra.J1 < rb.J1:
+			i++
+		case rb.J1 < ra.J1:
+			k++
+		default:
+			lo, hi := ra.I1, ra.I2
+			if rb.I1 > lo {
+				lo = rb.I1
+			}
+			if rb.I2 < hi {
+				hi = rb.I2
+			}
+			if lo <= hi {
+				// Intersections of maximal runs can abut; merge on the fly.
+				if n := len(out); n > 0 && out[n-1].J1 == ra.J1 && out[n-1].I2+1 >= lo {
+					if hi > out[n-1].I2 {
+						out[n-1].I2 = hi
+					}
+				} else {
+					out = append(out, Span{I1: lo, J1: ra.J1, I2: hi, J2: ra.J1})
+				}
+			}
+			if ra.I2 < rb.I2 {
+				i++
+			} else {
+				k++
+			}
+		}
+	}
+	return out
+}
+
+// Rasterize approximates a polygon as rasterized objects over g, one per
+// 4-connected component of its covered cell set (clipping against the grid
+// or a boundary threading exactly through a lattice vertex can fragment a
+// connected polygon). Cell classification follows the shrinking convention:
+// a cell is Partial when the polygon boundary crosses its open interior,
+// Full when it is uncrossed and its center lies inside the even-odd region,
+// and uncovered otherwise — so a grid-aligned rectangle rasterizes to
+// exactly its grid.Snap span with every cell Full. Enclosed holes are
+// filled as Partial cells (the Euler lattice cannot represent holes without
+// the §5.3 loophole effect), making every returned component hole-free with
+// χ = 1. Degenerate polygons and polygons entirely outside the space return
+// nil.
+func (g *Grid) Rasterize(p geom.Polygon) []Raster {
+	if !p.Valid() {
+		return nil
+	}
+	mbr := p.MBR()
+	if !mbr.Intersects(g.extent) {
+		return nil
+	}
+	// Conservative candidate box: the MBR's cell range plus a one-cell ring,
+	// clamped to the grid. Classification decides actual coverage.
+	bi0 := clampInt(int((mbr.XMin-g.extent.XMin)/g.cw)-1, 0, g.nx-1)
+	bi1 := clampInt(int((mbr.XMax-g.extent.XMin)/g.cw)+1, 0, g.nx-1)
+	bj0 := clampInt(int((mbr.YMin-g.extent.YMin)/g.ch)-1, 0, g.ny-1)
+	bj1 := clampInt(int((mbr.YMax-g.extent.YMin)/g.ch)+1, 0, g.ny-1)
+	w, h := bi1-bi0+1, bj1-bj0+1
+
+	const (
+		stOut uint8 = iota
+		stPartial
+		stFull
+	)
+	st := make([]uint8, w*h)
+	at := func(i, j int) uint8 { return st[(j-bj0)*w+(i-bi0)] }
+	covered := 0
+	for j := bj0; j <= bj1; j++ {
+		for i := bi0; i <= bi1; i++ {
+			cr := g.CellRect(i, j)
+			switch {
+			case p.BoundaryIntersectsOpen(cr):
+				st[(j-bj0)*w+(i-bi0)] = stPartial
+				covered++
+			case p.ContainsPoint(geom.Point{X: (cr.XMin + cr.XMax) / 2, Y: (cr.YMin + cr.YMax) / 2}):
+				st[(j-bj0)*w+(i-bi0)] = stFull
+				covered++
+			}
+		}
+	}
+	if covered == 0 {
+		return nil
+	}
+
+	// Fill enclosed holes: flood the uncovered complement from the box
+	// border with 8-connectivity (the dual of the 4-connected foreground);
+	// unreached uncovered cells are topological holes and become Partial.
+	reach := make([]bool, w*h)
+	var queue []int
+	push := func(x, y int) {
+		idx := y*w + x
+		if x < 0 || x >= w || y < 0 || y >= h || reach[idx] || st[idx] != stOut {
+			return
+		}
+		reach[idx] = true
+		queue = append(queue, idx)
+	}
+	for x := 0; x < w; x++ {
+		push(x, 0)
+		push(x, h-1)
+	}
+	for y := 0; y < h; y++ {
+		push(0, y)
+		push(w-1, y)
+	}
+	for len(queue) > 0 {
+		idx := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		x, y := idx%w, idx/w
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dx != 0 || dy != 0 {
+					push(x+dx, y+dy)
+				}
+			}
+		}
+	}
+	for idx := range st {
+		if st[idx] == stOut && !reach[idx] {
+			st[idx] = stPartial
+		}
+	}
+
+	// Split into 4-connected components and emit per-row uniform-class runs.
+	comp := make([]int, w*h)
+	for i := range comp {
+		comp[i] = -1
+	}
+	ncomp := 0
+	for start := 0; start < w*h; start++ {
+		if st[start] == stOut || comp[start] >= 0 {
+			continue
+		}
+		comp[start] = ncomp
+		stack := []int{start}
+		for len(stack) > 0 {
+			idx := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			x, y := idx%w, idx/w
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nx, ny := x+d[0], y+d[1]
+				nidx := ny*w + nx
+				if nx >= 0 && nx < w && ny >= 0 && ny < h && st[nidx] != stOut && comp[nidx] < 0 {
+					comp[nidx] = ncomp
+					stack = append(stack, nidx)
+				}
+			}
+		}
+		ncomp++
+	}
+	out := make([]Raster, ncomp)
+	for j := bj0; j <= bj1; j++ {
+		i := bi0
+		for i <= bi1 {
+			s := at(i, j)
+			if s == stOut {
+				i++
+				continue
+			}
+			c := comp[(j-bj0)*w+(i-bi0)]
+			i2 := i
+			for i2+1 <= bi1 && at(i2+1, j) == s && comp[(j-bj0)*w+(i2+1-bi0)] == c {
+				i2++
+			}
+			cls := CellPartial
+			if s == stFull {
+				cls = CellFull
+			}
+			out[c].Spans = append(out[c].Spans, Span{I1: i, J1: j, I2: i2, J2: j})
+			out[c].Classes = append(out[c].Classes, cls)
+			i = i2 + 1
+		}
+	}
+	return out
+}

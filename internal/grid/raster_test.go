@@ -1,0 +1,215 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatialhist/internal/geom"
+)
+
+func TestNormalizeRuns(t *testing.T) {
+	// Multi-row span plus overlapping and touching fragments.
+	in := []Span{
+		{I1: 2, J1: 1, I2: 4, J2: 2}, // rows 1,2: [2..4]
+		{I1: 4, J1: 1, I2: 6, J2: 1}, // row 1: overlaps -> [2..6]
+		{I1: 7, J1: 1, I2: 8, J2: 1}, // row 1: touches -> [2..8]
+		{I1: 0, J1: 3, I2: 0, J2: 3},
+	}
+	want := []Span{
+		{I1: 2, J1: 1, I2: 8, J2: 1},
+		{I1: 2, J1: 2, I2: 4, J2: 2},
+		{I1: 0, J1: 3, I2: 0, J2: 3},
+	}
+	got := NormalizeRuns(in)
+	if len(got) != len(want) {
+		t.Fatalf("NormalizeRuns = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NormalizeRuns[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunsTopology(t *testing.T) {
+	cases := []struct {
+		name       string
+		runs       []Span
+		comps, chi int
+	}{
+		{"rectangle", NormalizeRuns([]Span{{I1: 0, J1: 0, I2: 3, J2: 2}}), 1, 1},
+		{"L-shape", NormalizeRuns([]Span{
+			{I1: 0, J1: 0, I2: 0, J2: 2}, {I1: 0, J1: 0, I2: 2, J2: 0},
+		}), 1, 1},
+		{"two diagonal cells", []Span{
+			{I1: 0, J1: 0, I2: 0, J2: 0}, {I1: 1, J1: 1, I2: 1, J2: 1},
+		}, 2, 2},
+		// A ring: 3x3 box minus the center — one component, one hole.
+		{"ring", NormalizeRuns([]Span{
+			{I1: 0, J1: 0, I2: 2, J2: 0},
+			{I1: 0, J1: 1, I2: 0, J2: 1}, {I1: 2, J1: 1, I2: 2, J2: 1},
+			{I1: 0, J1: 2, I2: 2, J2: 2},
+		}), 1, 0},
+		{"empty", nil, 0, 0},
+	}
+	for _, c := range cases {
+		comps, chi := RunsTopology(c.runs)
+		if comps != c.comps || chi != c.chi {
+			t.Errorf("%s: RunsTopology = (%d, %d), want (%d, %d)", c.name, comps, chi, c.comps, c.chi)
+		}
+	}
+}
+
+func TestIntersectRunsMatchesBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for round := 0; round < 200; round++ {
+		a := randRuns(r, 12, 12)
+		b := randRuns(r, 12, 12)
+		got := IntersectRuns(a, b)
+		// Brute force over the cell grid.
+		cells := func(runs []Span) map[[2]int]bool {
+			m := map[[2]int]bool{}
+			for _, s := range runs {
+				for i := s.I1; i <= s.I2; i++ {
+					m[[2]int{i, s.J1}] = true
+				}
+			}
+			return m
+		}
+		ca, cb, cg := cells(a), cells(b), cells(got)
+		for k := range ca {
+			if cb[k] != cg[k] {
+				t.Fatalf("round %d: cell %v: brute %v, IntersectRuns %v\na=%v\nb=%v\ngot=%v",
+					round, k, cb[k], cg[k], a, b, got)
+			}
+		}
+		for k := range cg {
+			if !ca[k] || !cb[k] {
+				t.Fatalf("round %d: cell %v in result but not in both inputs", round, k)
+			}
+		}
+		// Result must itself be normalized (maximal, sorted).
+		renorm := NormalizeRuns(got)
+		if len(renorm) != len(got) {
+			t.Fatalf("round %d: IntersectRuns not normalized: %v", round, got)
+		}
+	}
+}
+
+func randRuns(r *rand.Rand, nx, ny int) []Span {
+	n := 1 + r.Intn(6)
+	spans := make([]Span, n)
+	for i := range spans {
+		i1, j1 := r.Intn(nx), r.Intn(ny)
+		spans[i] = Span{I1: i1, J1: j1, I2: i1 + r.Intn(nx-i1), J2: j1 + r.Intn(ny-j1)}
+	}
+	return NormalizeRuns(spans)
+}
+
+func TestRasterizeAlignedRectangle(t *testing.T) {
+	g := NewUnit(8, 8)
+	// Cell-aligned rectangle covering cells [2..4]x[1..3].
+	p := geom.Polygon{{X: 2, Y: 1}, {X: 5, Y: 1}, {X: 5, Y: 4}, {X: 2, Y: 4}}
+	rs := g.Rasterize(p)
+	if len(rs) != 1 {
+		t.Fatalf("Rasterize returned %d components, want 1", len(rs))
+	}
+	snap, ok := g.Snap(p.MBR())
+	if !ok {
+		t.Fatal("Snap rejected the rectangle")
+	}
+	if got := rs[0].Bounds(); got != snap {
+		t.Errorf("Bounds = %v, want the snapped span %v", got, snap)
+	}
+	if got := rs[0].Cells(); got != 9 {
+		t.Errorf("Cells = %d, want 9", got)
+	}
+	for i, c := range rs[0].Classes {
+		if c != CellFull {
+			t.Errorf("span %v class = %v, want full", rs[0].Spans[i], c)
+		}
+	}
+}
+
+func TestRasterizeTriangle(t *testing.T) {
+	g := NewUnit(8, 8)
+	// Right triangle over cells [1..4]x[1..4]: the hypotenuse cuts the
+	// diagonal cells, interior cells below it are full.
+	p := geom.Polygon{{X: 1, Y: 1}, {X: 5, Y: 1}, {X: 1, Y: 5}}
+	rs := g.Rasterize(p)
+	if len(rs) != 1 {
+		t.Fatalf("Rasterize returned %d components, want 1", len(rs))
+	}
+	classOf := map[[2]int]CellClass{}
+	for i, s := range rs[0].Spans {
+		if s.J1 != s.J2 {
+			t.Fatalf("span %v is not a single-row run", s)
+		}
+		for x := s.I1; x <= s.I2; x++ {
+			if _, dup := classOf[[2]int{x, s.J1}]; dup {
+				t.Fatalf("cell (%d,%d) covered twice", x, s.J1)
+			}
+			classOf[[2]int{x, s.J1}] = rs[0].Classes[i]
+		}
+	}
+	// Diagonal cells (1,4), (2,3), (3,2), (4,1) are cut; (1,1) is interior.
+	for _, c := range [][2]int{{1, 4}, {2, 3}, {3, 2}, {4, 1}} {
+		if cls, ok := classOf[c]; !ok || cls != CellPartial {
+			t.Errorf("cell %v: got (%v, %v), want partial", c, cls, ok)
+		}
+	}
+	for _, c := range [][2]int{{1, 1}, {2, 1}, {1, 2}, {2, 2}} {
+		if cls, ok := classOf[c]; !ok || cls != CellFull {
+			t.Errorf("cell %v: got (%v, %v), want full", c, cls, ok)
+		}
+	}
+	if _, ok := classOf[[2]int{4, 4}]; ok {
+		t.Error("cell (4,4) beyond the hypotenuse is covered")
+	}
+	// Every component a rasterization returns is connected and hole-free
+	// (topology is defined on the normalized coverage runs, which merge
+	// the class-split runs of a row back together).
+	for _, rst := range rs {
+		if comps, chi := RunsTopology(NormalizeRuns(rst.Spans)); comps != 1 || chi != 1 {
+			t.Errorf("component topology = (%d, %d), want (1, 1)", comps, chi)
+		}
+	}
+}
+
+func TestRasterizeFillsHoles(t *testing.T) {
+	g := NewUnit(10, 10)
+	// An even-odd frame: outer square with an inner square traced through
+	// a zero-width cut. The inner 2x2 hole must be filled as partial.
+	p := geom.Polygon{
+		{X: 1, Y: 1}, {X: 7, Y: 1}, {X: 7, Y: 7}, {X: 1, Y: 7}, {X: 1, Y: 1},
+		{X: 3, Y: 3}, {X: 3, Y: 5}, {X: 5, Y: 5}, {X: 5, Y: 3}, {X: 3, Y: 3},
+	}
+	rs := g.Rasterize(p)
+	if len(rs) != 1 {
+		t.Fatalf("Rasterize returned %d components, want 1", len(rs))
+	}
+	covered := map[[2]int]bool{}
+	for _, s := range rs[0].Spans {
+		for x := s.I1; x <= s.I2; x++ {
+			covered[[2]int{x, s.J1}] = true
+		}
+	}
+	for _, c := range [][2]int{{3, 3}, {4, 3}, {3, 4}, {4, 4}} {
+		if !covered[c] {
+			t.Errorf("hole cell %v not filled", c)
+		}
+	}
+	if comps, chi := RunsTopology(NormalizeRuns(rs[0].Spans)); comps != 1 || chi != 1 {
+		t.Errorf("topology after hole fill = (%d, %d), want (1, 1)", comps, chi)
+	}
+}
+
+func TestRasterizeOutside(t *testing.T) {
+	g := NewUnit(4, 4)
+	if rs := g.Rasterize(geom.Polygon{{X: 10, Y: 10}, {X: 12, Y: 10}, {X: 10, Y: 12}}); rs != nil {
+		t.Errorf("polygon outside the space rasterized to %v", rs)
+	}
+	if rs := g.Rasterize(geom.Polygon{{X: 1, Y: 1}}); rs != nil {
+		t.Errorf("degenerate polygon rasterized to %v", rs)
+	}
+}
